@@ -1,0 +1,284 @@
+//! The MDGRAPE-2 board (paper Fig. 9): two chips behind an FPGA holding
+//! the **cell index counter**, **cell memory**, **particle index
+//! counter** and 8 MB of SSRAM particle memory.
+//!
+//! The dual-counter dataflow of eqs. 7–8: for each i-particle, the cell
+//! index counter steps through the 27 neighbour cells `c`; the cell
+//! memory supplies `(jstartᶜ, jendᶜ)`; the particle index counter then
+//! streams every j in that range — **no distance test, no third-law
+//! skip** ("MDGRAPE-2 does not skip the force calculation even if the
+//! distance between two particles is larger than r_cut", §2.2).
+
+use crate::chip::{AtomCoefficients, MdgChip, PIPELINES_PER_CHIP};
+use crate::jstore::JStore;
+use crate::pipeline::{PairAccum, PipelineMode};
+use mdm_funceval::FunctionEvaluator;
+
+/// Chips per board (Fig. 8b).
+pub const CHIPS_PER_BOARD: usize = 2;
+/// Pipelines per board.
+pub const PIPELINES_PER_BOARD: usize = CHIPS_PER_BOARD * PIPELINES_PER_CHIP;
+/// Particle memory: 8 MB SSRAM (§3.5.2).
+pub const PARTICLE_MEMORY_BYTES: usize = 8 * 1024 * 1024;
+/// Bytes per stored j-particle (3 × f32 position, charge/type word).
+pub const BYTES_PER_PARTICLE: usize = 16;
+/// j-particles the SSRAM holds.
+pub const PARTICLE_CAPACITY: usize = PARTICLE_MEMORY_BYTES / BYTES_PER_PARTICLE;
+
+/// An i-particle as dispatched to the pipelines.
+#[derive(Clone, Copy, Debug)]
+pub struct IParticle {
+    /// Position (f32, as the pipeline receives it).
+    pub pos: [f32; 3],
+    /// Species index.
+    pub ty: u8,
+    /// Home cell in the j-store grid.
+    pub cell: u32,
+    /// Original index (used only to skip the self pair).
+    pub original: u32,
+}
+
+/// Board-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdgBoardError {
+    /// j-store exceeds the 8 MB SSRAM.
+    ParticleMemoryOverflow {
+        /// Requested particle count.
+        requested: usize,
+        /// SSRAM capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for MdgBoardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParticleMemoryOverflow { requested, capacity } => write!(
+                f,
+                "SSRAM overflow: {requested} j-particles > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MdgBoardError {}
+
+/// One MDGRAPE-2 board.
+#[derive(Clone, Debug)]
+pub struct MdgBoard {
+    chips: Vec<MdgChip>,
+    bus_bytes: u64,
+}
+
+impl MdgBoard {
+    /// Build with a function table and coefficient RAM replicated to
+    /// both chips.
+    pub fn new(evaluator: FunctionEvaluator, coefficients: AtomCoefficients) -> Self {
+        Self {
+            chips: (0..CHIPS_PER_BOARD)
+                .map(|_| MdgChip::new(evaluator.clone(), coefficients.clone()))
+                .collect(),
+            bus_bytes: 0,
+        }
+    }
+
+    /// Reload the function table on both chips.
+    pub fn load_table(&mut self, evaluator: &FunctionEvaluator) {
+        for c in &mut self.chips {
+            c.load_table(evaluator);
+        }
+        // Table upload: 1,024 segments × 5 × 4 B per chip.
+        self.bus_bytes += (CHIPS_PER_BOARD * 1024 * 20) as u64;
+    }
+
+    /// Reload the coefficient RAM on both chips.
+    pub fn load_coefficients(&mut self, coefficients: &AtomCoefficients) {
+        for c in &mut self.chips {
+            c.load_coefficients(coefficients.clone());
+        }
+        let n = coefficients.n_types();
+        self.bus_bytes += (CHIPS_PER_BOARD * n * n * 8) as u64;
+    }
+
+    /// Validate a j-store against the SSRAM capacity and count its
+    /// upload traffic.
+    pub fn accept_jstore(&mut self, jstore: &JStore) -> Result<(), MdgBoardError> {
+        if jstore.len() > PARTICLE_CAPACITY {
+            return Err(MdgBoardError::ParticleMemoryOverflow {
+                requested: jstore.len(),
+                capacity: PARTICLE_CAPACITY,
+            });
+        }
+        self.bus_bytes += jstore.upload_bytes();
+        Ok(())
+    }
+
+    /// Run a block-2 pass (eqs. 7–8) for the given i-particles against
+    /// the resident j-store. Returns one accumulator per i-particle.
+    /// i-particles are dealt round-robin to the 8 pipelines; the board
+    /// result does not depend on the dealing because each i has its own
+    /// accumulator.
+    pub fn calc_block2(
+        &mut self,
+        mode: PipelineMode,
+        i_particles: &[IParticle],
+        jstore: &JStore,
+    ) -> Vec<PairAccum> {
+        let mut out = vec![PairAccum::default(); i_particles.len()];
+        for (idx, (ip, acc)) in i_particles.iter().zip(out.iter_mut()).enumerate() {
+            let chip = idx % CHIPS_PER_BOARD;
+            let pipe = (idx / CHIPS_PER_BOARD) % PIPELINES_PER_CHIP;
+            let neighbors = *jstore.neighbors27(ip.cell as usize);
+            for (nc, shift) in neighbors {
+                let range = jstore.cell_range(nc as usize);
+                let zero_shift = shift == [0.0f32; 3];
+                let original = ip.original as usize;
+                let js = range.filter_map(|slot| {
+                    if zero_shift && jstore.original_index(slot) == original {
+                        // The self pair: skipped by the driver (the
+                        // silicon evaluates it and gets f⃗·0⃗; skipping is
+                        // numerically identical and keeps potential mode
+                        // clean).
+                        return None;
+                    }
+                    let p = jstore.position(slot);
+                    Some((
+                        [p[0] + shift[0], p[1] + shift[1], p[2] + shift[2]],
+                        jstore.species(slot),
+                    ))
+                });
+                self.chips[chip].stream(pipe, mode, ip.pos, ip.ty, js, acc);
+            }
+        }
+        // Force read-back: 24 B per i-particle (3 × f64).
+        self.bus_bytes += (i_particles.len() * 24) as u64;
+        out
+    }
+
+    /// Pair operations executed across both chips.
+    pub fn ops(&self) -> u64 {
+        self.chips.iter().map(MdgChip::ops).sum()
+    }
+
+    /// Bus traffic, bytes.
+    pub fn bus_bytes(&self) -> u64 {
+        self.bus_bytes
+    }
+
+    /// Reset counters.
+    pub fn reset_counters(&mut self) {
+        self.bus_bytes = 0;
+        for c in &mut self.chips {
+            c.reset_ops();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::GFunction;
+    use mdm_core::boxsim::SimBox;
+    use mdm_core::vec3::Vec3;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn board(g: GFunction, a: f64, b: f64) -> MdgBoard {
+        MdgBoard::new(
+            g.build_evaluator().unwrap(),
+            AtomCoefficients::new(&[vec![a, a], vec![a, a]], &[vec![b, b], vec![b, b]]),
+        )
+    }
+
+    fn config(n: usize, l: f64) -> (SimBox, Vec<Vec3>, Vec<u8>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let sb = SimBox::cubic(l);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let ty = (0..n).map(|i| (i % 2) as u8).collect();
+        (sb, pos, ty)
+    }
+
+    fn i_particles(pos: &[Vec3], ty: &[u8], js: &JStore) -> Vec<IParticle> {
+        pos.iter()
+            .enumerate()
+            .map(|(i, p)| IParticle {
+                pos: [p.x as f32, p.y as f32, p.z as f32],
+                ty: ty[i],
+                cell: js.cell_of(i) as u32,
+                original: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block2_ops_equal_block_pair_count() {
+        let (sb, pos, ty) = config(120, 15.0);
+        let js = JStore::build(sb, &pos, &ty, 5.0);
+        let mut b = board(GFunction::Dispersion6Force, 1.0, -6.0);
+        b.accept_jstore(&js).unwrap();
+        let is = i_particles(&pos, &ty, &js);
+        let out = b.calc_block2(PipelineMode::Force, &is, &js);
+        assert_eq!(out.len(), 120);
+        assert_eq!(b.ops(), js.block_pair_count());
+    }
+
+    #[test]
+    fn forces_match_f64_block_reference() {
+        // Same traversal in f64 (no cutoff, 27 cells, ordered pairs)
+        // must agree to f32 pipeline accuracy.
+        let (sb, pos, ty) = config(80, 12.0);
+        let js = JStore::build(sb, &pos, &ty, 4.0);
+        let mut b = board(GFunction::Dispersion6Force, 1.0, -6.0);
+        b.accept_jstore(&js).unwrap();
+        let is = i_particles(&pos, &ty, &js);
+        let hw = b.calc_block2(PipelineMode::Force, &is, &js);
+
+        let cl = mdm_core::celllist::CellList::build(sb, &pos, 4.0);
+        let mut sw = vec![[0f64; 3]; pos.len()];
+        cl.for_each_block_pair(&pos, |i, _j, d, r2| {
+            let g = r2.powi(-4);
+            let bg = -6.0 * g;
+            sw[i][0] += bg * d.x;
+            sw[i][1] += bg * d.y;
+            sw[i][2] += bg * d.z;
+        });
+        let scale = sw
+            .iter()
+            .flat_map(|f| f.iter())
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (i, (h, s)) in hw.iter().zip(&sw).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (h.acc[k] - s[k]).abs() / scale < 1e-4,
+                    "particle {i} axis {k}: {} vs {}",
+                    h.acc[k],
+                    s[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_half_megaparticle() {
+        assert_eq!(PARTICLE_CAPACITY, 512 * 1024);
+    }
+
+    #[test]
+    fn potential_mode_counts_each_ordered_pair() {
+        let (sb, pos, ty) = config(60, 12.0);
+        let js = JStore::build(sb, &pos, &ty, 4.0);
+        let mut b = board(GFunction::Dispersion6Energy, 1.0, 1.0);
+        b.accept_jstore(&js).unwrap();
+        let is = i_particles(&pos, &ty, &js);
+        let out = b.calc_block2(PipelineMode::Potential, &is, &js);
+        let total_ops: u64 = out.iter().map(|a| a.ops).sum();
+        assert_eq!(total_ops, js.block_pair_count());
+        // All scalar accumulations, no vector parts.
+        for a in &out {
+            assert_eq!(a.acc[1], 0.0);
+            assert_eq!(a.acc[2], 0.0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The j-particle image the host uploads to MDGRAPE-2 particle memory.
+//!
+//! The board expects (paper §3.5.2 / eqs. 7–8):
+//!
+//! * particles **bucket-sorted by cell** so indices within a cell are
+//!   contiguous (the cell memory stores `(jstart, jend)` per cell);
+//! * single-precision positions (the memory is 8 MB of SSRAM);
+//! * for boundary cells, the host's 27-neighbour table carries the
+//!   periodic image shift — the hardware itself knows nothing about
+//!   periodicity.
+
+use mdm_core::boxsim::SimBox;
+use mdm_core::celllist::CellList;
+use mdm_core::vec3::Vec3;
+
+/// The uploaded, cell-sorted j-particle image plus the cell tables the
+/// board's dual index counters walk.
+#[derive(Clone, Debug)]
+pub struct JStore {
+    /// f32 positions, sorted by cell.
+    positions: Vec<[f32; 3]>,
+    /// Species index per sorted particle.
+    types: Vec<u8>,
+    /// Original particle index per sorted slot (for scatter-back).
+    original: Vec<u32>,
+    /// `n_cells + 1` offsets: cell `c` holds slots `ranges[c]..ranges[c+1]`.
+    ranges: Vec<u32>,
+    /// Per cell: the 27 `(cell, shift)` neighbour entries, with the
+    /// shift in f32 (what the host writes into the neighbour table).
+    neighbors: Vec<[(u32, [f32; 3]); 27]>,
+    /// Cell index of each original particle.
+    cell_of_original: Vec<u32>,
+    /// Cell edge used.
+    cell_size: f64,
+}
+
+impl JStore {
+    /// Build from a configuration. `min_cell` is the cell edge lower
+    /// bound ("a little larger than r_cut", §2.2).
+    ///
+    /// Requires at least 3 cells per side — the hardware cell-index
+    /// method needs distinct neighbour cells. For smaller boxes the
+    /// caller should enlarge `min_cell`'s box or fall back to software.
+    pub fn build(simbox: SimBox, positions: &[Vec3], types: &[u8], min_cell: f64) -> Self {
+        assert_eq!(positions.len(), types.len());
+        let cl = CellList::build(simbox, positions, min_cell);
+        assert!(
+            cl.cells_per_side() >= 3,
+            "cell-index hardware needs >= 3 cells per side (box {} / cell {})",
+            simbox.l(),
+            min_cell
+        );
+        let order = cl.sorted_order();
+        let mut sorted_pos = Vec::with_capacity(order.len());
+        let mut sorted_ty = Vec::with_capacity(order.len());
+        for &i in order {
+            let p = positions[i as usize];
+            sorted_pos.push([p.x as f32, p.y as f32, p.z as f32]);
+            sorted_ty.push(types[i as usize]);
+        }
+        let neighbors = (0..cl.n_cells())
+            .map(|c| {
+                let mut row = [(0u32, [0f32; 3]); 27];
+                for (k, (nc, shift)) in cl.neighbors27(c).into_iter().enumerate() {
+                    row[k] = (nc as u32, [shift.x as f32, shift.y as f32, shift.z as f32]);
+                }
+                row
+            })
+            .collect();
+        let cell_of_original = (0..positions.len())
+            .map(|i| cl.cell_of(i) as u32)
+            .collect();
+        Self {
+            positions: sorted_pos,
+            types: sorted_ty,
+            original: order.to_vec(),
+            ranges: cl.cell_ranges().to_vec(),
+            neighbors,
+            cell_of_original,
+            cell_size: cl.cell_size(),
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.ranges.len() - 1
+    }
+
+    /// The cell edge (Å).
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Sorted-slot range of cell `c`.
+    #[inline]
+    pub fn cell_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.ranges[c] as usize..self.ranges[c + 1] as usize
+    }
+
+    /// The 27 neighbour `(cell, shift)` entries of cell `c`.
+    #[inline]
+    pub fn neighbors27(&self, c: usize) -> &[(u32, [f32; 3]); 27] {
+        &self.neighbors[c]
+    }
+
+    /// f32 position of sorted slot `s`.
+    #[inline]
+    pub fn position(&self, s: usize) -> [f32; 3] {
+        self.positions[s]
+    }
+
+    /// Species of sorted slot `s`.
+    #[inline]
+    pub fn species(&self, s: usize) -> u8 {
+        self.types[s]
+    }
+
+    /// Original index of sorted slot `s`.
+    #[inline]
+    pub fn original_index(&self, s: usize) -> usize {
+        self.original[s] as usize
+    }
+
+    /// Cell of original particle `i`.
+    #[inline]
+    pub fn cell_of(&self, i: usize) -> usize {
+        self.cell_of_original[i] as usize
+    }
+
+    /// Upload size in bytes (16 B per particle + 8 B per cell-range
+    /// entry), for bus accounting.
+    pub fn upload_bytes(&self) -> u64 {
+        (self.positions.len() * 16 + self.ranges.len() * 8) as u64
+    }
+
+    /// Total ordered block pairs the hardware will evaluate (the
+    /// `N·N_int_g` of eq. 6, self pairs excluded as the driver skips
+    /// them).
+    pub fn block_pair_count(&self) -> u64 {
+        let mut total = 0u64;
+        for c in 0..self.n_cells() {
+            let center = self.cell_range(c).len() as u64;
+            let mut block = 0u64;
+            for (nc, _) in self.neighbors27(c) {
+                block += self.cell_range(*nc as usize).len() as u64;
+            }
+            total += center * block;
+        }
+        total - self.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, l: f64) -> (SimBox, Vec<Vec3>, Vec<u8>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let b = SimBox::cubic(l);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let ty = (0..n).map(|i| (i % 2) as u8).collect();
+        (b, pos, ty)
+    }
+
+    #[test]
+    fn slots_cover_all_particles_once() {
+        let (b, pos, ty) = setup(200, 18.0);
+        let js = JStore::build(b, &pos, &ty, 4.5);
+        assert_eq!(js.len(), 200);
+        let mut seen = vec![false; 200];
+        for s in 0..js.len() {
+            let o = js.original_index(s);
+            assert!(!seen[o]);
+            seen[o] = true;
+            assert_eq!(js.species(s), ty[o]);
+        }
+    }
+
+    #[test]
+    fn cell_ranges_are_contiguous_partition() {
+        let (b, pos, ty) = setup(150, 15.0);
+        let js = JStore::build(b, &pos, &ty, 5.0);
+        let mut total = 0;
+        for c in 0..js.n_cells() {
+            total += js.cell_range(c).len();
+        }
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn positions_quantized_to_f32() {
+        let (b, pos, ty) = setup(50, 12.0);
+        let js = JStore::build(b, &pos, &ty, 4.0);
+        for s in 0..js.len() {
+            let o = js.original_index(s);
+            let p32 = js.position(s);
+            assert_eq!(p32[0], pos[o].x as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_coarse_grid_panics() {
+        let (b, pos, ty) = setup(20, 10.0);
+        JStore::build(b, &pos, &ty, 4.0); // 2 cells per side
+    }
+
+    #[test]
+    fn block_pair_count_matches_celllist() {
+        let (b, pos, ty) = setup(300, 20.0);
+        let js = JStore::build(b, &pos, &ty, 5.0);
+        let cl = CellList::build(b, &pos, 5.0);
+        assert_eq!(js.block_pair_count(), cl.block_pair_count() - 300);
+    }
+}

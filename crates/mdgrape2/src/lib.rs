@@ -1,0 +1,51 @@
+//! # mdgrape2 — emulator of the MDGRAPE-2 special-purpose computer
+//!
+//! MDGRAPE-2 (Narumi et al., SC 2000, §3.5) is the real-space engine of
+//! the MDM: 64 chips × 4 pipelines evaluating arbitrary central pair
+//! forces
+//!
+//! ```text
+//! f⃗ᵢⱼ = bᵢⱼ · g(aᵢⱼ·rᵢⱼ²) · r⃗ᵢⱼ                  (paper eq. 14)
+//! ```
+//!
+//! with a programmable function evaluator (`mdm-funceval`: 4th-order
+//! interpolation, 1,024 segments) and cell-index hardware that walks 27
+//! neighbour cells **without Newton's third law and without cutoff
+//! skipping** — the ~13× work inflation the paper's `N_int_g` quantifies.
+//!
+//! | paper | module | numbers (current MDM) |
+//! |---|---|---|
+//! | pipeline (Fig. 11) | [`pipeline`] | f32 arithmetic, f64 accumulation, 1 pair/cycle |
+//! | chip (Fig. 10) | [`chip`] | 4 pipelines, 100 MHz, ≈16 Gflops, 32-type coefficient RAM |
+//! | board (Fig. 9) | [`board`] | 2 chips, cell memory + dual index counters, 8 MB SSRAM |
+//! | cluster | [`cluster`] | 2 boards on a PCI bus |
+//! | system (Fig. 3) | [`system`] | 16 clusters = 64 chips ≈ 1 Tflops |
+//!
+//! plus [`api`] (the Table 3 host library: `MR1allocateboard`, `MR1init`,
+//! `MR1SetTable`, `MR1calcvdw_block2`, `MR1free`), [`tables`] (the
+//! g(x) tables for Ewald-real Coulomb, Lennard-Jones and the Tosi–Fumi
+//! terms) and [`timing`].
+//!
+//! ## Numerics
+//!
+//! "Most of the arithmetic units in the pipeline use IEEE754 single
+//! floating point format. The double floating point format is used for
+//! accumulating the force" (§3.5.4) — the pipeline here computes `r⃗ᵢⱼ`,
+//! `aᵢⱼrᵢⱼ²`, `g(x)` and the multiplies in `f32` and accumulates in
+//! `f64`, and lands at the paper's ~10⁻⁷ relative pairwise accuracy
+//! (validated against the `f64` reference in the tests).
+
+pub mod api;
+pub mod board;
+pub mod chip;
+pub mod cluster;
+pub mod jstore;
+pub mod pipeline;
+pub mod system;
+pub mod tables;
+pub mod timing;
+
+pub use api::Mr1Library;
+pub use jstore::JStore;
+pub use system::{Mdgrape2Config, Mdgrape2System};
+pub use tables::GFunction;

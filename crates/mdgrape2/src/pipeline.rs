@@ -1,0 +1,192 @@
+//! The MDGRAPE-2 pipeline (paper Fig. 11).
+//!
+//! Per cycle, the pipeline takes the resident i-particle position and
+//! one streamed j-particle, and:
+//!
+//! 1. forms `r⃗ᵢⱼ = x⃗ᵢ − x⃗ⱼ` in f32;
+//! 2. forms `x = aᵢⱼ·rᵢⱼ²` in f32;
+//! 3. evaluates `g(x)` in the function evaluator;
+//! 4. multiplies `bᵢⱼ·g` and the components of `r⃗ᵢⱼ` in f32;
+//! 5. accumulates into f64 registers ("to prevent the underflow when
+//!    large number of particles are used", §3.5.4).
+//!
+//! In **potential mode** step 4–5 accumulate the scalar `bᵢⱼ·g` instead
+//! (the real chip had the same dual use; the paper evaluates the
+//! potential energy every 100 steps).
+
+use mdm_funceval::FunctionEvaluator;
+
+/// Evaluation mode of a pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Accumulate `bᵢⱼ·g(aᵢⱼr²)·r⃗ᵢⱼ` (three components).
+    Force,
+    /// Accumulate the scalar `bᵢⱼ·g(aᵢⱼr²)` (pair potential; the host
+    /// halves the ordered-pair double counting).
+    Potential,
+}
+
+/// The f64 accumulation registers of one pipeline serving one
+/// i-particle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PairAccum {
+    /// Force components (or potential in `[0]` in potential mode).
+    pub acc: [f64; 3],
+    /// Pair operations accumulated.
+    pub ops: u64,
+}
+
+/// One MDGRAPE-2 pipeline: the function evaluator plus op counting.
+/// Coefficients `aᵢⱼ, bᵢⱼ` arrive per pair from the chip's atom
+/// coefficient RAM.
+#[derive(Clone, Debug)]
+pub struct MdgPipeline {
+    evaluator: FunctionEvaluator,
+}
+
+impl MdgPipeline {
+    /// Wire a pipeline to a function-table image.
+    pub fn new(evaluator: FunctionEvaluator) -> Self {
+        Self { evaluator }
+    }
+
+    /// Replace the function table (what `MR1SetTable` loads).
+    pub fn load_table(&mut self, evaluator: FunctionEvaluator) {
+        self.evaluator = evaluator;
+    }
+
+    /// The loaded evaluator.
+    pub fn evaluator(&self) -> &FunctionEvaluator {
+        &self.evaluator
+    }
+
+    /// One pair interaction: i at `xi`, j at `xj` (both f32, as stored
+    /// in particle memory), coefficients `(a, b)`, accumulated into
+    /// `acc` according to `mode`.
+    #[inline]
+    pub fn interact(
+        &self,
+        xi: [f32; 3],
+        xj: [f32; 3],
+        a: f32,
+        b: f32,
+        mode: PipelineMode,
+        acc: &mut PairAccum,
+    ) {
+        let dx = xi[0] - xj[0];
+        let dy = xi[1] - xj[1];
+        let dz = xi[2] - xj[2];
+        let r_sq = dx * dx + dy * dy + dz * dz;
+        let g = self.evaluator.eval(a * r_sq);
+        let bg = b * g;
+        match mode {
+            PipelineMode::Force => {
+                acc.acc[0] += (bg * dx) as f64;
+                acc.acc[1] += (bg * dy) as f64;
+                acc.acc[2] += (bg * dz) as f64;
+            }
+            PipelineMode::Potential => {
+                acc.acc[0] += bg as f64;
+            }
+        }
+        acc.ops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_funceval::{FunctionTable, Segmentation};
+
+    fn pipeline_for<F: Fn(f64) -> f64 + 'static>(g: F) -> MdgPipeline {
+        let seg = Segmentation::HARDWARE_DEFAULT;
+        MdgPipeline::new(FunctionEvaluator::new(
+            FunctionTable::generate("test", seg, g).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn force_matches_f64_reference_to_single_precision() {
+        // g(x) = x⁻², a = 1, b = 1 → f⃗ = r⃗/r⁴.
+        let p = pipeline_for(|x| 1.0 / (x * x));
+        let xi = [1.0f32, 2.0, 3.0];
+        let xj = [2.5f32, 0.5, 2.0];
+        let mut acc = PairAccum::default();
+        p.interact(xi, xj, 1.0, 1.0, PipelineMode::Force, &mut acc);
+        let d = [-1.5f64, 1.5, 1.0];
+        let r_sq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        for k in 0..3 {
+            let expect = d[k] / (r_sq * r_sq);
+            assert!(
+                ((acc.acc[k] - expect) / expect).abs() < 1e-5,
+                "axis {k}: {} vs {expect}",
+                acc.acc[k]
+            );
+        }
+        assert_eq!(acc.ops, 1);
+    }
+
+    #[test]
+    fn self_pair_contributes_zero_force() {
+        // r⃗ = 0: whatever finite g(0⁻) the table returns, the force is 0.
+        let p = pipeline_for(|x| 1.0 / (x * x.sqrt()));
+        let xi = [4.0f32, 4.0, 4.0];
+        let mut acc = PairAccum::default();
+        p.interact(xi, xi, 1.0, 1.0, PipelineMode::Force, &mut acc);
+        assert_eq!(acc.acc, [0.0; 3]);
+    }
+
+    #[test]
+    fn potential_mode_accumulates_scalar() {
+        let p = pipeline_for(|x| (-x).exp());
+        let mut acc = PairAccum::default();
+        p.interact(
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            1.0,
+            2.0,
+            PipelineMode::Potential,
+            &mut acc,
+        );
+        // b·g(1) = 2·e⁻¹.
+        assert!((acc.acc[0] - 2.0 * (-1.0f64).exp()).abs() < 1e-5);
+        assert_eq!(acc.acc[1], 0.0);
+    }
+
+    #[test]
+    fn f64_accumulation_does_not_lose_small_terms() {
+        // 1e6 terms of 1e-4 in f32 accumulation would stall at ~2e1
+        // (f32 ulp at 32 is 2⁻¹⁸·32 ≈ 1.2e-4); the f64 accumulator must
+        // reach 100 accurately. This is exactly the §3.5.4 rationale.
+        let p = pipeline_for(|_| 1e-4);
+        let mut acc = PairAccum::default();
+        for _ in 0..1_000_000 {
+            p.interact(
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+                1.0,
+                1.0,
+                PipelineMode::Force,
+                &mut acc,
+            );
+        }
+        assert!(
+            (acc.acc[0] - 100.0).abs() / 100.0 < 1e-3,
+            "accumulated {}",
+            acc.acc[0]
+        );
+        assert_eq!(acc.ops, 1_000_000);
+    }
+
+    #[test]
+    fn coefficients_scale_linearly() {
+        let p = pipeline_for(|x| 1.0 / x);
+        let xi = [0.0f32, 0.0, 0.0];
+        let xj = [2.0f32, 0.0, 0.0];
+        let mut a1 = PairAccum::default();
+        let mut a2 = PairAccum::default();
+        p.interact(xi, xj, 1.0, 1.0, PipelineMode::Force, &mut a1);
+        p.interact(xi, xj, 1.0, 3.0, PipelineMode::Force, &mut a2);
+        assert!((a2.acc[0] / a1.acc[0] - 3.0).abs() < 1e-6);
+    }
+}

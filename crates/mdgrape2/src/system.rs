@@ -1,0 +1,295 @@
+//! The full MDGRAPE-2 system (paper Fig. 3): a configurable number of
+//! clusters (16 in the current MDM = 64 chips), the i-particle
+//! distribution across boards, and the Rayon-parallel execution that
+//! stands in for the boards' physical concurrency.
+
+use crate::board::{IParticle, MdgBoard, MdgBoardError, PIPELINES_PER_BOARD};
+use crate::chip::AtomCoefficients;
+use crate::cluster::{MdgCluster, BOARDS_PER_CLUSTER};
+use crate::jstore::JStore;
+use crate::pipeline::{PairAccum, PipelineMode};
+use crate::timing::MdgCounters;
+use mdm_core::boxsim::SimBox;
+use mdm_core::vec3::Vec3;
+use mdm_funceval::FunctionEvaluator;
+use rayon::prelude::*;
+
+/// System configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mdgrape2Config {
+    /// Number of clusters (current MDM: 16; future: 384).
+    pub clusters: usize,
+}
+
+impl Default for Mdgrape2Config {
+    fn default() -> Self {
+        Self { clusters: 16 }
+    }
+}
+
+impl Mdgrape2Config {
+    /// Total boards.
+    pub fn boards(&self) -> usize {
+        self.clusters * BOARDS_PER_CLUSTER
+    }
+
+    /// Total chips (current MDM: 64).
+    pub fn chips(&self) -> usize {
+        self.boards() * crate::board::CHIPS_PER_BOARD
+    }
+}
+
+/// Result of one real-space pass.
+#[derive(Clone, Debug)]
+pub struct MdgPassResult {
+    /// Per-particle accumulations: forces (eV/Å after host scaling) in
+    /// force mode, per-particle potential sums in potential mode.
+    pub values: Vec<[f64; 3]>,
+    /// Hardware counters.
+    pub counters: MdgCounters,
+}
+
+/// The emulated MDGRAPE-2 system.
+pub struct Mdgrape2System {
+    config: Mdgrape2Config,
+    clusters: Vec<MdgCluster>,
+}
+
+impl Mdgrape2System {
+    /// Build with a function table and coefficients replicated to every
+    /// board (which is what `MR1SetTable` does).
+    pub fn new(
+        config: Mdgrape2Config,
+        evaluator: FunctionEvaluator,
+        coefficients: AtomCoefficients,
+    ) -> Self {
+        assert!(config.clusters > 0);
+        Self {
+            config,
+            clusters: (0..config.clusters)
+                .map(|_| MdgCluster::new(evaluator.clone(), coefficients.clone()))
+                .collect(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> Mdgrape2Config {
+        self.config
+    }
+
+    /// Reload the function table everywhere.
+    pub fn load_table(&mut self, evaluator: &FunctionEvaluator) {
+        for c in &mut self.clusters {
+            c.load_table(evaluator);
+        }
+    }
+
+    /// Reload the coefficient RAM everywhere.
+    pub fn load_coefficients(&mut self, coefficients: &AtomCoefficients) {
+        for c in &mut self.clusters {
+            c.load_coefficients(coefficients);
+        }
+    }
+
+    /// Run one pass of the cell-index pairwise evaluation (the
+    /// emulated `MR1calcvdw_block2`).
+    ///
+    /// * `positions`/`types`: the configuration (i- and j-sides are the
+    ///   same set, as in the paper's runs);
+    /// * `min_cell`: cell edge lower bound (≥ r_cut).
+    ///
+    /// The same `JStore` image is conceptually broadcast to every board
+    /// (each board's SSRAM holds the full j-set); i-particles are dealt
+    /// across boards in contiguous chunks.
+    pub fn calc_pass(
+        &mut self,
+        mode: PipelineMode,
+        simbox: SimBox,
+        positions: &[Vec3],
+        types: &[u8],
+        min_cell: f64,
+    ) -> Result<MdgPassResult, MdgBoardError> {
+        let jstore = JStore::build(simbox, positions, types, min_cell);
+        self.calc_pass_with_jstore(mode, positions, types, &jstore)
+    }
+
+    /// As [`Self::calc_pass`] with a prebuilt j-store (lets the driver
+    /// reuse one store across the several passes of a composed force
+    /// field — exactly what the real host did between `MR1SetTable`
+    /// swaps).
+    pub fn calc_pass_with_jstore(
+        &mut self,
+        mode: PipelineMode,
+        positions: &[Vec3],
+        types: &[u8],
+        jstore: &JStore,
+    ) -> Result<MdgPassResult, MdgBoardError> {
+        assert_eq!(positions.len(), types.len());
+        for c in &mut self.clusters {
+            c.reset_counters();
+        }
+
+        // Host prepares the i-records.
+        let i_particles: Vec<IParticle> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| IParticle {
+                pos: [p.x as f32, p.y as f32, p.z as f32],
+                ty: types[i],
+                cell: jstore.cell_of(i) as u32,
+                original: i as u32,
+            })
+            .collect();
+
+        // Deal contiguous chunks to boards; run boards concurrently.
+        let n_boards = self.config.boards();
+        let per_board = i_particles.len().div_ceil(n_boards).max(1);
+        let boards: Vec<&mut MdgBoard> = self
+            .clusters
+            .iter_mut()
+            .flat_map(|c| c.boards_mut().iter_mut())
+            .collect();
+        let chunks: Vec<&[IParticle]> = {
+            let mut v: Vec<&[IParticle]> = i_particles.chunks(per_board).collect();
+            v.resize(n_boards, &[]);
+            v
+        };
+        let results: Vec<Vec<PairAccum>> = boards
+            .into_par_iter()
+            .zip(chunks)
+            .map(|(board, chunk)| {
+                if chunk.is_empty() {
+                    return Ok(Vec::new());
+                }
+                board.accept_jstore(jstore)?;
+                Ok(board.calc_block2(mode, chunk, jstore))
+            })
+            .collect::<Result<_, MdgBoardError>>()?;
+
+        let mut values = Vec::with_capacity(positions.len());
+        for r in &results {
+            values.extend(r.iter().map(|a| a.acc));
+        }
+
+        let board_ops: Vec<u64> = self
+            .clusters
+            .iter()
+            .flat_map(|c| c.boards().iter().map(MdgBoard::ops))
+            .collect();
+        let counters = MdgCounters {
+            pair_ops: board_ops.iter().sum(),
+            // Within a board the 8 pipelines share the i-stream; the
+            // board's time is its ops divided by its pipelines, and the
+            // system's time the max over boards.
+            cycles: board_ops
+                .iter()
+                .map(|&o| o.div_ceil(PIPELINES_PER_BOARD as u64))
+                .max()
+                .unwrap_or(0),
+            bus_bytes_per_cluster: self
+                .clusters
+                .iter()
+                .map(MdgCluster::bus_bytes)
+                .max()
+                .unwrap_or(0),
+            particles: positions.len() as u64,
+        };
+        Ok(MdgPassResult { values, counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::GFunction;
+    use mdm_core::celllist::CellList;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn config(n: usize, l: f64) -> (SimBox, Vec<Vec3>, Vec<u8>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let sb = SimBox::cubic(l);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let ty = (0..n).map(|i| (i % 2) as u8).collect();
+        (sb, pos, ty)
+    }
+
+    fn system(clusters: usize) -> Mdgrape2System {
+        Mdgrape2System::new(
+            Mdgrape2Config { clusters },
+            GFunction::Dispersion6Force.build_evaluator().unwrap(),
+            AtomCoefficients::new(
+                &[vec![1.0, 1.0], vec![1.0, 1.0]],
+                &[vec![-6.0, -6.0], vec![-6.0, -6.0]],
+            ),
+        )
+    }
+
+    #[test]
+    fn pass_matches_f64_block_reference() {
+        let (sb, pos, ty) = config(150, 16.0);
+        let mut sys = system(4);
+        let out = sys
+            .calc_pass(PipelineMode::Force, sb, &pos, &ty, 4.0)
+            .unwrap();
+        let cl = CellList::build(sb, &pos, 4.0);
+        let mut sw = vec![[0f64; 3]; pos.len()];
+        cl.for_each_block_pair(&pos, |i, _j, d, r2| {
+            let bg = -6.0 * r2.powi(-4);
+            sw[i][0] += bg * d.x;
+            sw[i][1] += bg * d.y;
+            sw[i][2] += bg * d.z;
+        });
+        let scale = sw
+            .iter()
+            .flat_map(|f| f.iter())
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (i, (h, s)) in out.values.iter().zip(&sw).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (h[k] - s[k]).abs() / scale < 1e-4,
+                    "particle {i} axis {k}: {} vs {}",
+                    h[k],
+                    s[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn board_count_does_not_change_results() {
+        let (sb, pos, ty) = config(100, 14.0);
+        let run = |clusters| {
+            system(clusters)
+                .calc_pass(PipelineMode::Force, sb, &pos, &ty, 4.0)
+                .unwrap()
+                .values
+        };
+        let one = run(1);
+        let many = run(8);
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a, b, "per-i accumulation is board-independent");
+        }
+    }
+
+    #[test]
+    fn pair_ops_equal_n_int_g_accounting() {
+        let (sb, pos, ty) = config(200, 18.0);
+        let mut sys = system(2);
+        let js = JStore::build(sb, &pos, &ty, 4.5);
+        let out = sys
+            .calc_pass_with_jstore(PipelineMode::Force, &pos, &ty, &js)
+            .unwrap();
+        assert_eq!(out.counters.pair_ops, js.block_pair_count());
+        assert!(out.counters.cycles > 0);
+        assert!(out.counters.bus_bytes_per_cluster > 0);
+    }
+
+    #[test]
+    fn config_chip_counts() {
+        assert_eq!(Mdgrape2Config::default().chips(), 64);
+        assert_eq!(Mdgrape2Config { clusters: 384 }.chips(), 1536); // future
+    }
+}

@@ -1,0 +1,102 @@
+//! Cycle and bandwidth accounting for MDGRAPE-2 — the numbers behind
+//! the performance model's `t_mdg` term.
+
+/// Pipeline clock (§3.5.3: 100 MHz).
+pub const CLOCK_HZ: f64 = 100.0e6;
+
+/// Flops the Ewald accounting credits per real-space pair (paper §2.2).
+pub const FLOPS_PER_PAIR: f64 = 59.0;
+
+/// Flops per pair at *peak* rating: the paper rates a chip at
+/// "about 16 Gflops" = 4 pipelines × 100 MHz × 40 flops/pair.
+pub const PEAK_FLOPS_PER_PAIR: f64 = 40.0;
+
+/// PCI bus bandwidth per cluster, bytes/s (32-bit 33 MHz).
+pub const CLUSTER_BUS_BYTES_PER_S: f64 = 132.0e6;
+
+/// Hardware counters from one MDGRAPE-2 pass (or a composed step).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MdgCounters {
+    /// Pair operations executed.
+    pub pair_ops: u64,
+    /// Busy cycles of the most-loaded board (boards run concurrently;
+    /// within a board the 8 pipelines run in parallel).
+    pub cycles: u64,
+    /// Bus bytes on the busiest cluster.
+    pub bus_bytes_per_cluster: u64,
+    /// i-particles processed.
+    pub particles: u64,
+}
+
+impl MdgCounters {
+    /// Ewald-credited floating-point work (`59·N·N_int_g` for the
+    /// Coulomb pass).
+    pub fn credited_flops(&self) -> f64 {
+        self.pair_ops as f64 * FLOPS_PER_PAIR
+    }
+
+    /// Compute time at the hardware clock (seconds).
+    pub fn compute_seconds(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ
+    }
+
+    /// Bus transfer time on the busiest cluster (seconds).
+    pub fn bus_seconds(&self) -> f64 {
+        self.bus_bytes_per_cluster as f64 / CLUSTER_BUS_BYTES_PER_S
+    }
+
+    /// Merge counters from passes executed back to back.
+    pub fn merge(&mut self, other: &MdgCounters) {
+        self.pair_ops += other.pair_ops;
+        self.cycles += other.cycles;
+        self.bus_bytes_per_cluster += other.bus_bytes_per_cluster;
+        self.particles = self.particles.max(other.particles);
+    }
+}
+
+/// Peak rated flops of an MDGRAPE-2 configuration (the paper's
+/// "1 Tflops" for 64 chips, "25 Tflops" for 1,536).
+pub fn peak_flops(chips: usize) -> f64 {
+    chips as f64 * crate::chip::PIPELINES_PER_CHIP as f64 * CLOCK_HZ * PEAK_FLOPS_PER_PAIR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_peak_is_16_gflops() {
+        assert!((peak_flops(1) - 16e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn current_system_peak_is_about_1_tflops() {
+        let p = peak_flops(64);
+        assert!((0.9e12..1.1e12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn future_system_peak_is_about_25_tflops() {
+        let p = peak_flops(1536);
+        assert!((24e12..26e12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MdgCounters {
+            pair_ops: 10,
+            cycles: 5,
+            bus_bytes_per_cluster: 100,
+            particles: 3,
+        };
+        a.merge(&MdgCounters {
+            pair_ops: 20,
+            cycles: 7,
+            bus_bytes_per_cluster: 50,
+            particles: 3,
+        });
+        assert_eq!(a.pair_ops, 30);
+        assert_eq!(a.cycles, 12);
+        assert_eq!(a.bus_bytes_per_cluster, 150);
+    }
+}

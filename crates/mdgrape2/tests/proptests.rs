@@ -1,0 +1,154 @@
+//! Property tests: the MDGRAPE-2 emulator vs the f64 block reference,
+//! for arbitrary configurations and kernels.
+
+use mdgrape2::chip::AtomCoefficients;
+use mdgrape2::jstore::JStore;
+use mdgrape2::pipeline::PipelineMode;
+use mdgrape2::system::{Mdgrape2Config, Mdgrape2System};
+use mdgrape2::tables::GFunction;
+use mdm_core::boxsim::SimBox;
+use mdm_core::celllist::CellList;
+use mdm_core::vec3::Vec3;
+use proptest::prelude::*;
+
+fn config(seed: u64, n: usize, l: f64) -> (SimBox, Vec<Vec3>, Vec<u8>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let sb = SimBox::cubic(l);
+    let pos = (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect();
+    let ty = (0..n).map(|i| (i % 2) as u8).collect();
+    (sb, pos, ty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random dispersion-strength coefficients the emulated forces
+    /// track the f64 block traversal at f32 accuracy.
+    #[test]
+    fn force_pass_error_budget(seed in 0u64..1000, c6 in 0.5f64..50.0) {
+        let (sb, pos, ty) = config(seed, 60, 12.0);
+        let b = -6.0 * c6;
+        let mut sys = Mdgrape2System::new(
+            Mdgrape2Config { clusters: 2 },
+            GFunction::Dispersion6Force.build_evaluator().unwrap(),
+            AtomCoefficients::new(&[vec![1.0, 1.0], vec![1.0, 1.0]], &[vec![b, b], vec![b, b]]),
+        );
+        let out = sys.calc_pass(PipelineMode::Force, sb, &pos, &ty, 4.0).unwrap();
+        let cl = CellList::build(sb, &pos, 4.0);
+        let mut reference = vec![[0f64; 3]; pos.len()];
+        cl.for_each_block_pair(&pos, |i, _j, d, r2| {
+            let bg = b * r2.powi(-4);
+            reference[i][0] += bg * d.x;
+            reference[i][1] += bg * d.y;
+            reference[i][2] += bg * d.z;
+        });
+        let scale = reference
+            .iter()
+            .flat_map(|f| f.iter())
+            .fold(1e-12f64, |m, v| m.max(v.abs()));
+        for (h, s) in out.values.iter().zip(&reference) {
+            for k in 0..3 {
+                prop_assert!((h[k] - s[k]).abs() / scale < 2e-4, "{h:?} vs {s:?}");
+            }
+        }
+    }
+
+    /// Pair-op counts never depend on the kernel or coefficients — the
+    /// hardware evaluates every block pair regardless (the defining
+    /// N_int_g behaviour).
+    #[test]
+    fn op_count_is_geometry_only(seed in 0u64..1000) {
+        let (sb, pos, ty) = config(seed, 50, 12.0);
+        let js = JStore::build(sb, &pos, &ty, 4.0);
+        let run = |g: GFunction, b: f64| {
+            let mut sys = Mdgrape2System::new(
+                Mdgrape2Config { clusters: 1 },
+                g.build_evaluator().unwrap(),
+                AtomCoefficients::new(
+                    &[vec![1.0, 1.0], vec![1.0, 1.0]],
+                    &[vec![b, b], vec![b, b]],
+                ),
+            );
+            sys.calc_pass_with_jstore(PipelineMode::Force, &pos, &ty, &js)
+                .unwrap()
+                .counters
+                .pair_ops
+        };
+        let a = run(GFunction::Dispersion6Force, -6.0);
+        let b_ops = run(GFunction::BornMayerForce, 123.0);
+        prop_assert_eq!(a, b_ops);
+        prop_assert_eq!(a, js.block_pair_count());
+    }
+
+    /// Scaling all b-coefficients scales the forces linearly (the
+    /// pipeline multiplies b after the table lookup).
+    #[test]
+    fn linearity_in_b(seed in 0u64..1000, factor in 1.5f64..4.0) {
+        let (sb, pos, ty) = config(seed, 40, 12.0);
+        let js = JStore::build(sb, &pos, &ty, 4.0);
+        let run = |b: f64| {
+            let mut sys = Mdgrape2System::new(
+                Mdgrape2Config { clusters: 1 },
+                GFunction::Dispersion6Force.build_evaluator().unwrap(),
+                AtomCoefficients::new(
+                    &[vec![1.0, 1.0], vec![1.0, 1.0]],
+                    &[vec![b, b], vec![b, b]],
+                ),
+            );
+            sys.calc_pass_with_jstore(PipelineMode::Force, &pos, &ty, &js)
+                .unwrap()
+                .values
+        };
+        let base = run(-1.0);
+        let scaled = run(-factor);
+        // f32 coefficient quantisation bounds the deviation from exact
+        // linearity.
+        let norm = base
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(1e-12f64, |m, v| m.max(v.abs()));
+        for (a, b) in base.iter().zip(&scaled) {
+            for k in 0..3 {
+                prop_assert!(
+                    (a[k] * factor - b[k]).abs() / (norm * factor) < 1e-6,
+                    "{} vs {}",
+                    a[k] * factor,
+                    b[k]
+                );
+            }
+        }
+    }
+
+    /// Potential mode is symmetric: summing per-i potentials counts
+    /// every unordered pair exactly twice.
+    #[test]
+    fn potential_double_count(seed in 0u64..1000) {
+        let (sb, pos, ty) = config(seed, 40, 12.0);
+        let js = JStore::build(sb, &pos, &ty, 4.0);
+        let mut sys = Mdgrape2System::new(
+            Mdgrape2Config { clusters: 1 },
+            GFunction::Dispersion6Energy.build_evaluator().unwrap(),
+            AtomCoefficients::new(
+                &[vec![1.0, 1.0], vec![1.0, 1.0]],
+                &[vec![-1.0, -1.0], vec![-1.0, -1.0]],
+            ),
+        );
+        let out = sys
+            .calc_pass_with_jstore(PipelineMode::Potential, &pos, &ty, &js)
+            .unwrap();
+        let total: f64 = out.values.iter().map(|v| v[0]).sum();
+        // Compare with the unordered f64 sum over the same block pairs.
+        let cl = CellList::build(sb, &pos, 4.0);
+        let mut reference = 0.0;
+        cl.for_each_block_pair(&pos, |_i, _j, _d, r2| {
+            reference += -r2.powi(-3);
+        });
+        prop_assert!(
+            ((total - reference) / reference.abs().max(1e-9)).abs() < 1e-4,
+            "{total} vs {reference}"
+        );
+    }
+}

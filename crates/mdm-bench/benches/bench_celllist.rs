@@ -1,0 +1,53 @@
+//! Cell-list construction and traversal scaling — the O(N) claim that
+//! makes the cell-index method worth its 13x work inflation on
+//! hardware.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdm_core::boxsim::SimBox;
+use mdm_core::celllist::CellList;
+use mdm_core::vec3::Vec3;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn uniform(n: usize, l: f64) -> (SimBox, Vec<Vec3>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let b = SimBox::cubic(l);
+    let pos = (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect();
+    (b, pos)
+}
+
+fn bench_celllist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("celllist");
+    group.sample_size(20);
+    let density = 0.03; // paper's molten-salt ballpark
+    for &n in &[1_000usize, 8_000, 27_000] {
+        let l = (n as f64 / density).cbrt();
+        let (b, pos) = uniform(n, l);
+        let r_cut = 5.0;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |bench, _| {
+            bench.iter(|| CellList::build(b, black_box(&pos), r_cut))
+        });
+        let cl = CellList::build(b, &pos, r_cut);
+        group.bench_with_input(BenchmarkId::new("half_pairs", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut count = 0u64;
+                cl.for_each_half_pair(&pos, r_cut, |_, _, _, _| count += 1);
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("block_pairs_27cell", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut count = 0u64;
+                cl.for_each_block_pair(&pos, |_, _, _, _| count += 1);
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_celllist);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! The α crossover (the heart of Table 4): at fixed accuracy, raising α
+//! shrinks the real-space work (∝ α⁻³) and inflates the wavenumber work
+//! (∝ α³). On a single CPU the total is minimised near the balance
+//! point — measured here by actually running both halves of the Ewald
+//! sum at each α.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdm_core::ewald::{EwaldParams, EwaldSum};
+use mdm_core::lattice::{rocksalt_nacl_at_density, PAPER_DENSITY};
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ewald_alpha_sweep");
+    group.sample_size(10);
+
+    let s = rocksalt_nacl_at_density(4, PAPER_DENSITY); // 512 ions
+    let l = s.simbox().l();
+    // At fixed accuracy s_r = s_k = 3.0; α from "real-heavy" to
+    // "wave-heavy". The software minimum sits near the BalanceFlops α.
+    for &alpha in &[6.5f64, 9.0, 12.0, 16.0, 22.0] {
+        let params = EwaldParams::from_alpha_accuracy(alpha, 3.0, 3.0, l);
+        let sum = EwaldSum::new(params);
+        group.bench_with_input(BenchmarkId::new("full_ewald", alpha as u32), &alpha, |b, _| {
+            b.iter(|| sum.compute(s.simbox(), s.positions(), s.charges()).energy())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

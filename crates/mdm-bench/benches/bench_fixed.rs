@@ -1,0 +1,55 @@
+//! Microbenchmarks of the fixed-point substrate: the per-op cost floor
+//! of the WINE-2 emulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mdm_fixed::{FixedAccum, Phase32, SinCosTable, Q30};
+
+fn bench_fixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed");
+    group.throughput(Throughput::Elements(1024));
+
+    let phases: Vec<Phase32> = (0..1024)
+        .map(|i| Phase32::from_turns(i as f64 * 0.618_034))
+        .collect();
+    let table = SinCosTable::default();
+
+    group.bench_function("sin_cos_lookup_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &p in &phases {
+                let (s, c) = table.sin_cos(black_box(p));
+                acc = acc.wrapping_add(s.raw()).wrapping_add(c.raw());
+            }
+            acc
+        })
+    });
+
+    group.bench_function("phase_dot_x1024", |b| {
+        let coords = [phases[1], phases[2], phases[3]];
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024i32 {
+                let theta = Phase32::dot(black_box([i, -i, 2 * i]), coords);
+                acc = acc.wrapping_add(theta.raw());
+            }
+            acc
+        })
+    });
+
+    group.bench_function("mac_x1024", |b| {
+        let q = Q30::from_f64(0.7);
+        let v = Q30::from_f64(-0.3);
+        b.iter(|| {
+            let mut acc = FixedAccum::<30>::new();
+            for _ in 0..1024 {
+                acc.mac(black_box(q), black_box(v));
+            }
+            acc.raw()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Function evaluator vs direct f64 kernel evaluation — the ablation
+//! for "why a table": on silicon the table makes an arbitrary force a
+//! single-cycle operation; in emulation it is also competitive with
+//! transcendental-heavy kernels (erfc + exp).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mdgrape2::tables::GFunction;
+
+fn bench_funceval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("funceval");
+    let xs: Vec<f32> = (1..4096).map(|i| 0.002 * i as f32).collect();
+    group.throughput(Throughput::Elements(xs.len() as u64));
+
+    let coulomb = GFunction::CoulombRealForce;
+    let evaluator = coulomb.build_evaluator().unwrap();
+
+    group.bench_function("coulomb_real_table_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for &x in &xs {
+                acc += evaluator.eval(black_box(x));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("coulomb_real_exact_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0f64;
+            for &x in &xs {
+                acc += coulomb.eval(black_box(x as f64));
+            }
+            acc
+        })
+    });
+
+    let lj = GFunction::LennardJonesForce;
+    let lj_eval = lj.build_evaluator().unwrap();
+    group.bench_function("lj_table_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for &x in &xs {
+                acc += lj_eval.eval(black_box(x));
+            }
+            acc
+        })
+    });
+    group.bench_function("lj_exact_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0f64;
+            for &x in &xs {
+                acc += lj.eval(black_box(x as f64));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_funceval);
+criterion_main!(benches);

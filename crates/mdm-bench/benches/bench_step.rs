@@ -1,0 +1,42 @@
+//! Full MD time-steps: the software reference field vs the emulated
+//! MDM machine vs the §4 thread-parallel layout. The emulator pays for
+//! cycle-faithful bookkeeping; the interesting shape is how all three
+//! scale with N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdm_core::forcefield::{EwaldTosiFumi, ForceField};
+use mdm_core::lattice::{rocksalt_nacl_at_density, PAPER_DENSITY};
+use mdm_host::driver::MdmForceField;
+use mdm_host::parallel::{parallel_forces, ParallelConfig};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md_step");
+    group.sample_size(10);
+
+    for &cells in &[3usize, 4] {
+        let s = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
+        let n = s.len();
+        let l = s.simbox().l();
+        group.throughput(Throughput::Elements(n as u64));
+
+        let mut sw = EwaldTosiFumi::nacl_default(l);
+        group.bench_with_input(BenchmarkId::new("software_f64", n), &n, |b, _| {
+            b.iter(|| sw.compute(&s).potential)
+        });
+
+        let mut hw = MdmForceField::nacl_default(l).unwrap();
+        hw.set_potential_interval(u64::MAX); // force passes only after warmup
+        group.bench_with_input(BenchmarkId::new("mdm_emulated", n), &n, |b, _| {
+            b.iter(|| hw.compute(&s).forces[0])
+        });
+
+        let params = *MdmForceField::nacl_default(l).unwrap().params();
+        group.bench_with_input(BenchmarkId::new("parallel_16_plus_8", n), &n, |b, _| {
+            b.iter(|| parallel_forces(&s, &params, ParallelConfig::paper()).potential)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The §6.3 scaling claim: tree-code vs direct summation across N —
+//! the crossover where O(N log N) beats O(N²), on CPU and through the
+//! emulated MDGRAPE-2 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdm_core::vec3::Vec3;
+use mdm_tree::bh::{bh_forces, direct_forces, BhParams};
+use mdm_tree::grape::{grape_tree_forces, gravity_table};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn sphere(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pos = Vec::with_capacity(n);
+    while pos.len() < n {
+        let p = Vec3::new(
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+        );
+        if p.norm_sq() <= 1.0 {
+            pos.push(p);
+        }
+    }
+    (pos, vec![1.0 / n as f64; n])
+}
+
+fn bench_treecode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treecode");
+    group.sample_size(10);
+    let params = BhParams::gravity(0.7, 0.05);
+    let ev = gravity_table(0.05).unwrap();
+
+    for &n in &[500usize, 2_000, 8_000] {
+        let (pos, m) = sphere(n, 13);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("direct_n2", n), &n, |b, _| {
+            b.iter(|| direct_forces(&pos, &m, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("bh_cpu", n), &n, |b, _| {
+            b.iter(|| bh_forces(&pos, &m, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("bh_mdgrape2", n), &n, |b, _| {
+            b.iter(|| grape_tree_forces(&pos, &m, &params, &ev).1.pipeline_ops)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_treecode);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Ablations of the design choices DESIGN.md calls out, plus the §6.1
+//! improvement list quantified one factor at a time.
+//!
+//! 1. WINE-2 sine-ROM size vs force accuracy (why 4096 entries).
+//! 2. MDGRAPE-2 segment count vs kernel accuracy (why 1,024 segments /
+//!    4th order).
+//! 3. The §6.1 upgrade list — more MDGRAPE-2 chips, 64-bit PCI, faster
+//!    Myrinet — applied one at a time to the calibrated current machine.
+//!
+//! `cargo run --release -p mdm-bench --bin ablation`
+
+use mdm_core::ewald::recip::recip_space;
+use mdm_core::kvectors::half_space_vectors;
+use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+use mdm_core::vec3::Vec3;
+use mdm_funceval::{FunctionEvaluator, FunctionTable, Segmentation};
+use mdm_host::machines::MachineModel;
+use mdm_host::perfmodel::{AlphaStrategy, PerformanceModel, SystemSpec};
+
+fn main() {
+    sine_rom_ablation();
+    segment_ablation();
+    upgrade_ablation();
+}
+
+/// 1. Sine-ROM size: the interpolation error scales as (2π/size)²/8;
+/// the paper's ~1e-4.5 force budget needs ≥ ~1k entries, and 4096
+/// leaves headroom for the rest of the datapath.
+fn sine_rom_ablation() {
+    println!("== ablation 1: WINE-2 sine-ROM size vs wavenumber-force accuracy ==\n");
+    let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+    s.displace(0, Vec3::new(0.3, -0.2, 0.1));
+    s.displace(7, Vec3::new(-0.15, 0.25, 0.3));
+    let (alpha, n_max) = (7.0, 8.0);
+    let waves = half_space_vectors(n_max);
+    let reference = recip_space(s.simbox(), s.positions(), s.charges(), alpha, &waves);
+    let scale = reference
+        .forces
+        .iter()
+        .map(|f| f.norm())
+        .fold(1e-12f64, f64::max);
+
+    println!("{:>10} {:>14} {:>22}", "ROM size", "sin max err", "force max rel err");
+    for bits in [6u32, 8, 10, 12, 14] {
+        let table = mdm_fixed::SinCosTable::new(bits);
+        let sin_err = table.measured_max_error(50_000);
+        // Force error via a bespoke pipeline with this ROM: emulate by
+        // rebuilding the DFT/IDFT in terms of the table directly.
+        let err = wavepart_error_with_rom(&table, &s, alpha, n_max, &reference.forces, scale);
+        println!("{:>10} {:>14.2e} {:>22.2e}", 1usize << bits, sin_err, err);
+    }
+    println!("(the hardware default is 4096; the paper's budget is ~10^-4.5 = 3.2e-5)\n");
+}
+
+/// Recompute the wavenumber forces using a given ROM (otherwise the
+/// standard fixed-point path) and return the max relative force error.
+fn wavepart_error_with_rom(
+    rom: &mdm_fixed::SinCosTable,
+    s: &mdm_core::system::System,
+    alpha: f64,
+    n_max: f64,
+    reference: &[Vec3],
+    scale: f64,
+) -> f64 {
+    use mdm_core::ewald::recip::spectral_coefficient;
+    use mdm_core::units::COULOMB_EV_A;
+    use mdm_fixed::{FixedAccum, Phase32, Q30};
+    let simbox = s.simbox();
+    let l = simbox.l();
+    let waves = half_space_vectors(n_max);
+    let quantized: Vec<([Phase32; 3], Q30)> = s
+        .positions()
+        .iter()
+        .zip(s.charges())
+        .map(|(&r, &q)| {
+            let f = simbox.fractional(r);
+            (
+                [
+                    Phase32::from_turns(f.x),
+                    Phase32::from_turns(f.y),
+                    Phase32::from_turns(f.z),
+                ],
+                Q30::from_f64_saturating(q),
+            )
+        })
+        .collect();
+    // DFT.
+    let sf: Vec<(f64, f64)> = waves
+        .iter()
+        .map(|k| {
+            let mut sp = FixedAccum::<30>::new();
+            let mut sm = FixedAccum::<30>::new();
+            for (ph, q) in &quantized {
+                let theta = Phase32::dot(k.n, *ph);
+                let (sin, cos) = rom.sin_cos(theta);
+                sp.mac(*q, sin + cos);
+                sm.mac(*q, sin - cos);
+            }
+            let (p, m) = (sp.to_f64(), sm.to_f64());
+            (0.5 * (p + m), 0.5 * (p - m))
+        })
+        .collect();
+    // IDFT.
+    let mut c_scale = 0.0f64;
+    let coeffs: Vec<(f64, f64)> = waves
+        .iter()
+        .zip(&sf)
+        .map(|(k, &(s_n, c_n))| {
+            let a = spectral_coefficient(alpha, k.n_sq as f64);
+            let (u, v) = (a * s_n, a * c_n);
+            c_scale = c_scale.max(u.abs()).max(v.abs());
+            (u, v)
+        })
+        .collect();
+    let mut max_err = 0.0f64;
+    for (i, (ph, _)) in quantized.iter().enumerate() {
+        let mut acc = [FixedAccum::<30>::new(), FixedAccum::<30>::new(), FixedAccum::<30>::new()];
+        for (k, &(u, v)) in waves.iter().zip(&coeffs) {
+            let theta = Phase32::dot(k.n, *ph);
+            let (sin, cos) = rom.sin_cos(theta);
+            let uq = Q30::from_f64_saturating(u / c_scale);
+            let vq = Q30::from_f64_saturating(v / c_scale);
+            let g = vq.mul_trunc(sin) - uq.mul_trunc(cos);
+            for (axis, a) in acc.iter_mut().enumerate() {
+                let n_fx: mdm_fixed::Fx<40, 30> =
+                    mdm_fixed::Fx::<40, 0>::wrap(k.n[axis] as i64).convert();
+                a.mac(g, n_fx);
+            }
+        }
+        let prefactor = 4.0 * COULOMB_EV_A / (l * l) * c_scale * s.charges()[i];
+        let f = Vec3::new(
+            acc[0].to_f64() * prefactor,
+            acc[1].to_f64() * prefactor,
+            acc[2].to_f64() * prefactor,
+        );
+        max_err = max_err.max((f - reference[i]).norm() / scale);
+    }
+    max_err
+}
+
+/// 2. Function-evaluator segmentation: error vs segments per octave for
+/// the Coulomb-real kernel (paper: 16/octave × 64 octaves = 1,024).
+fn segment_ablation() {
+    println!("== ablation 2: MDGRAPE-2 segments per octave vs g(x) accuracy ==\n");
+    let g = |x: f64| {
+        let sx = x.sqrt();
+        2.0 * (-x).exp() / (std::f64::consts::PI.sqrt() * x)
+            + mdm_core::special::erfc(sx) / (x * sx)
+    };
+    println!("{:>18} {:>10} {:>16}", "segments/octave", "total", "max rel err");
+    for mantissa_bits in [1u32, 2, 3, 4, 5] {
+        let seg = Segmentation::new(-24, 24, mantissa_bits);
+        let table = FunctionTable::generate("coulomb", seg, g).unwrap();
+        let _ = FunctionEvaluator::new(table.clone());
+        let err = table.measured_max_rel_error(g, 0.05, 8.0, 20_000, 1e-300);
+        println!(
+            "{:>18} {:>10} {:>16.2e}",
+            1u32 << mantissa_bits,
+            seg.segment_count(),
+            err
+        );
+    }
+    println!("(the hardware has 1,024 segments; the paper's budget is ~1e-7)\n");
+}
+
+/// 3. The §6.1 upgrade list, one factor at a time, at the calibrated
+/// operating point.
+fn upgrade_ablation() {
+    println!("== ablation 3: the Section 6.1 upgrade list, factor by factor ==\n");
+    let spec = SystemSpec::paper();
+    let mut base_model = PerformanceModel::new(MachineModel::mdm_current());
+    base_model.calibrate_duty(&spec, 85.0, 43.8);
+    let base = *base_model.machine();
+
+    let mut variants: Vec<(&str, MachineModel)> = vec![("baseline (current MDM)", base)];
+    let mut more_chips = base;
+    more_chips.mdg_chips = 1536;
+    variants.push(("1. MDGRAPE-2 chips 64 -> 1,536", more_chips));
+    let mut pci = base;
+    pci.pci_bytes_per_s *= 2.0;
+    variants.push(("2. 64-bit PCI (x2 bandwidth)", pci));
+    let mut net = base;
+    net.network_bytes_per_s *= 3.0;
+    variants.push(("3. new Myrinet cards (x3 bandwidth)", net));
+    let mut wine_up = base;
+    wine_up.wine_chips = 2688;
+    variants.push(("(+) WINE-2 chips 2,240 -> 2,688", wine_up));
+    let mut all = base;
+    all.mdg_chips = 1536;
+    all.wine_chips = 2688;
+    all.pci_bytes_per_s *= 2.0;
+    all.network_bytes_per_s *= 3.0;
+    variants.push(("all upgrades (= future MDM at current duty)", all));
+
+    println!(
+        "{:<46} {:>8} {:>12} {:>12}",
+        "variant", "alpha*", "sec/step", "speedup"
+    );
+    let base_time = base_model.evaluate(&spec, 85.0).sec_per_step;
+    for (name, machine) in variants {
+        let model = PerformanceModel::new(machine);
+        let alpha = model.optimal_alpha(&spec, AlphaStrategy::BalanceHardware);
+        let col = model.evaluate(&spec, alpha);
+        println!(
+            "{:<46} {:>8.1} {:>12.2} {:>11.2}x",
+            name,
+            alpha,
+            col.sec_per_step,
+            base_time / col.sec_per_step
+        );
+    }
+    println!("\n(the paper's point exactly: the mis-balance between WINE-2 and MDGRAPE-2");
+    println!("dominates — the chip upgrade buys far more than either bandwidth fix)");
+}

@@ -1,0 +1,99 @@
+//! Regenerates **Figure 2**: temperature vs time-step for a ladder of
+//! system sizes — the fluctuation shrinks as 1/√N.
+//!
+//! The paper's panels are N = 1.88×10⁷ (a), 1.48×10⁶ (b), 1.10×10⁵ (c);
+//! the default ladder here is 512 / 4,096 / 32,768 ions (the law is
+//! scale-free); `--cells 24` reaches the paper's smallest panel
+//! (8·24³ = 110,592 ions) given time.
+//!
+//! `cargo run --release -p mdm-bench --bin figure2 [-- --cells a,b,c --nvt N --nve N --json out.json]`
+
+use mdm_bench::figure2::{run_ladder, Figure2Params};
+
+fn main() {
+    // Default ladder: 216 / 1,728 / 5,832 ions — a 27x span, enough to
+    // see the 1/sqrt(N) law clearly on one CPU in minutes. Scale up with
+    // --cells (the paper's smallest panel is --cells 24 = 110,592 ions).
+    let mut cells = vec![3usize, 6, 9];
+    let mut params = Figure2Params {
+        nvt_steps: 200,
+        nve_steps: 100,
+        dt: 2.0,
+        temperature: 1200.0,
+    };
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cells" => {
+                cells = args
+                    .next()
+                    .expect("--cells a,b,c")
+                    .split(',')
+                    .map(|s| s.parse().expect("cell count"))
+                    .collect();
+            }
+            "--nvt" => params.nvt_steps = args.next().unwrap().parse().unwrap(),
+            "--nve" => params.nve_steps = args.next().unwrap().parse().unwrap(),
+            "--json" => json_path = Some(args.next().unwrap()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!("== Figure 2: temperature fluctuation vs time, ladder of N ==");
+    println!(
+        "protocol: {} NVT steps (velocity scaling @ {} K) + {} NVE steps, dt = {} fs\n",
+        params.nvt_steps, params.temperature, params.nve_steps, params.dt
+    );
+
+    let ladder = run_ladder(&cells, &params);
+
+    for s in &ladder {
+        println!("--- N = {} ions (paper panels: 1.10e5 / 1.48e6 / 1.88e7) ---", s.n);
+        println!("{:>10} {:>12}", "t (ps)", "T (K)");
+        let stride = (s.temperature.len() / 25).max(1);
+        for (k, (&t, &temp)) in s.time_ps.iter().zip(&s.temperature).enumerate() {
+            if k % stride == 0 || k + 1 == s.temperature.len() {
+                let phase = if k < s.nvt_steps { "NVT" } else { "NVE" };
+                println!("{t:>10.3} {temp:>12.2}   {phase}");
+            }
+        }
+        println!(
+            "NVE: sigma_T/<T> = {:.5}; sqrt(2/(3N)) = {:.5}; energy drift {:.2e}\n",
+            s.nve_fluctuation,
+            (2.0 / (3.0 * s.n as f64)).sqrt(),
+            s.energy_drift
+        );
+    }
+
+    println!("== the Figure 2 claim ==");
+    println!("{:>10} {:>14} {:>14}", "N", "sigma_T/<T>", "x sqrt(N) (const?)");
+    for s in &ladder {
+        println!(
+            "{:>10} {:>14.5} {:>14.3}",
+            s.n,
+            s.nve_fluctuation,
+            s.nve_fluctuation * (s.n as f64).sqrt()
+        );
+    }
+    println!("(a flat third column is the 1/sqrt(N) law the figure demonstrates)");
+
+    if let Some(path) = json_path {
+        let mut out = String::from("[\n");
+        for (k, s) in ladder.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"n\": {}, \"nvt_steps\": {}, \"fluctuation\": {}, \"energy_drift\": {}, \"time_ps\": {:?}, \"temperature\": {:?}}}{}\n",
+                s.n,
+                s.nvt_steps,
+                s.nve_fluctuation,
+                s.energy_drift,
+                s.time_ps,
+                s.temperature,
+                if k + 1 == ladder.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write json");
+        println!("\nseries written to {path}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Renders the machine block diagrams (Figures 1, 3, 5, 6, 7, 9, 10,
+//! 11) as the emulator's structural hierarchy, with per-level counts
+//! and peak-performance roll-ups.
+//!
+//! `cargo run --release -p mdm-bench --bin figure3`
+
+use mdm_host::topology::MdmTopology;
+
+fn main() {
+    println!("== Figures 1 & 3: the Molecular Dynamics Machine ==\n");
+    println!("{}", MdmTopology::CURRENT.render_tree());
+
+    println!("== Figure 5/6/7 details (WINE-2) ==");
+    println!("  board: 16 chips + interface logic & particle index counter (FPGA XC4062XLA) + 16 MB SDRAM");
+    println!("  chip : 8 pipelines, controller, ~20 Gflops @ 66.6 MHz (LSI LCB500K, 0.5 um, 1.2M transistors)");
+    println!("  pipe : inner product (wrapping fixed point) -> sin/cos ROM -> q multiply -> (S+C, S-C) accumulators");
+    println!("         emulator: mdm_fixed::Phase32 + SinCosTable(4096) + FixedAccum<30>, wine2::pipeline");
+
+    println!("\n== Figure 9/10/11 details (MDGRAPE-2) ==");
+    println!("  board: 2 chips + cell index counter + cell memory + particle index counter (FPGA FLEX10K100A) + 8 MB SSRAM");
+    println!("  chip : 4 pipelines + atom coefficient RAM (32 types) + neighbor-list RAM (unused), ~16 Gflops @ 100 MHz");
+    println!("         (IBM SA-12, 0.25 um, 5M transistors)");
+    println!("  pipe : r_ij -> a_ij*r^2 -> g(x) evaluator (4th order, 1024 segments) -> b_ij multiply -> f64 accumulation");
+    println!("         emulator: mdm_funceval::{{Segmentation, FunctionTable}} + mdgrape2::pipeline");
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Table 1**: components of the MDM system, from the
+//! machine description in `mdm_host::topology`.
+//!
+//! `cargo run --release -p mdm-bench --bin table1`
+
+use mdm_host::topology::{table1_components, MdmTopology};
+
+fn main() {
+    println!("== Table 1: components of the MDM system ==\n");
+    println!("{:<16} {:<52} {}", "Component", "Product", "Manufacturer");
+    println!("{}", "-".repeat(96));
+    for row in table1_components() {
+        println!("{:<16} {:<52} {}", row.component, row.product, row.manufacturer);
+    }
+    let t = MdmTopology::CURRENT;
+    println!("\nassembled machine (Fig. 3 counts):");
+    println!(
+        "  {} nodes x ({} WINE-2 + {} MDGRAPE-2 clusters) -> {} WINE-2 boards / {} chips, {} MDGRAPE-2 boards / {} chips",
+        t.nodes,
+        t.wine_clusters_per_node,
+        t.mdg_clusters_per_node,
+        t.wine_boards(),
+        t.wine_chips(),
+        t.mdg_boards(),
+        t.mdg_chips()
+    );
+}

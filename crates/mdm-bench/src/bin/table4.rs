@@ -1,0 +1,218 @@
+//! Regenerates **Table 4** of the paper: "Performance of simulation"
+//! for the three machines (MDM current / conventional / MDM future) at
+//! N = 1.88×10⁷, plus a paper-vs-model deviation report.
+//!
+//! `cargo run --release -p mdm-bench --bin table4`
+
+use mdm_bench::{rel_dev, sci};
+use mdm_host::machines::MachineModel;
+use mdm_host::perfmodel::{AlphaStrategy, PerformanceModel, SystemSpec, Table4Column};
+
+struct PaperColumn {
+    #[allow(dead_code)]
+    name: &'static str,
+    alpha: f64,
+    r_cut: f64,
+    n_max: f64,
+    n_int: Option<f64>,
+    n_int_g: Option<f64>,
+    n_wv: f64,
+    real_flops: f64,
+    wave_flops: f64,
+    total_flops: f64,
+    sec_per_step: f64,
+    calc_tflops: f64,
+    eff_tflops: f64,
+}
+
+fn paper_columns() -> [PaperColumn; 3] {
+    [
+        PaperColumn {
+            name: "MDM current",
+            alpha: 85.0,
+            r_cut: 26.4,
+            n_max: 63.9,
+            n_int: None,
+            n_int_g: Some(1.52e4),
+            n_wv: 5.46e5,
+            real_flops: 1.69e13,
+            wave_flops: 6.58e14,
+            total_flops: 6.75e14,
+            sec_per_step: 43.8,
+            calc_tflops: 15.4,
+            eff_tflops: 1.34,
+        },
+        PaperColumn {
+            name: "Conventional",
+            alpha: 30.1,
+            r_cut: 74.4,
+            n_max: 22.7,
+            n_int: Some(2.65e4),
+            n_int_g: None,
+            n_wv: 2.44e4,
+            real_flops: 2.94e13,
+            wave_flops: 2.94e13,
+            total_flops: 5.88e13,
+            sec_per_step: 43.8,
+            calc_tflops: 1.34,
+            eff_tflops: 1.34,
+        },
+        PaperColumn {
+            name: "MDM future",
+            alpha: 50.3,
+            n_max: 37.9,
+            r_cut: 44.5,
+            n_int: None,
+            n_int_g: Some(7.32e4),
+            n_wv: 1.14e5,
+            real_flops: 8.13e13,
+            wave_flops: 1.37e14,
+            total_flops: 2.18e14,
+            sec_per_step: 4.48,
+            calc_tflops: 48.7,
+            eff_tflops: 13.1,
+        },
+    ]
+}
+
+fn print_column(title: &str, col: &Table4Column, paper: &PaperColumn) {
+    println!("-- {title} --");
+    let row = |label: &str, ours: String, paper_v: String, dev: String| {
+        println!("  {label:<42} {ours:>12}   paper {paper_v:>10}  ({dev})");
+    };
+    row(
+        "alpha",
+        format!("{:.1}", col.alpha),
+        format!("{:.1}", paper.alpha),
+        rel_dev(col.alpha, paper.alpha),
+    );
+    row(
+        "r_cut (A)",
+        format!("{:.1}", col.r_cut),
+        format!("{:.1}", paper.r_cut),
+        rel_dev(col.r_cut, paper.r_cut),
+    );
+    row(
+        "L*k_cut",
+        format!("{:.1}", col.n_max),
+        format!("{:.1}", paper.n_max),
+        rel_dev(col.n_max, paper.n_max),
+    );
+    if let Some(p) = paper.n_int {
+        row("N_int", sci(col.n_int), sci(p), rel_dev(col.n_int, p));
+    }
+    if let Some(p) = paper.n_int_g {
+        row("N_int_g", sci(col.n_int_g), sci(p), rel_dev(col.n_int_g, p));
+    }
+    row("N_wv", sci(col.n_wv), sci(paper.n_wv), rel_dev(col.n_wv, paper.n_wv));
+    row(
+        "flops, real-space part",
+        sci(col.real_flops),
+        sci(paper.real_flops),
+        rel_dev(col.real_flops, paper.real_flops),
+    );
+    row(
+        "flops, wavenumber-space part",
+        sci(col.wave_flops),
+        sci(paper.wave_flops),
+        rel_dev(col.wave_flops, paper.wave_flops),
+    );
+    row(
+        "total flops per time-step",
+        sci(col.total_flops()),
+        sci(paper.total_flops),
+        rel_dev(col.total_flops(), paper.total_flops),
+    );
+    row(
+        "sec/step",
+        format!("{:.2}", col.sec_per_step),
+        format!("{:.2}", paper.sec_per_step),
+        rel_dev(col.sec_per_step, paper.sec_per_step),
+    );
+    row(
+        "calculation speed (Tflops)",
+        format!("{:.2}", col.calc_speed / 1e12),
+        format!("{:.2}", paper.calc_tflops),
+        rel_dev(col.calc_speed / 1e12, paper.calc_tflops),
+    );
+    row(
+        "effective speed (Tflops)",
+        format!("{:.2}", col.effective_speed / 1e12),
+        format!("{:.2}", paper.eff_tflops),
+        rel_dev(col.effective_speed / 1e12, paper.eff_tflops),
+    );
+    println!(
+        "  (component times: wave {:.1} s, real {:.1} s, comm {:.1} s, host {:.1} s)\n",
+        col.t_wave, col.t_real, col.t_comm, col.t_host
+    );
+}
+
+fn main() {
+    let spec = SystemSpec::paper();
+    let papers = paper_columns();
+    println!("== Table 4: performance of simulation (N = {:.2e}, L = {} A) ==\n", spec.n, spec.l);
+    println!("Every column uses the paper's own alpha; a second line per MDM column");
+    println!("shows the model's *optimal* alpha for comparison.\n");
+
+    // --- MDM current, calibrated. ---
+    let mut current = PerformanceModel::new(MachineModel::mdm_current());
+    let duty = current.calibrate_duty(&spec, 85.0, 43.8);
+    println!(
+        "(MDM-current duty factor calibrated to the measured 43.8 s/step: {duty:.3})\n"
+    );
+    let col = current.evaluate(&spec, 85.0);
+    print_column("MDM current (paper alpha = 85.0)", &col, &papers[0]);
+    let a_opt = current.optimal_alpha(&spec, AlphaStrategy::BalanceHardware);
+    println!(
+        "   model-optimal alpha (hardware balance): {:.1} -> {:.2} s/step\n",
+        a_opt,
+        current.evaluate(&spec, a_opt).sec_per_step
+    );
+
+    // --- Conventional at the MDM's effective speed. ---
+    let eff = col.effective_speed;
+    let conv = PerformanceModel::new(MachineModel::conventional(eff));
+    let a_conv = conv.optimal_alpha(&spec, AlphaStrategy::BalanceFlops);
+    let col_conv = conv.evaluate(&spec, a_conv);
+    print_column(
+        &format!("Conventional computer at the MDM's effective {:.2} Tflops (alpha = {:.1})", eff / 1e12, a_conv),
+        &col_conv,
+        &papers[1],
+    );
+
+    // --- MDM future: calibrated prediction AND the paper's projection. ---
+    let future = PerformanceModel::new(MachineModel::mdm_future());
+    let col_fut = future.evaluate(&spec, 50.3);
+    print_column(
+        "MDM future, calibrated model (paper alpha = 50.3)",
+        &col_fut,
+        &papers[2],
+    );
+    let optimistic = PerformanceModel::new(MachineModel::mdm_future_paper_projection());
+    let col_opt = optimistic.evaluate(&spec, 50.3);
+    print_column(
+        "MDM future, paper-projection duty (alpha = 50.3)",
+        &col_opt,
+        &papers[2],
+    );
+
+    println!("summary: who wins and by how much");
+    println!(
+        "  MDM current chooses an {:.0}x larger flop budget than the conventional plan\n  \
+         ({} vs {}) because its wavenumber engine is almost free; counting raw\n  \
+         rate that is {:.1} Tflops, but re-costed at the conventional optimum the honest\n  \
+         number is the paper's headline {:.2} Tflops effective.",
+        col.total_flops() / col_conv.total_flops(),
+        sci(col.total_flops()),
+        sci(col_conv.total_flops()),
+        col.calc_speed / 1e12,
+        col.effective_speed / 1e12
+    );
+    println!(
+        "  Future MDM: {:.1}x faster steps than current in the calibrated model\n  \
+         ({:.1}x at the paper-projection duty; the paper claims {:.1}x).",
+        col.sec_per_step / col_fut.sec_per_step,
+        col.sec_per_step / col_opt.sec_per_step,
+        43.8 / 4.48
+    );
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Table 5**: comparison of current and future versions
+//! of MDM (chip counts, peak performance, efficiencies), plus the §6.2
+//! million-particle projection ("MDM should take 0.19 seconds per
+//! time-step for MD simulations with a million particles").
+//!
+//! `cargo run --release -p mdm-bench --bin table5`
+
+use mdm_host::machines::MachineModel;
+use mdm_host::perfmodel::{AlphaStrategy, PerformanceModel, SystemSpec};
+
+fn main() {
+    let spec = SystemSpec::paper();
+    let mut current_model = PerformanceModel::new(MachineModel::mdm_current());
+    current_model.calibrate_duty(&spec, 85.0, 43.8);
+    let future_model = PerformanceModel::new(MachineModel::mdm_future());
+
+    let cur = current_model.machine();
+    let fut = future_model.machine();
+
+    // Efficiencies as the paper defines them: achieved component flops
+    // over component peak, from the Table 4 operating points.
+    let col_cur = current_model.evaluate(&spec, 85.0);
+    let col_fut = future_model.evaluate(&spec, 50.3);
+    let eff = |wave_flops: f64, real_flops: f64, sec: f64, wine_chips, mdg_chips| {
+        let wine_peak = wine2::timing::peak_flops(wine_chips);
+        let mdg_peak = mdgrape2::timing::peak_flops(mdg_chips);
+        (
+            real_flops / sec / mdg_peak * 100.0,
+            wave_flops / sec / wine_peak * 100.0,
+        )
+    };
+    let (eff_mdg_cur, eff_wine_cur) = eff(
+        col_cur.wave_flops,
+        col_cur.real_flops,
+        col_cur.sec_per_step,
+        cur.wine_chips,
+        cur.mdg_chips,
+    );
+    let (eff_mdg_fut, eff_wine_fut) = eff(
+        col_fut.wave_flops,
+        col_fut.real_flops,
+        col_fut.sec_per_step,
+        fut.wine_chips,
+        fut.mdg_chips,
+    );
+
+    println!("== Table 5: comparison of current and future versions of MDM ==\n");
+    println!("{:<42} {:>12} {:>12}", "System", "Current", "Future");
+    println!("{}", "-".repeat(68));
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Number of MDGRAPE-2 chips", cur.mdg_chips, fut.mdg_chips
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Number of WINE-2 chips", cur.wine_chips, fut.wine_chips
+    );
+    println!(
+        "{:<42} {:>12.1} {:>12.1}",
+        "Peak performance of MDGRAPE-2 (Tflops)",
+        mdgrape2::timing::peak_flops(cur.mdg_chips) / 1e12,
+        mdgrape2::timing::peak_flops(fut.mdg_chips) / 1e12
+    );
+    println!(
+        "{:<42} {:>12.1} {:>12.1}",
+        "Peak performance of WINE-2 (Tflops)",
+        wine2::timing::peak_flops(cur.wine_chips) / 1e12,
+        wine2::timing::peak_flops(fut.wine_chips) / 1e12
+    );
+    println!(
+        "{:<42} {:>11.0}% {:>11.0}%",
+        "Efficiency of MDGRAPE-2 (%)", eff_mdg_cur, eff_mdg_fut
+    );
+    println!(
+        "{:<42} {:>11.0}% {:>11.0}%",
+        "Efficiency of WINE-2 (%)", eff_wine_cur, eff_wine_fut
+    );
+    println!("\npaper values: chips 64 / 1,536 and 2,240 / 2,688; peaks 1 / 25 and 45 / 54 Tflops;");
+    println!("efficiencies 26% / 50% (MDGRAPE-2) and 29% / 50% (WINE-2).");
+    println!("note: the paper marks the future efficiencies as 'roughly estimated'; our");
+    println!("future column uses the same calibrated model as Table 4.\n");
+
+    // --- §6.2: the million-particle projection. ---
+    println!("== Section 6.2: future MDM on a million particles ==\n");
+    let spec_1m = SystemSpec::paper_density(1e6);
+    for (label, model) in [
+        ("calibrated model", PerformanceModel::new(MachineModel::mdm_future())),
+        (
+            "paper-projection duty",
+            PerformanceModel::new(MachineModel::mdm_future_paper_projection()),
+        ),
+    ] {
+        let alpha = model.optimal_alpha(&spec_1m, AlphaStrategy::BalanceHardware);
+        let col = model.evaluate(&spec_1m, alpha);
+        let steps = 3.2e6;
+        println!(
+            "{label:<24}: alpha = {:>5.1}, {:.3} s/step (paper: 0.19); 1.6 ns / {:.1e} steps = {:.1} days (paper: ~1 week)",
+            alpha,
+            col.sec_per_step,
+            steps,
+            col.sec_per_step * steps / 86400.0
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The Figure 2 experiment: temperature vs time for a ladder of system
+//! sizes, NVT (velocity scaling) for the first phase and NVE for the
+//! second, at 1200 K and the paper's molten-salt density.
+//!
+//! The paper's point is the `1/√N` shrinkage of the temperature
+//! fluctuation from N = 1.10×10⁵ (2c) through 1.48×10⁶ (2b) to
+//! 1.88×10⁷ (2a). The law is scale-free, so the default ladder uses
+//! laptop-size N and verifies the same scaling; `--cells` can push it
+//! up to the paper's smallest panel.
+
+use mdm_core::forcefield::EwaldTosiFumi;
+use mdm_core::integrate::Simulation;
+use mdm_core::lattice::{rocksalt_nacl_at_density, rocksalt_ion_count, PAPER_DENSITY};
+use mdm_core::observables::FluctuationStats;
+use mdm_core::thermostat::Thermostat;
+use mdm_core::velocities::maxwell_boltzmann;
+
+/// One temperature trace.
+#[derive(Clone, Debug)]
+pub struct Figure2Series {
+    /// Ion count.
+    pub n: usize,
+    /// Times in ps.
+    pub time_ps: Vec<f64>,
+    /// Instantaneous temperatures (K).
+    pub temperature: Vec<f64>,
+    /// NVT steps (the first phase).
+    pub nvt_steps: usize,
+    /// Relative temperature fluctuation σ_T/⟨T⟩ measured over the NVE
+    /// phase.
+    pub nve_fluctuation: f64,
+    /// Relative total-energy drift over the NVE phase.
+    pub energy_drift: f64,
+}
+
+/// Parameters of a ladder run.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure2Params {
+    /// Steps of velocity-scaling NVT (paper: 2,000).
+    pub nvt_steps: usize,
+    /// Steps of NVE (paper: 1,000).
+    pub nve_steps: usize,
+    /// Time step, fs (paper: 2).
+    pub dt: f64,
+    /// Target temperature, K (paper: 1,200).
+    pub temperature: f64,
+}
+
+impl Figure2Params {
+    /// A fast default that preserves every qualitative feature.
+    pub fn quick() -> Self {
+        Self {
+            nvt_steps: 80,
+            nve_steps: 40,
+            dt: 2.0,
+            temperature: 1200.0,
+        }
+    }
+}
+
+/// Run one rung of the ladder: `cells³` conventional cells (8·cells³
+/// ions) at the paper's density.
+pub fn run_one(cells: usize, params: &Figure2Params, seed: u64) -> Figure2Series {
+    let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
+    maxwell_boltzmann(&mut system, params.temperature, seed);
+    let n = system.len();
+    debug_assert_eq!(n, rocksalt_ion_count(cells));
+    let ff = EwaldTosiFumi::nacl_balanced(system.simbox().l(), n);
+    let mut sim = Simulation::new(system, ff, params.dt);
+
+    let mut time_ps = Vec::with_capacity(params.nvt_steps + params.nve_steps);
+    let mut temperature = Vec::with_capacity(params.nvt_steps + params.nve_steps);
+
+    sim.set_thermostat(Some(Thermostat::velocity_scaling(params.temperature)));
+    for _ in 0..params.nvt_steps {
+        let r = sim.step();
+        time_ps.push(r.time / 1000.0);
+        // Record the *pre-scaling* physics via the kinetic trace by
+        // sampling after the step; scaling pins T exactly, so the NVT
+        // phase shows the paper's flat-with-dip behaviour only through
+        // the potential; the interesting fluctuations are the NVE ones.
+        temperature.push(r.temperature);
+    }
+    sim.set_thermostat(None);
+    let e0 = sim.record().total;
+    let mut stats = FluctuationStats::new();
+    let mut drift = 0.0f64;
+    for _ in 0..params.nve_steps {
+        let r = sim.step();
+        time_ps.push(r.time / 1000.0);
+        temperature.push(r.temperature);
+        stats.push(r.temperature);
+        drift = drift.max(((r.total - e0) / e0).abs());
+    }
+
+    Figure2Series {
+        n,
+        time_ps,
+        temperature,
+        nvt_steps: params.nvt_steps,
+        nve_fluctuation: stats.relative_fluctuation(),
+        energy_drift: drift,
+    }
+}
+
+/// Run the whole ladder.
+pub fn run_ladder(cells: &[usize], params: &Figure2Params) -> Vec<Figure2Series> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| run_one(c, params, 1000 + k as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluctuations_shrink_with_system_size() {
+        // Figure 2's law: σ_T/T ~ sqrt(2/(3N)). Two rungs, 8x apart in
+        // N, should show a ~sqrt(8) ≈ 2.8x fluctuation ratio.
+        // At unit-test length the rungs are barely equilibrated, so only
+        // the direction and rough size of the effect are asserted here;
+        // the `figure2` binary runs long enough to show the quantitative
+        // law (see EXPERIMENTS.md).
+        let params = Figure2Params {
+            nvt_steps: 40,
+            nve_steps: 60,
+            dt: 2.0,
+            temperature: 1200.0,
+        };
+        let ladder = run_ladder(&[2, 4], &params);
+        assert_eq!(ladder[0].n, 64);
+        assert_eq!(ladder[1].n, 512);
+        let ratio = ladder[0].nve_fluctuation / ladder[1].nve_fluctuation;
+        assert!(
+            (1.1..8.0).contains(&ratio),
+            "expected a 1/sqrt(N) shrink (ideal ~2.8x), got {ratio} ({} vs {})",
+            ladder[0].nve_fluctuation,
+            ladder[1].nve_fluctuation
+        );
+    }
+
+    #[test]
+    fn energy_conserved_in_nve_phase() {
+        // A barely-equilibrated 64-ion melt at 1200 K is the hardest
+        // case for Δt = 2 fs (hot first collisions); use 1 fs and a
+        // commensurate bound. The production-length runs conserve to
+        // ~1e-6 (see EXPERIMENTS.md).
+        let params = Figure2Params {
+            nvt_steps: 20,
+            nve_steps: 30,
+            dt: 1.0,
+            temperature: 1200.0,
+        };
+        let series = run_one(2, &params, 7);
+        assert!(series.energy_drift < 1e-3, "drift {}", series.energy_drift);
+    }
+
+    #[test]
+    fn trace_has_expected_length_and_range() {
+        let params = Figure2Params {
+            nvt_steps: 5,
+            nve_steps: 5,
+            dt: 2.0,
+            temperature: 1200.0,
+        };
+        let s = run_one(2, &params, 3);
+        assert_eq!(s.temperature.len(), 10);
+        assert_eq!(s.time_ps.len(), 10);
+        // NVT phase is pinned at 1200 K by velocity scaling.
+        assert!((s.temperature[0] - 1200.0).abs() < 1.0);
+        assert!((s.time_ps[9] - 0.02).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mdm-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — MDM component inventory |
+//! | `table2` | Table 2 — WINE-2 host library routines |
+//! | `table3` | Table 3 — MDGRAPE-2 host library routines |
+//! | `table4` | Table 4 — performance of simulation (α, cutoffs, flop counts, sec/step, calculation & effective Tflops for MDM-current / conventional / MDM-future) |
+//! | `table5` | Table 5 — current vs future MDM (chips, peaks, efficiencies) + the §6.2 million-particle projection |
+//! | `figure2` | Figure 2 — temperature vs time for a ladder of N, with the 1/√N fluctuation law |
+//! | `figure3` | Figures 1/3–11 — the machine block-diagram hierarchy |
+//!
+//! plus Criterion microbenchmarks (`cargo bench`) for the kernel-level
+//! shape claims (real-space work inflation, emulator overheads, α
+//! crossover, cell-list scaling).
+
+pub mod figure2;
+
+/// Format a flop count the way the paper's table does (e.g. `6.75e14`).
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+/// Relative deviation helper for the paper-vs-ours report lines.
+pub fn rel_dev(ours: f64, paper: f64) -> String {
+    format!("{:+.1}%", (ours - paper) / paper * 100.0)
+}

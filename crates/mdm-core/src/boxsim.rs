@@ -1,0 +1,142 @@
+//! The periodic simulation box.
+//!
+//! The paper simulates a cubic box of side `L` (850 Å for the headline
+//! run) under periodic boundary conditions; the Ewald parameterisation
+//! (dimensionless `α`, integer wave vectors `n⃗ = L·k⃗`) is tied to the
+//! cubic box, so that is what we implement.
+
+use crate::vec3::Vec3;
+
+/// A cubic periodic box of side `l` (Å), with the origin at a corner:
+/// canonical coordinates live in `[0, L)³`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimBox {
+    l: f64,
+}
+
+impl SimBox {
+    /// Create a box of side `l` Å.
+    ///
+    /// # Panics
+    /// Panics unless `l` is positive and finite.
+    pub fn cubic(l: f64) -> Self {
+        assert!(l.is_finite() && l > 0.0, "box side must be positive, got {l}");
+        Self { l }
+    }
+
+    /// Box side `L` in Å.
+    #[inline]
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+
+    /// Box volume `L³` in Å³.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.l * self.l * self.l
+    }
+
+    /// Wrap a position into the canonical cell `[0, L)³`.
+    #[inline]
+    pub fn wrap(&self, r: Vec3) -> Vec3 {
+        Vec3::new(
+            r.x.rem_euclid(self.l),
+            r.y.rem_euclid(self.l),
+            r.z.rem_euclid(self.l),
+        )
+    }
+
+    /// Minimum-image displacement from `b` to `a` (`a − b` folded into
+    /// `[−L/2, L/2)³`).
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        d.x -= self.l * (d.x / self.l).round();
+        d.y -= self.l * (d.y / self.l).round();
+        d.z -= self.l * (d.z / self.l).round();
+        d
+    }
+
+    /// Minimum-image distance squared.
+    #[inline]
+    pub fn dist_sq(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm_sq()
+    }
+
+    /// Fractional coordinates `r/L`, wrapped to `[0,1)³`.
+    #[inline]
+    pub fn fractional(&self, r: Vec3) -> Vec3 {
+        let w = self.wrap(r);
+        Vec3::new(w.x / self.l, w.y / self.l, w.z / self.l)
+    }
+
+    /// Largest cutoff for which the minimum-image convention is valid.
+    #[inline]
+    pub fn max_cutoff(&self) -> f64 {
+        self.l / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_brings_into_cell() {
+        let b = SimBox::cubic(10.0);
+        let w = b.wrap(Vec3::new(-0.5, 10.5, 25.0));
+        assert!((w.x - 9.5).abs() < 1e-12);
+        assert!((w.y - 0.5).abs() < 1e-12);
+        assert!((w.z - 5.0).abs() < 1e-12);
+        // Already-canonical positions are unchanged.
+        let r = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(b.wrap(r), r);
+    }
+
+    #[test]
+    fn min_image_smallest_displacement() {
+        let b = SimBox::cubic(10.0);
+        // Points near opposite faces are neighbours through the boundary.
+        let a = Vec3::new(9.5, 0.0, 0.0);
+        let c = Vec3::new(0.5, 0.0, 0.0);
+        let d = b.min_image(a, c);
+        assert!((d.x + 1.0).abs() < 1e-12, "{d:?}");
+        assert!((b.dist_sq(a, c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_antisymmetric() {
+        let b = SimBox::cubic(7.3);
+        let a = Vec3::new(1.1, 6.9, 3.3);
+        let c = Vec3::new(6.8, 0.2, 3.4);
+        let d1 = b.min_image(a, c);
+        let d2 = b.min_image(c, a);
+        assert!((d1 + d2).norm() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_components_bounded_by_half_l() {
+        let b = SimBox::cubic(5.0);
+        for i in 0..100 {
+            let a = Vec3::new(i as f64 * 0.37, i as f64 * 1.01, i as f64 * 2.3);
+            let c = Vec3::new(i as f64 * 0.91, 0.0, i as f64 * 0.11);
+            let d = b.min_image(a, c);
+            assert!(d.abs().max_component() <= 2.5 + 1e-12, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn fractional_in_unit_cube() {
+        let b = SimBox::cubic(8.0);
+        let f = b.fractional(Vec3::new(-2.0, 4.0, 17.0));
+        assert!((f.x - 0.75).abs() < 1e-12);
+        assert!((f.y - 0.5).abs() < 1e-12);
+        assert!((f.z - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_side_rejected() {
+        SimBox::cubic(0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Wavenumber-space part of the Ewald sum (paper eqs. 3, 9–13) — the
+//! computation WINE-2 exists to accelerate.
+//!
+//! Two phases, exactly the hardware's DFT/IDFT split:
+//!
+//! 1. **DFT** (eqs. 9–10): structure factors over the half-space wave
+//!    table, `Sₙ = Σⱼ qⱼ sin(2π n⃗·s⃗ⱼ)`, `Cₙ = Σⱼ qⱼ cos(2π n⃗·s⃗ⱼ)`
+//!    with `s⃗ = r⃗/L`.
+//! 2. **IDFT** (eq. 11): per-particle force synthesis
+//!    `F⃗ᵢ = 4C·qᵢ/L² Σₙ aₙ'·n⃗·[Cₙ sinθᵢ − Sₙ cosθᵢ]` with
+//!    `aₙ' = e^(−π²n²/α²)/n²`.
+//!
+//! The energy is `E = C/(πL) Σₙ aₙ'·(Cₙ² + Sₙ²)` over the half space.
+
+use crate::boxsim::SimBox;
+use crate::kvectors::KVector;
+use crate::units::COULOMB_EV_A;
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Output of the wavenumber-space evaluation.
+#[derive(Clone, Debug)]
+pub struct RecipResult {
+    /// Reciprocal-space energy (eV).
+    pub energy: f64,
+    /// Per-particle forces (eV/Å).
+    pub forces: Vec<Vec3>,
+    /// Reciprocal-space virial `Σₙ Eₙ(1 − n²π²/ (2α²)·2)`… computed as
+    /// `Σₙ Eₙ·(1 − k²/(2κ²))` for the isotropic pressure.
+    pub virial: f64,
+    /// The structure factors `(Sₙ, Cₙ)` per wave — exposed because the
+    /// WINE-2 emulator validation compares against them directly.
+    pub structure_factors: Vec<(f64, f64)>,
+}
+
+/// The Gaussian spectral coefficient `aₙ' = e^(−π²n²/α²)/n²` (the
+/// paper's `aₙ` of eq. 12, nondimensionalised by `L²`).
+#[inline]
+pub fn spectral_coefficient(alpha: f64, n_sq: f64) -> f64 {
+    let pi = std::f64::consts::PI;
+    (-pi * pi * n_sq / (alpha * alpha)).exp() / n_sq
+}
+
+/// Compute structure factors for every wave (the DFT phase, eqs. 9–10).
+pub fn structure_factors(
+    simbox: SimBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    waves: &[KVector],
+) -> Vec<(f64, f64)> {
+    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+    waves
+        .iter()
+        .map(|k| dft_one_wave(k, &fractional, charges))
+        .collect()
+}
+
+/// Parallel variant of [`structure_factors`] (Rayon over waves — each
+/// wave's particle sum stays serial, so results are deterministic).
+pub fn structure_factors_parallel(
+    simbox: SimBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    waves: &[KVector],
+) -> Vec<(f64, f64)> {
+    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+    waves
+        .par_iter()
+        .map(|k| dft_one_wave(k, &fractional, charges))
+        .collect()
+}
+
+#[inline]
+fn dft_one_wave(k: &KVector, fractional: &[Vec3], charges: &[f64]) -> (f64, f64) {
+    let tau = std::f64::consts::TAU;
+    let (mut s, mut c) = (0.0f64, 0.0f64);
+    for (r, &q) in fractional.iter().zip(charges) {
+        let theta = tau * (k.n[0] as f64 * r.x + k.n[1] as f64 * r.y + k.n[2] as f64 * r.z);
+        let (sin, cos) = theta.sin_cos();
+        s += q * sin;
+        c += q * cos;
+    }
+    (s, c)
+}
+
+/// Full wavenumber-space evaluation, serial.
+pub fn recip_space(
+    simbox: SimBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    alpha: f64,
+    waves: &[KVector],
+) -> RecipResult {
+    let sf = structure_factors(simbox, positions, charges, waves);
+    finish(simbox, positions, charges, alpha, waves, sf, false)
+}
+
+/// Full wavenumber-space evaluation, Rayon-parallel in both phases.
+pub fn recip_space_parallel(
+    simbox: SimBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    alpha: f64,
+    waves: &[KVector],
+) -> RecipResult {
+    let sf = structure_factors_parallel(simbox, positions, charges, waves);
+    finish(simbox, positions, charges, alpha, waves, sf, true)
+}
+
+fn finish(
+    simbox: SimBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    alpha: f64,
+    waves: &[KVector],
+    sf: Vec<(f64, f64)>,
+    parallel: bool,
+) -> RecipResult {
+    let pi = std::f64::consts::PI;
+    let l = simbox.l();
+
+    // Energy and virial from the structure factors.
+    let mut energy = 0.0;
+    let mut virial = 0.0;
+    for (k, &(s, c)) in waves.iter().zip(&sf) {
+        let n_sq = k.n_sq as f64;
+        let a = spectral_coefficient(alpha, n_sq);
+        let e_k = COULOMB_EV_A / (pi * l) * a * (c * c + s * s);
+        energy += e_k;
+        // k² / (2κ²) with k = 2π n / L (physical wavenumber) and κ = α/L:
+        // k²/(2κ²) = 2π²n²/α².
+        virial += e_k * (1.0 - 2.0 * pi * pi * n_sq / (alpha * alpha));
+    }
+
+    // IDFT phase: per-particle force synthesis. Precompute aₙ'·n⃗ and the
+    // (aₙ'-weighted) structure factors once.
+    let coeffs: Vec<(Vec3, f64, f64)> = waves
+        .iter()
+        .zip(&sf)
+        .map(|(k, &(s, c))| {
+            let a = spectral_coefficient(alpha, k.n_sq as f64);
+            (
+                Vec3::new(k.n[0] as f64, k.n[1] as f64, k.n[2] as f64),
+                a * s,
+                a * c,
+            )
+        })
+        .collect();
+    let prefactor = 4.0 * COULOMB_EV_A / (l * l);
+    let tau = std::f64::consts::TAU;
+    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+
+    let idft = |i: usize| -> Vec3 {
+        let r = fractional[i];
+        let mut f = Vec3::ZERO;
+        for (n, a_s, a_c) in &coeffs {
+            let theta = tau * n.dot(r);
+            let (sin, cos) = theta.sin_cos();
+            // aₙ'·(Cₙ sinθ − Sₙ cosθ)·n⃗
+            f += *n * (a_c * sin - a_s * cos);
+        }
+        f * (prefactor * charges[i])
+    };
+
+    let forces: Vec<Vec3> = if parallel {
+        (0..positions.len()).into_par_iter().map(idft).collect()
+    } else {
+        (0..positions.len()).map(idft).collect()
+    };
+
+    RecipResult {
+        energy,
+        forces,
+        virial,
+        structure_factors: sf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvectors::half_space_vectors;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_charged(n: usize, l: f64, seed: u64) -> (SimBox, Vec<Vec3>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let b = SimBox::cubic(l);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let q = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (b, pos, q)
+    }
+
+    #[test]
+    fn structure_factors_single_particle() {
+        // One unit charge at the origin: Sₙ = 0, Cₙ = 1 for every wave.
+        let b = SimBox::cubic(10.0);
+        let waves = half_space_vectors(3.0);
+        let sf = structure_factors(b, &[Vec3::ZERO], &[1.0], &waves);
+        for (s, c) in sf {
+            assert!(s.abs() < 1e-12);
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn structure_factors_translation_phase() {
+        // Translating a particle by L/2 along x flips the sign of Cₙ for
+        // odd n_x and leaves even n_x unchanged.
+        let b = SimBox::cubic(10.0);
+        let waves = half_space_vectors(3.0);
+        let sf = structure_factors(b, &[Vec3::new(5.0, 0.0, 0.0)], &[1.0], &waves);
+        for (k, (s, c)) in waves.iter().zip(sf) {
+            let expect = if k.n[0].rem_euclid(2) == 0 { 1.0 } else { -1.0 };
+            assert!((c - expect).abs() < 1e-12, "n={:?}", k.n);
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (b, pos, q) = random_charged(60, 12.0, 31);
+        let waves = half_space_vectors(6.0);
+        let a = recip_space(b, &pos, &q, 6.0, &waves);
+        let p = recip_space_parallel(b, &pos, &q, 6.0, &waves);
+        assert!(((a.energy - p.energy) / a.energy).abs() < 1e-13);
+        for (fa, fp) in a.forces.iter().zip(&p.forces) {
+            assert!((*fa - *fp).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_definite() {
+        // E_recip = Σ aₙ'(Cₙ²+Sₙ²) ≥ 0 for any configuration.
+        for seed in 0..5 {
+            let (b, pos, q) = random_charged(30, 9.0, 40 + seed);
+            let waves = half_space_vectors(5.0);
+            let r = recip_space(b, &pos, &q, 5.0, &waves);
+            assert!(r.energy >= 0.0);
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let (b, pos, q) = random_charged(40, 11.0, 50);
+        let waves = half_space_vectors(6.0);
+        let r = recip_space(b, &pos, &q, 6.0, &waves);
+        let net: Vec3 = r.forces.iter().copied().sum();
+        // Momentum conservation holds exactly in exact arithmetic (total
+        // force per wave ∝ Σᵢ qᵢ e^{ik·rᵢ} × conj-pair symmetry).
+        assert!(net.norm() < 1e-10, "{net:?}");
+    }
+
+    #[test]
+    fn force_is_gradient_of_energy() {
+        // Finite-difference the recip energy along x for one particle.
+        let (b, mut pos, q) = random_charged(20, 10.0, 60);
+        let waves = half_space_vectors(7.0);
+        let alpha = 6.0;
+        let h = 1e-5;
+        let r0 = recip_space(b, &pos, &q, alpha, &waves);
+        let x0 = pos[3].x;
+        pos[3].x = x0 + h;
+        let ep = recip_space(b, &pos, &q, alpha, &waves).energy;
+        pos[3].x = x0 - h;
+        let em = recip_space(b, &pos, &q, alpha, &waves).energy;
+        pos[3].x = x0;
+        let fd = -(ep - em) / (2.0 * h);
+        assert!(
+            ((r0.forces[3].x - fd) / fd.abs().max(1e-8)).abs() < 1e-5,
+            "analytic {} vs fd {fd}",
+            r0.forces[3].x
+        );
+    }
+
+    #[test]
+    fn spectral_coefficient_decays() {
+        let a1 = spectral_coefficient(10.0, 1.0);
+        let a2 = spectral_coefficient(10.0, 25.0);
+        assert!(a2 < a1);
+        // At n ≈ α the coefficient is down by ~e^(−π²) ≈ 5e-5 from n=1.
+        let cutoff = spectral_coefficient(10.0, 100.0);
+        assert!(cutoff / a1 < 1e-4);
+    }
+}

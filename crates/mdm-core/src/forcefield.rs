@@ -1,0 +1,471 @@
+//! The force-provider abstraction and the software reference force
+//! field.
+//!
+//! [`ForceField`] is the seam between the MD integrator and whatever
+//! computes forces — the pure-software reference here, or the emulated
+//! MDM machine in the `mdm-host` crate. The paper's architecture is the
+//! same seam: "The difference of the program when we use MDM is that we
+//! call library routines to calculate real-space and wavenumber-space
+//! forces instead of calling internal force subroutines" (§4).
+
+use crate::boxsim::SimBox;
+use crate::celllist::CellList;
+use crate::ewald::{recip, EwaldParams, EwaldSum};
+use crate::potentials::{ShortRangePotential, TosiFumi};
+use crate::system::System;
+use crate::units::COULOMB_EV_A;
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Everything one force evaluation produces.
+#[derive(Clone, Debug)]
+pub struct ForceResult {
+    /// Per-particle forces (eV/Å).
+    pub forces: Vec<Vec3>,
+    /// Total potential energy (eV).
+    pub potential: f64,
+    /// Coulomb part of the potential (real + recip + self), eV.
+    pub coulomb: f64,
+    /// Short-range (non-Coulomb) part, eV.
+    pub short_range: f64,
+    /// Total virial `Σ f⃗·r⃗` (eV) for the pressure.
+    pub virial: f64,
+}
+
+/// A provider of forces for a [`System`].
+pub trait ForceField {
+    /// Evaluate forces and energies for the current configuration.
+    fn compute(&mut self, system: &System) -> ForceResult;
+
+    /// A short human-readable description (for logs and reports).
+    fn describe(&self) -> String {
+        "unnamed force field".to_owned()
+    }
+}
+
+/// The software reference implementation of the paper's NaCl physics:
+/// Ewald Coulomb (real + wavenumber + self) plus the Tosi–Fumi
+/// short-range terms, all in `f64`.
+///
+/// The real-space Coulomb and the short-range terms share one cell-list
+/// pass (they share `r_cut` in the paper too).
+pub struct EwaldTosiFumi {
+    ewald: EwaldSum,
+    short: TosiFumi,
+    parallel: bool,
+}
+
+impl EwaldTosiFumi {
+    /// Build with explicit Ewald parameters.
+    pub fn new(params: EwaldParams, short: TosiFumi) -> Self {
+        Self {
+            ewald: EwaldSum::new(params),
+            short,
+            parallel: true,
+        }
+    }
+
+    /// The NaCl default for a given box side: `α` chosen so the
+    /// real-space cutoff is modest for small test boxes, at accuracy
+    /// `s_r = s_k = 3.2`.
+    pub fn nacl_default(l: f64) -> Self {
+        // α ≈ 2·s_r keeps r_cut = L/2 valid for any box.
+        let s = 3.2;
+        let alpha = 2.0 * s * 1.05;
+        Self::new(
+            EwaldParams::from_alpha_accuracy(alpha, s, s, l),
+            TosiFumi::nacl(),
+        )
+    }
+
+    /// The NaCl field with `α` at the conventional balance point for a
+    /// system of `n` particles (the paper's Table-4 logic:
+    /// `59·N·N_int = 64·N·N_wv` ⟺ `α⁶ = 59·N·s_r³·π³/(64·s_k³)`).
+    /// Keeps larger runs O(N^{3/2}) instead of the fixed-α default's
+    /// O(N²) real-space blow-up.
+    pub fn nacl_balanced(l: f64, n: usize) -> Self {
+        let s = 3.2f64;
+        let pi = std::f64::consts::PI;
+        let alpha_balance = (59.0 * n as f64 * pi.powi(3) / 64.0).powf(1.0 / 6.0);
+        // Keep r_cut = s·L/α at or below L/3 so the cell grid always has
+        // ≥ 3 cells per side — below that the pair search degrades to
+        // the O(N²) fallback, which dwarfs any α-balance gain.
+        let alpha = alpha_balance.max(3.0 * s * 1.02);
+        Self::new(
+            EwaldParams::from_alpha_accuracy(alpha, s, s, l),
+            TosiFumi::nacl(),
+        )
+    }
+
+    /// Toggle Rayon parallel kernels (on by default).
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Access the Ewald configuration.
+    pub fn ewald(&self) -> &EwaldSum {
+        &self.ewald
+    }
+
+    /// Access the short-range potential.
+    pub fn short_range(&self) -> &TosiFumi {
+        &self.short
+    }
+
+    /// One fused pass over pairs: real-space Coulomb + short-range.
+    /// Returns (coulomb_real, short_energy, forces, virial).
+    fn fused_real_pass(
+        &self,
+        simbox: SimBox,
+        positions: &[Vec3],
+        charges: &[f64],
+        types: &[u8],
+    ) -> (f64, f64, Vec<Vec3>, f64) {
+        let params = self.ewald.params();
+        let kappa = params.kappa(simbox.l());
+        let r_cut = params.r_cut.min(simbox.max_cutoff());
+        let cl = CellList::build(simbox, positions, r_cut);
+
+        if self.parallel && cl.supports_cutoff(r_cut) {
+            let r_cut_sq = r_cut * r_cut;
+            let per: Vec<(Vec3, f64, f64, f64)> = (0..positions.len())
+                .into_par_iter()
+                .map(|i| {
+                    let ri = positions[i];
+                    let qi = charges[i];
+                    let ti = types[i] as usize;
+                    let mut force = Vec3::ZERO;
+                    let (mut e_c, mut e_s, mut vir) = (0.0, 0.0, 0.0);
+                    for (neighbor, shift) in cl.neighbors27(cl.cell_of(i)) {
+                        for &ju in cl.particles_in(neighbor) {
+                            let j = ju as usize;
+                            if j == i && shift == Vec3::ZERO {
+                                continue;
+                            }
+                            let d = ri - (positions[j] + shift);
+                            let r_sq = d.norm_sq();
+                            if r_sq > r_cut_sq {
+                                continue;
+                            }
+                            let r = r_sq.sqrt();
+                            let (e, f_over_r) = crate::ewald::real::real_kernel(kappa, r_sq);
+                            let qq = COULOMB_EV_A * qi * charges[j];
+                            let tj = types[j] as usize;
+                            let fs = self.short.force_over_r(ti, tj, r);
+                            let f = d * (qq * f_over_r + fs);
+                            force += f;
+                            e_c += 0.5 * qq * e;
+                            e_s += 0.5 * self.short.energy(ti, tj, r);
+                            vir += 0.5 * f.dot(d);
+                        }
+                    }
+                    (force, e_c, e_s, vir)
+                })
+                .collect();
+            let mut forces = Vec::with_capacity(positions.len());
+            let (mut e_c, mut e_s, mut vir) = (0.0, 0.0, 0.0);
+            for (f, ec, es, v) in per {
+                forces.push(f);
+                e_c += ec;
+                e_s += es;
+                vir += v;
+            }
+            (e_c, e_s, forces, vir)
+        } else {
+            let mut forces = vec![Vec3::ZERO; positions.len()];
+            let (mut e_c, mut e_s, mut vir) = (0.0, 0.0, 0.0);
+            cl.for_each_half_pair(positions, r_cut, |i, j, d, r_sq| {
+                let r = r_sq.sqrt();
+                let (e, f_over_r) = crate::ewald::real::real_kernel(kappa, r_sq);
+                let qq = COULOMB_EV_A * charges[i] * charges[j];
+                let (ti, tj) = (types[i] as usize, types[j] as usize);
+                let fs = self.short.force_over_r(ti, tj, r);
+                let f = d * (qq * f_over_r + fs);
+                forces[i] += f;
+                forces[j] -= f;
+                e_c += qq * e;
+                e_s += self.short.energy(ti, tj, r);
+                vir += f.dot(d);
+            });
+            (e_c, e_s, forces, vir)
+        }
+    }
+}
+
+impl ForceField for EwaldTosiFumi {
+    fn compute(&mut self, system: &System) -> ForceResult {
+        let simbox = system.simbox();
+        let positions = system.positions();
+        let charges = system.charges();
+        let params = *self.ewald.params();
+
+        let (e_real, e_short, mut forces, virial_real) =
+            self.fused_real_pass(simbox, positions, charges, system.types());
+
+        let recip_out = if self.parallel {
+            recip::recip_space_parallel(simbox, positions, charges, params.alpha, self.ewald.waves())
+        } else {
+            recip::recip_space(simbox, positions, charges, params.alpha, self.ewald.waves())
+        };
+        for (f, df) in forces.iter_mut().zip(&recip_out.forces) {
+            *f += *df;
+        }
+
+        let kappa = params.kappa(simbox.l());
+        let q_sq: f64 = charges.iter().map(|q| q * q).sum();
+        let e_self = -COULOMB_EV_A * kappa / std::f64::consts::PI.sqrt() * q_sq;
+
+        let coulomb = e_real + recip_out.energy + e_self;
+        ForceResult {
+            forces,
+            potential: coulomb + e_short,
+            coulomb,
+            short_range: e_short,
+            virial: virial_real + recip_out.virial,
+        }
+    }
+
+    fn describe(&self) -> String {
+        let p = self.ewald.params();
+        format!(
+            "software Ewald+TosiFumi (alpha={}, r_cut={} A, n_max={})",
+            p.alpha, p.r_cut, p.n_max
+        )
+    }
+}
+
+/// The "conventional general-purpose computer" of Table 4, implemented
+/// the way a production CPU code would be: a Verlet half neighbour list
+/// with a skin, reused across steps until something moved half the
+/// skin, Newton's third law, cutoff skipping — the `59·N·N_int` cost
+/// model made concrete.
+pub struct ConventionalEwaldTosiFumi {
+    ewald: EwaldSum,
+    short: TosiFumi,
+    skin: f64,
+    list: Option<crate::neighbors::NeighborList>,
+    rebuilds: u64,
+    evaluations: u64,
+}
+
+impl ConventionalEwaldTosiFumi {
+    /// Build with explicit Ewald parameters and skin radius (Å).
+    pub fn new(params: EwaldParams, short: TosiFumi, skin: f64) -> Self {
+        assert!(skin >= 0.0);
+        Self {
+            ewald: EwaldSum::new(params),
+            short,
+            skin,
+            list: None,
+            rebuilds: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// NaCl default matching [`EwaldTosiFumi::nacl_default`], with a
+    /// 0.5 Å skin.
+    pub fn nacl_default(l: f64) -> Self {
+        let s = 3.2;
+        let alpha = 2.0 * s * 1.05;
+        Self::new(
+            EwaldParams::from_alpha_accuracy(alpha, s, s, l),
+            TosiFumi::nacl(),
+            0.5,
+        )
+    }
+
+    /// How many times the neighbour list was rebuilt vs evaluated —
+    /// the payoff of the skin.
+    pub fn rebuild_stats(&self) -> (u64, u64) {
+        (self.rebuilds, self.evaluations)
+    }
+}
+
+impl ForceField for ConventionalEwaldTosiFumi {
+    fn compute(&mut self, system: &System) -> ForceResult {
+        let simbox = system.simbox();
+        let positions = system.positions();
+        let charges = system.charges();
+        let types = system.types();
+        let params = *self.ewald.params();
+        let kappa = params.kappa(simbox.l());
+        let r_cut = params.r_cut.min(simbox.max_cutoff());
+
+        // The candidate radius r_cut + skin must respect the
+        // minimum-image bound; shrink the skin for small boxes.
+        let skin = self.skin.min(simbox.max_cutoff() - r_cut).max(0.0);
+        let needs_rebuild = match &self.list {
+            None => true,
+            Some(list) => skin == 0.0 || list.needs_rebuild(positions),
+        };
+        if needs_rebuild {
+            self.list = Some(crate::neighbors::NeighborList::build(
+                simbox, positions, r_cut, skin,
+            ));
+            self.rebuilds += 1;
+        }
+        self.evaluations += 1;
+        let list = self.list.as_ref().expect("list built above");
+
+        let mut forces = vec![Vec3::ZERO; positions.len()];
+        let (mut e_c, mut e_s, mut virial) = (0.0, 0.0, 0.0);
+        list.for_each_pair(positions, |i, j, d, r_sq| {
+            let r = r_sq.sqrt();
+            let (e, f_over_r) = crate::ewald::real::real_kernel(kappa, r_sq);
+            let qq = COULOMB_EV_A * charges[i] * charges[j];
+            let (ti, tj) = (types[i] as usize, types[j] as usize);
+            let fs = self.short.force_over_r(ti, tj, r);
+            let f = d * (qq * f_over_r + fs);
+            forces[i] += f;
+            forces[j] -= f;
+            e_c += qq * e;
+            e_s += self.short.energy(ti, tj, r);
+            virial += f.dot(d);
+        });
+
+        let recip_out =
+            recip::recip_space(simbox, positions, charges, params.alpha, self.ewald.waves());
+        for (f, df) in forces.iter_mut().zip(&recip_out.forces) {
+            *f += *df;
+        }
+        let q_sq: f64 = charges.iter().map(|q| q * q).sum();
+        let e_self = -COULOMB_EV_A * kappa / std::f64::consts::PI.sqrt() * q_sq;
+        let coulomb = e_c + recip_out.energy + e_self;
+        ForceResult {
+            forces,
+            potential: coulomb + e_s,
+            coulomb,
+            short_range: e_s,
+            virial: virial + recip_out.virial,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conventional Ewald+TosiFumi (Verlet list, skin {} A)",
+            self.skin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+
+    #[test]
+    fn crystal_binding_energy_reasonable() {
+        let s = rocksalt_nacl(2, NACL_LATTICE_A);
+        let mut ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        let r = ff.compute(&s);
+        let per_pair = r.potential / (s.len() as f64 / 2.0);
+        // Tosi-Fumi NaCl lattice energy ≈ −7.9 eV/pair.
+        assert!(
+            (-8.4..-7.4).contains(&per_pair),
+            "binding energy {per_pair} eV/pair"
+        );
+        // Coulomb dominates, short-range is net positive at equilibrium
+        // compression... actually dispersion can make it slightly
+        // negative; just check the split is sane.
+        assert!(r.coulomb < 0.0);
+        assert!(r.short_range.abs() < r.coulomb.abs());
+    }
+
+    #[test]
+    fn forces_zero_on_perfect_crystal() {
+        let s = rocksalt_nacl(2, NACL_LATTICE_A);
+        let mut ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        let r = ff.compute(&s);
+        for f in &r.forces {
+            assert!(f.norm() < 1e-7, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_paths_agree() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        s.displace(0, Vec3::new(0.3, -0.1, 0.2));
+        s.displace(9, Vec3::new(-0.2, 0.2, 0.0));
+        let mut ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        let rp = ff.compute(&s);
+        ff.set_parallel(false);
+        let rs = ff.compute(&s);
+        assert!(((rp.potential - rs.potential) / rs.potential).abs() < 1e-12);
+        for (a, b) in rp.forces.iter().zip(&rs.forces) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forces_are_gradient_of_potential() {
+        let mut s = rocksalt_nacl(1, NACL_LATTICE_A);
+        s.displace(0, Vec3::new(0.2, 0.1, -0.15));
+        let mut ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        let base = ff.compute(&s);
+        let h = 1e-5;
+        for axis in 0..3 {
+            let mut sp = s.clone();
+            let mut dr = Vec3::ZERO;
+            match axis {
+                0 => dr.x = h,
+                1 => dr.y = h,
+                _ => dr.z = h,
+            }
+            sp.displace(2, dr);
+            let ep = ff.compute(&sp).potential;
+            let mut sm = s.clone();
+            sm.displace(2, -dr);
+            let em = ff.compute(&sm).potential;
+            let fd = -(ep - em) / (2.0 * h);
+            let analytic = base.forces[2][axis];
+            assert!(
+                ((analytic - fd) / fd.abs().max(1e-6)).abs() < 2e-4,
+                "axis {axis}: analytic {analytic} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn conventional_matches_cell_list_field() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        s.displace(0, Vec3::new(0.3, -0.1, 0.2));
+        let mut a = EwaldTosiFumi::nacl_default(s.simbox().l());
+        a.set_parallel(false);
+        let mut b = ConventionalEwaldTosiFumi::nacl_default(s.simbox().l());
+        let ra = a.compute(&s);
+        let rb = b.compute(&s);
+        assert!(((ra.potential - rb.potential) / ra.potential).abs() < 1e-12);
+        for (fa, fb) in ra.forces.iter().zip(&rb.forces) {
+            assert!((*fa - *fb).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn conventional_list_is_reused_across_steps() {
+        use crate::integrate::Simulation;
+        use crate::velocities::maxwell_boltzmann;
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 300.0, 3);
+        let ff = ConventionalEwaldTosiFumi::nacl_default(s.simbox().l());
+        let mut sim = Simulation::new(s, ff, 1.0);
+        sim.run(20);
+        let (rebuilds, evals) = sim.force_field().rebuild_stats();
+        assert_eq!(evals, 21); // initial + 20 steps
+        assert!(rebuilds < evals / 2, "skin not paying off: {rebuilds}/{evals}");
+        // And the dynamics stay conservative with the reused list.
+        let e0 = sim.record().total;
+        let records = sim.run(20);
+        let drift = ((records.last().unwrap().total - e0) / e0).abs();
+        assert!(drift < 1e-4, "drift {drift}");
+    }
+
+    #[test]
+    fn displaced_ion_is_pulled_back() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        s.displace(0, Vec3::new(0.5, 0.0, 0.0));
+        let mut ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        let r = ff.compute(&s);
+        // Restoring force points back along −x.
+        assert!(r.forces[0].x < 0.0, "force {:?}", r.forces[0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Wave-vector enumeration for the Ewald reciprocal sum.
+//!
+//! The paper works with wave vectors `k⃗ = n⃗/L` for integer `n⃗`, cut off
+//! at `k < k_cut`, i.e. `|n⃗| < L·k_cut` (`Lk_cut` is the dimensionless
+//! knob in Table 4: 63.9 / 22.7 / 37.9). Because `S₋ₙ = −Sₙ` and
+//! `C₋ₙ = Cₙ`, only **half** of k-space is enumerated; the paper's
+//! `N_wv ≈ ½·(4π/3)·(L·k_cut)³` (eq. 13) counts exactly these.
+
+/// One reciprocal-lattice vector `n⃗` (dimensionless; `k⃗ = n⃗/L`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KVector {
+    /// Integer components.
+    pub n: [i32; 3],
+    /// `|n⃗|²`.
+    pub n_sq: i32,
+}
+
+impl KVector {
+    /// `|n⃗|` as a float.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.n_sq as f64).sqrt()
+    }
+}
+
+/// Enumerate the half-space of integer vectors with `0 < |n⃗| ≤ n_max`.
+///
+/// The chosen half-space is `n_z > 0`, or `n_z = 0 ∧ n_y > 0`, or
+/// `n_z = n_y = 0 ∧ n_x > 0` — one representative of every `±n⃗` pair.
+/// Vectors are returned sorted by `|n⃗|²` then lexicographically, so wave
+/// assignment to emulated pipelines is deterministic.
+pub fn half_space_vectors(n_max: f64) -> Vec<KVector> {
+    assert!(n_max >= 1.0, "n_max must be at least 1, got {n_max}");
+    let n_sq_max = (n_max * n_max).floor() as i64;
+    let top = n_max.floor() as i32;
+    let mut out = Vec::with_capacity(estimated_half_space_count(n_max) * 11 / 10);
+    for nz in 0..=top {
+        for ny in -top..=top {
+            for nx in -top..=top {
+                let in_half = nz > 0 || (nz == 0 && ny > 0) || (nz == 0 && ny == 0 && nx > 0);
+                if !in_half {
+                    continue;
+                }
+                let n_sq = (nx as i64) * (nx as i64) + (ny as i64) * (ny as i64) + (nz as i64) * (nz as i64);
+                if n_sq == 0 || n_sq > n_sq_max {
+                    continue;
+                }
+                out.push(KVector {
+                    n: [nx, ny, nz],
+                    n_sq: n_sq as i32,
+                });
+            }
+        }
+    }
+    out.sort_unstable_by_key(|k| (k.n_sq, k.n));
+    out
+}
+
+/// The paper's eq. 13 estimate of the half-space count:
+/// `N_wv ≈ ½·(4π/3)·n_max³ = (2π/3)·n_max³`.
+pub fn estimated_half_space_count(n_max: f64) -> usize {
+    (2.0 * std::f64::consts::PI / 3.0 * n_max.powi(3)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn small_cases_exact() {
+        // n_max = 1: exactly the three positive axis vectors.
+        let v = half_space_vectors(1.0);
+        assert_eq!(v.len(), 3);
+        let set: HashSet<[i32; 3]> = v.iter().map(|k| k.n).collect();
+        assert!(set.contains(&[1, 0, 0]));
+        assert!(set.contains(&[0, 1, 0]));
+        assert!(set.contains(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn no_vector_and_its_negation_both_present() {
+        let v = half_space_vectors(5.3);
+        let set: HashSet<[i32; 3]> = v.iter().map(|k| k.n).collect();
+        for k in &v {
+            let neg = [-k.n[0], -k.n[1], -k.n[2]];
+            assert!(!set.contains(&neg), "both {:?} and {:?} present", k.n, neg);
+        }
+    }
+
+    #[test]
+    fn union_with_negation_is_full_shell() {
+        // Count all nonzero integer vectors with |n|² ≤ 16 by brute force
+        // and check the half-space has exactly half.
+        let n_max = 4.0f64;
+        let mut full = 0usize;
+        for x in -4i32..=4 {
+            for y in -4i32..=4 {
+                for z in -4i32..=4 {
+                    let s = x * x + y * y + z * z;
+                    if s > 0 && s <= 16 {
+                        full += 1;
+                    }
+                }
+            }
+        }
+        let half = half_space_vectors(n_max);
+        assert_eq!(half.len() * 2, full);
+    }
+
+    #[test]
+    fn all_within_cutoff_and_nonzero() {
+        let n_max = 7.9;
+        for k in half_space_vectors(n_max) {
+            assert!(k.n_sq > 0);
+            assert!(k.norm() <= n_max);
+        }
+    }
+
+    #[test]
+    fn sorted_by_magnitude() {
+        let v = half_space_vectors(6.0);
+        for w in v.windows(2) {
+            assert!(w[0].n_sq <= w[1].n_sq);
+        }
+    }
+
+    #[test]
+    fn count_matches_paper_estimate_at_paper_cutoffs() {
+        // Table 4: Lk_cut = 63.9 → N_wv ≈ 5.46e5; 22.7 → 2.44e4; 37.9 → 1.14e5.
+        for (n_max, expect) in [(63.9, 5.46e5), (22.7, 2.44e4), (37.9, 1.14e5)] {
+            let got = half_space_vectors(n_max).len() as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.01, "n_max={n_max}: got {got}, paper {expect}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn estimate_close_to_exact_count() {
+        for n_max in [5.0, 10.0, 20.0] {
+            let exact = half_space_vectors(n_max).len() as f64;
+            let est = estimated_half_space_count(n_max) as f64;
+            assert!((exact - est).abs() / exact < 0.05, "n_max={n_max}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Verlet (half) neighbour lists — the "conventional general-purpose
+//! computer" baseline of Table 4.
+//!
+//! The conventional Ewald implementation the paper compares against uses
+//! Newton's third law and *skips* pairs beyond the cutoff: each unique
+//! pair inside `r_cut` is evaluated once. A skin radius lets the list be
+//! reused across steps until something has moved half the skin.
+
+use crate::boxsim::SimBox;
+use crate::celllist::CellList;
+use crate::vec3::Vec3;
+
+/// A half neighbour list with a skin.
+#[derive(Clone, Debug)]
+pub struct NeighborList {
+    r_cut: f64,
+    skin: f64,
+    /// Unique candidate pairs within `r_cut + skin` at build time.
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time, for the displacement criterion.
+    reference: Vec<Vec3>,
+    simbox: SimBox,
+}
+
+impl NeighborList {
+    /// Build from current positions.
+    pub fn build(simbox: SimBox, positions: &[Vec3], r_cut: f64, skin: f64) -> Self {
+        assert!(r_cut > 0.0 && skin >= 0.0);
+        let r_list = r_cut + skin;
+        let cl = CellList::build(simbox, positions, r_list);
+        let mut pairs = Vec::new();
+        cl.for_each_half_pair(positions, r_list, |i, j, _d, _r2| {
+            pairs.push((i as u32, j as u32));
+        });
+        Self {
+            r_cut,
+            skin,
+            pairs,
+            reference: positions.to_vec(),
+            simbox,
+        }
+    }
+
+    /// The interaction cutoff.
+    pub fn r_cut(&self) -> f64 {
+        self.r_cut
+    }
+
+    /// Number of candidate pairs currently held.
+    pub fn candidate_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True once any particle has moved more than `skin/2` since the
+    /// list was built (the standard safety criterion: two such particles
+    /// approaching each other can close at most `skin`).
+    pub fn needs_rebuild(&self, positions: &[Vec3]) -> bool {
+        debug_assert_eq!(positions.len(), self.reference.len());
+        let limit_sq = (self.skin / 2.0) * (self.skin / 2.0);
+        positions
+            .iter()
+            .zip(&self.reference)
+            .any(|(now, then)| self.simbox.min_image(*now, *then).norm_sq() > limit_sq)
+    }
+
+    /// Visit every unique pair currently within `r_cut`:
+    /// `f(i, j, r⃗ᵢⱼ, r²)` with `r⃗ᵢⱼ = r⃗ᵢ − r⃗ⱼ` (minimum image).
+    pub fn for_each_pair<F>(&self, positions: &[Vec3], mut f: F)
+    where
+        F: FnMut(usize, usize, Vec3, f64),
+    {
+        let r_cut_sq = self.r_cut * self.r_cut;
+        for &(iu, ju) in &self.pairs {
+            let (i, j) = (iu as usize, ju as usize);
+            let d = self.simbox.min_image(positions[i], positions[j]);
+            let r2 = d.norm_sq();
+            if r2 <= r_cut_sq {
+                f(i, j, d, r2);
+            }
+        }
+    }
+
+    /// Number of pairs within `r_cut` right now (the paper's `N·N_int`).
+    pub fn active_pair_count(&self, positions: &[Vec3]) -> u64 {
+        let mut n = 0;
+        self.for_each_pair(positions, |_, _, _, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_positions(n: usize, l: f64, seed: u64) -> (SimBox, Vec<Vec3>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let b = SimBox::cubic(l);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        (b, pos)
+    }
+
+    #[test]
+    fn matches_brute_force_at_build_time() {
+        let (b, pos) = random_positions(250, 16.0, 11);
+        let nl = NeighborList::build(b, &pos, 4.0, 0.5);
+        let mut got = std::collections::BTreeSet::new();
+        nl.for_each_pair(&pos, |i, j, _, _| {
+            got.insert((i, j));
+        });
+        let mut want = std::collections::BTreeSet::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if b.dist_sq(pos[i], pos[j]) <= 16.0 {
+                    want.insert((i, j));
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stays_exact_while_displacements_below_half_skin() {
+        let (b, mut pos) = random_positions(200, 14.0, 12);
+        let skin = 1.0;
+        let nl = NeighborList::build(b, &pos, 3.5, skin);
+        // Move everything by just under skin/2 in random directions.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for p in &mut pos {
+            let d = Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            *p = b.wrap(*p + d * (0.49 * skin / d.norm()));
+        }
+        assert!(!nl.needs_rebuild(&pos));
+        // The list must still find every pair within r_cut.
+        let mut got = std::collections::BTreeSet::new();
+        nl.for_each_pair(&pos, |i, j, _, _| {
+            got.insert((i, j));
+        });
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if b.dist_sq(pos[i], pos[j]) <= 3.5 * 3.5 {
+                    assert!(got.contains(&(i, j)), "lost pair ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_triggers_after_large_move() {
+        let (b, mut pos) = random_positions(50, 14.0, 13);
+        let nl = NeighborList::build(b, &pos, 3.5, 1.0);
+        assert!(!nl.needs_rebuild(&pos));
+        pos[7] = b.wrap(pos[7] + Vec3::new(0.8, 0.0, 0.0));
+        assert!(nl.needs_rebuild(&pos));
+    }
+
+    #[test]
+    fn zero_skin_list_is_exact_snapshot() {
+        let (b, pos) = random_positions(120, 12.0, 14);
+        let nl = NeighborList::build(b, &pos, 4.0, 0.0);
+        assert_eq!(
+            nl.active_pair_count(&pos) as usize,
+            nl.candidate_count()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Cardinal B-splines — the interpolation kernel of smooth PME
+//! (Essmann et al., J. Chem. Phys. 103, 8577 (1995), the paper's
+//! ref. \[4\]).
+//!
+//! `M_n` is the order-`n` cardinal B-spline supported on `[0, n]`,
+//! built by the standard recursion from the hat function `M₂`.
+
+/// Evaluate `M_n(u)` (zero outside `[0, n]`).
+pub fn m_spline(n: usize, u: f64) -> f64 {
+    assert!(n >= 2);
+    if u <= 0.0 || u >= n as f64 {
+        return 0.0;
+    }
+    if n == 2 {
+        return 1.0 - (u - 1.0).abs();
+    }
+    let nf = n as f64;
+    (u / (nf - 1.0)) * m_spline(n - 1, u) + ((nf - u) / (nf - 1.0)) * m_spline(n - 1, u - 1.0)
+}
+
+/// `dM_n/du = M_{n-1}(u) − M_{n-1}(u−1)`.
+pub fn m_spline_deriv(n: usize, u: f64) -> f64 {
+    assert!(n >= 3);
+    m_spline(n - 1, u) - m_spline(n - 1, u - 1.0)
+}
+
+/// `|b(m)|²`, the Euler exponential-spline modulus factor for mesh size
+/// `k` and spline order `n`:
+/// `b(m) = e^(2πi(n−1)m/K) / Σ_{j=0}^{n−2} M_n(j+1)·e^(2πi m j/K)`.
+pub fn b_mod_sq(n: usize, k: usize, m: usize) -> f64 {
+    let theta = std::f64::consts::TAU * m as f64 / k as f64;
+    let (mut dre, mut dim) = (0.0f64, 0.0f64);
+    for j in 0..=(n - 2) {
+        let w = m_spline(n, (j + 1) as f64);
+        dre += w * (theta * j as f64).cos();
+        dim += w * (theta * j as f64).sin();
+    }
+    let denom = dre * dre + dim * dim;
+    if denom < 1e-14 {
+        // Degenerate bins (odd orders at m = K/2): zero them out —
+        // the spectral weight there is negligible anyway.
+        0.0
+    } else {
+        1.0 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splines_are_a_partition_of_unity() {
+        // Σ_j M_n(u + j) = 1 for any u (the defining property that makes
+        // charge spreading conserve total charge).
+        for n in [3usize, 4, 6] {
+            for step in 0..50 {
+                let u = step as f64 * 0.02;
+                let total: f64 = (0..n).map(|j| m_spline(n, u + j as f64)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n} u={u}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn spline_is_nonnegative_and_symmetric() {
+        let n = 4;
+        for step in 0..=400 {
+            let u = step as f64 * 0.01;
+            let v = m_spline(n, u);
+            assert!(v >= 0.0);
+            let mirrored = m_spline(n, n as f64 - u);
+            assert!((v - mirrored).abs() < 1e-12, "u={u}");
+        }
+        // Peak at the centre.
+        assert!(m_spline(4, 2.0) > m_spline(4, 1.0));
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let n = 4;
+        let h = 1e-7;
+        for step in 1..40 {
+            let u = step as f64 * 0.1;
+            let fd = (m_spline(n, u + h) - m_spline(n, u - h)) / (2.0 * h);
+            assert!(
+                (m_spline_deriv(n, u) - fd).abs() < 1e-6,
+                "u={u}: {} vs {fd}",
+                m_spline_deriv(n, u)
+            );
+        }
+    }
+
+    #[test]
+    fn b_factor_is_one_at_m_zero() {
+        // D(0) = Σ M_n(j+1) = 1 (partition of unity at integers).
+        for n in [4usize, 6] {
+            assert!((b_mod_sq(n, 32, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn b_factor_finite_across_spectrum() {
+        for m in 0..32 {
+            let b = b_mod_sq(4, 32, m);
+            assert!(b.is_finite() && b >= 0.0);
+            // Order 4 at the Nyquist bin: |D|² = 1/9.
+            if m == 16 {
+                assert!((b - 9.0).abs() < 1e-9, "{b}");
+            }
+        }
+    }
+}

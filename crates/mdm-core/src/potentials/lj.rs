@@ -1,0 +1,161 @@
+//! Lennard-Jones in the paper's eq. 4 parameterisation:
+//!
+//! ```text
+//! F⃗ᵢ(vdW) = Σⱼ ε(atᵢ,atⱼ) { 2[σ/rᵢⱼ]¹⁴ − [σ/rᵢⱼ]⁸ } r⃗ᵢⱼ
+//! ```
+//!
+//! Note the unusual convention: the paper's `ε` multiplies `r⃗` directly
+//! (units eV/Å²), so relative to the textbook `4ε'[(σ/r)¹² − (σ/r)⁶]`
+//! potential, `ε = 24ε'/σ²`. The corresponding pair energy is
+//! `φ(r) = (εσ²/6)[(σ/r)¹² − (σ/r)⁶]`.
+
+use super::ShortRangePotential;
+use crate::system::MAX_SPECIES;
+
+/// Type-indexed Lennard-Jones tables in the paper's convention.
+#[derive(Clone, Debug)]
+pub struct LennardJones {
+    /// `ε(atᵢ,atⱼ)` in eV/Å².
+    eps: Vec<Vec<f64>>,
+    /// `σ(atᵢ,atⱼ)` in Å.
+    sigma: Vec<Vec<f64>>,
+    n: usize,
+}
+
+impl LennardJones {
+    /// Build from full matrices.
+    pub fn new(eps: Vec<Vec<f64>>, sigma: Vec<Vec<f64>>) -> Self {
+        let n = eps.len();
+        assert!(n > 0 && n <= MAX_SPECIES);
+        assert_eq!(sigma.len(), n);
+        for i in 0..n {
+            assert_eq!(eps[i].len(), n);
+            assert_eq!(sigma[i].len(), n);
+            for j in 0..n {
+                assert_eq!(eps[i][j], eps[j][i], "ε symmetric");
+                assert_eq!(sigma[i][j], sigma[j][i], "σ symmetric");
+                assert!(sigma[i][j] > 0.0);
+            }
+        }
+        Self { eps, sigma, n }
+    }
+
+    /// Single-species convenience constructor from the textbook
+    /// parameters `(ε', σ)` (well depth eV, radius Å).
+    pub fn single(eps_textbook: f64, sigma: f64) -> Self {
+        let eps = 24.0 * eps_textbook / (sigma * sigma);
+        Self::new(vec![vec![eps]], vec![vec![sigma]])
+    }
+
+    /// Mixed tables from per-species textbook parameters with
+    /// Lorentz–Berthelot combination rules.
+    pub fn lorentz_berthelot(species: &[(f64, f64)]) -> Self {
+        let n = species.len();
+        let mut eps = vec![vec![0.0; n]; n];
+        let mut sig = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let e = (species[i].0 * species[j].0).sqrt();
+                let s = 0.5 * (species[i].1 + species[j].1);
+                eps[i][j] = 24.0 * e / (s * s);
+                sig[i][j] = s;
+            }
+        }
+        Self::new(eps, sig)
+    }
+
+    /// `ε(ti,tj)` (paper convention, eV/Å²).
+    pub fn eps(&self, ti: usize, tj: usize) -> f64 {
+        self.eps[ti][tj]
+    }
+
+    /// `σ(ti,tj)` (Å).
+    pub fn sigma(&self, ti: usize, tj: usize) -> f64 {
+        self.sigma[ti][tj]
+    }
+}
+
+impl ShortRangePotential for LennardJones {
+    fn energy(&self, ti: usize, tj: usize, r: f64) -> f64 {
+        debug_assert!(r > 0.0);
+        let s = self.sigma[ti][tj];
+        let sr2 = (s / r) * (s / r);
+        let sr6 = sr2 * sr2 * sr2;
+        self.eps[ti][tj] * s * s / 6.0 * (sr6 * sr6 - sr6)
+    }
+
+    fn force_over_r(&self, ti: usize, tj: usize, r: f64) -> f64 {
+        debug_assert!(r > 0.0);
+        let s = self.sigma[ti][tj];
+        let sr2 = (s / r) * (s / r);
+        let sr6 = sr2 * sr2 * sr2;
+        let sr8 = sr6 * sr2;
+        // ε[2(σ/r)¹⁴ − (σ/r)⁸]
+        self.eps[ti][tj] * (2.0 * sr8 * sr6 - sr8)
+    }
+
+    fn n_species(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potentials::test_util::check_force_consistency;
+
+    #[test]
+    fn force_is_energy_gradient() {
+        check_force_consistency(&LennardJones::single(0.01, 3.4), 3.0, 9.0);
+        check_force_consistency(
+            &LennardJones::lorentz_berthelot(&[(0.01, 3.4), (0.002, 2.6)]),
+            2.5,
+            9.0,
+        );
+    }
+
+    #[test]
+    fn zero_crossing_at_sigma_times_sixth_root_of_two() {
+        // The *force* changes sign at the potential minimum r = 2^(1/6)σ.
+        let lj = LennardJones::single(0.0104, 3.40);
+        let r_min = 2f64.powf(1.0 / 6.0) * 3.40;
+        assert!(lj.force_over_r(0, 0, r_min * 0.999) > 0.0);
+        assert!(lj.force_over_r(0, 0, r_min * 1.001) < 0.0);
+    }
+
+    #[test]
+    fn well_depth_matches_textbook_eps() {
+        let eps_tb = 0.0104; // argon, eV
+        let sigma = 3.40;
+        let lj = LennardJones::single(eps_tb, sigma);
+        let r_min = 2f64.powf(1.0 / 6.0) * sigma;
+        let e_min = lj.energy(0, 0, r_min);
+        assert!(
+            (e_min + eps_tb).abs() / eps_tb < 1e-12,
+            "well depth {e_min} vs −{eps_tb}"
+        );
+    }
+
+    #[test]
+    fn energy_zero_at_sigma() {
+        let lj = LennardJones::single(0.0104, 3.40);
+        assert!(lj.energy(0, 0, 3.40).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lorentz_berthelot_mixing() {
+        let lj = LennardJones::lorentz_berthelot(&[(0.01, 3.0), (0.04, 5.0)]);
+        assert!((lj.sigma(0, 1) - 4.0).abs() < 1e-12);
+        // ε₀₁ textbook = √(0.01·0.04) = 0.02; paper form = 24·0.02/16.
+        assert!((lj.eps(0, 1) - 24.0 * 0.02 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_rejected() {
+        LennardJones::new(
+            vec![vec![1.0, 2.0], vec![3.0, 1.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+    }
+}

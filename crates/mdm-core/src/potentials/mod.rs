@@ -1,0 +1,61 @@
+//! Short-range pair potentials.
+//!
+//! The Coulomb part of the interaction is handled by the Ewald machinery
+//! in [`crate::ewald`]; this module provides the *non-Coulomb* pair
+//! terms:
+//!
+//! * [`tosi_fumi::TosiFumi`] — the Born–Mayer–Huggins form of the
+//!   paper's eq. 15, with the Tosi–Fumi (1964) NaCl parameter set the
+//!   paper cites;
+//! * [`lj::LennardJones`] — the paper's eq. 4 van der Waals form (the
+//!   generic force field MDGRAPE-2 advertises).
+//!
+//! Both expose the same kernel shape: `energy(ti, tj, r)` and
+//! `force_over_r(ti, tj, r)`, where the pair force on particle `i` from
+//! `j` is `F⃗ᵢⱼ = force_over_r · r⃗ᵢⱼ` with `r⃗ᵢⱼ = r⃗ᵢ − r⃗ⱼ` (positive
+//! values repel). This is exactly the `g(x)`-times-`r⃗` contract of the
+//! MDGRAPE-2 pipeline (eq. 14), which keeps the software reference and
+//! the hardware emulator numerically comparable term by term.
+
+pub mod lj;
+pub mod tosi_fumi;
+
+pub use lj::LennardJones;
+pub use tosi_fumi::{TosiFumi, TosiFumiParams};
+
+/// A short-range, type-indexed pair interaction.
+pub trait ShortRangePotential {
+    /// Pair energy at separation `r` (Å) between species `ti` and `tj`, eV.
+    fn energy(&self, ti: usize, tj: usize, r: f64) -> f64;
+
+    /// `−φ'(r)/r`: multiply by `r⃗ᵢⱼ` to get the force on `i`, eV/Å².
+    fn force_over_r(&self, ti: usize, tj: usize, r: f64) -> f64;
+
+    /// Number of species the coefficient tables cover.
+    fn n_species(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::ShortRangePotential;
+
+    /// Check `force_over_r` against a central finite difference of
+    /// `energy` over a range of separations.
+    pub fn check_force_consistency<P: ShortRangePotential>(p: &P, r_lo: f64, r_hi: f64) {
+        let h = 1e-6;
+        for ti in 0..p.n_species() {
+            for tj in 0..p.n_species() {
+                for step in 0..40 {
+                    let r = r_lo + (r_hi - r_lo) * step as f64 / 39.0;
+                    let fd = -(p.energy(ti, tj, r + h) - p.energy(ti, tj, r - h)) / (2.0 * h);
+                    let f = p.force_over_r(ti, tj, r) * r;
+                    let scale = fd.abs().max(f.abs()).max(1e-6);
+                    assert!(
+                        ((f - fd) / scale).abs() < 1e-5,
+                        "({ti},{tj}) r={r}: analytic {f} vs fd {fd}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The particle system: a structure-of-arrays store.
+//!
+//! Layout follows the hpc guideline of keeping per-particle attributes in
+//! separate contiguous arrays — force kernels stream positions and
+//! charges without dragging velocities through the cache, and the
+//! emulators can hand out `&[Vec3]` slices as their "particle memory"
+//! images.
+//!
+//! Particle *types* are small integers indexing a species table, exactly
+//! like the MDGRAPE-2 atom-coefficient RAM, which supports "the maximum
+//! number of particle types \[of\] 32" (§3.5.3).
+
+use crate::boxsim::SimBox;
+use crate::vec3::Vec3;
+
+/// Maximum number of distinct species — the MDGRAPE-2 atom-coefficient
+/// RAM limit (§3.5.3).
+pub const MAX_SPECIES: usize = 32;
+
+/// A particle species: name, mass and charge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Species {
+    /// Display name ("Na+", "Cl-").
+    pub name: String,
+    /// Mass in amu.
+    pub mass: f64,
+    /// Charge in elementary charges.
+    pub charge: f64,
+}
+
+/// The simulation state: box, species table, and per-particle arrays.
+#[derive(Clone, Debug)]
+pub struct System {
+    simbox: SimBox,
+    species: Vec<Species>,
+    /// Canonical positions, each in `[0, L)³`.
+    positions: Vec<Vec3>,
+    /// Velocities in Å/fs.
+    velocities: Vec<Vec3>,
+    /// Species index per particle.
+    types: Vec<u8>,
+    /// Cached per-particle charges (denormalised from the species table —
+    /// the force kernels read them every pair).
+    charges: Vec<f64>,
+    /// Cached per-particle masses.
+    masses: Vec<f64>,
+}
+
+impl System {
+    /// Create an empty system in `simbox` with the given species table.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_SPECIES`] species are given, or any mass
+    /// is non-positive.
+    pub fn new(simbox: SimBox, species: Vec<Species>) -> Self {
+        assert!(
+            species.len() <= MAX_SPECIES,
+            "at most {MAX_SPECIES} species (MDGRAPE-2 atom RAM limit)"
+        );
+        for s in &species {
+            assert!(s.mass > 0.0, "species {} has non-positive mass", s.name);
+        }
+        Self {
+            simbox,
+            species,
+            positions: Vec::new(),
+            velocities: Vec::new(),
+            types: Vec::new(),
+            charges: Vec::new(),
+            masses: Vec::new(),
+        }
+    }
+
+    /// Append a particle of species `type_index` at `position` with zero
+    /// velocity. The position is wrapped into the canonical cell.
+    pub fn push_particle(&mut self, type_index: usize, position: Vec3) {
+        assert!(type_index < self.species.len(), "unknown species {type_index}");
+        let sp = &self.species[type_index];
+        self.positions.push(self.simbox.wrap(position));
+        self.velocities.push(Vec3::ZERO);
+        self.types.push(type_index as u8);
+        self.charges.push(sp.charge);
+        self.masses.push(sp.mass);
+    }
+
+    /// Number of particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Is the system empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The periodic box.
+    #[inline]
+    pub fn simbox(&self) -> SimBox {
+        self.simbox
+    }
+
+    /// The species table.
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// Positions (canonical, `[0,L)³`).
+    #[inline]
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Velocities (Å/fs).
+    #[inline]
+    pub fn velocities(&self) -> &[Vec3] {
+        &self.velocities
+    }
+
+    /// Mutable velocities.
+    #[inline]
+    pub fn velocities_mut(&mut self) -> &mut [Vec3] {
+        &mut self.velocities
+    }
+
+    /// Per-particle species indices.
+    #[inline]
+    pub fn types(&self) -> &[u8] {
+        &self.types
+    }
+
+    /// Per-particle charges (e).
+    #[inline]
+    pub fn charges(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Per-particle masses (amu).
+    #[inline]
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Total charge (e) — Ewald requires (near-)neutrality.
+    pub fn total_charge(&self) -> f64 {
+        self.charges.iter().sum()
+    }
+
+    /// Total mass (amu).
+    pub fn total_mass(&self) -> f64 {
+        self.masses.iter().sum()
+    }
+
+    /// Number density N/L³ (Å⁻³).
+    pub fn number_density(&self) -> f64 {
+        self.len() as f64 / self.simbox.volume()
+    }
+
+    /// Displace particle `i` by `dr`, keeping the stored position
+    /// canonical. Used by integrators.
+    #[inline]
+    pub fn displace(&mut self, i: usize, dr: Vec3) {
+        self.positions[i] = self.simbox.wrap(self.positions[i] + dr);
+    }
+
+    /// Apply a closure producing a displacement for every particle
+    /// (batch form of [`Self::displace`], single pass).
+    pub fn displace_all(&mut self, mut dr: impl FnMut(usize) -> Vec3) {
+        for i in 0..self.positions.len() {
+            self.positions[i] = self.simbox.wrap(self.positions[i] + dr(i));
+        }
+    }
+
+    /// Overwrite position `i` (wrapped).
+    pub fn set_position(&mut self, i: usize, r: Vec3) {
+        self.positions[i] = self.simbox.wrap(r);
+    }
+
+    /// Total linear momentum (amu·Å/fs).
+    pub fn total_momentum(&self) -> Vec3 {
+        self.velocities
+            .iter()
+            .zip(&self.masses)
+            .map(|(v, m)| *v * *m)
+            .sum()
+    }
+
+    /// Remove centre-of-mass drift so total momentum is exactly zero.
+    pub fn zero_momentum(&mut self) {
+        let p = self.total_momentum();
+        let m = self.total_mass();
+        if m > 0.0 {
+            let v_com = p / m;
+            for v in &mut self.velocities {
+                *v -= v_com;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::mass;
+
+    /// The standard NaCl species table used throughout the tests.
+    pub fn nacl_species() -> Vec<Species> {
+        vec![
+            Species {
+                name: "Na+".into(),
+                mass: mass::NA,
+                charge: 1.0,
+            },
+            Species {
+                name: "Cl-".into(),
+                mass: mass::CL,
+                charge: -1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut s = System::new(SimBox::cubic(10.0), nacl_species());
+        s.push_particle(0, Vec3::new(1.0, 2.0, 3.0));
+        s.push_particle(1, Vec3::new(-1.0, 0.0, 0.0)); // wraps to 9.0
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.types(), &[0, 1]);
+        assert_eq!(s.charges(), &[1.0, -1.0]);
+        assert!((s.positions()[1].x - 9.0).abs() < 1e-12);
+        assert!((s.total_charge()).abs() < 1e-12);
+        assert!((s.total_mass() - (mass::NA + mass::CL)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_species_rejected() {
+        let mut s = System::new(SimBox::cubic(10.0), nacl_species());
+        s.push_particle(2, Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_species_rejected() {
+        let species = (0..33)
+            .map(|i| Species {
+                name: format!("S{i}"),
+                mass: 1.0,
+                charge: 0.0,
+            })
+            .collect();
+        System::new(SimBox::cubic(10.0), species);
+    }
+
+    #[test]
+    fn momentum_zeroing() {
+        let mut s = System::new(SimBox::cubic(10.0), nacl_species());
+        s.push_particle(0, Vec3::ZERO);
+        s.push_particle(1, Vec3::new(5.0, 5.0, 5.0));
+        s.velocities_mut()[0] = Vec3::new(1.0, 0.0, 0.0);
+        s.velocities_mut()[1] = Vec3::new(0.0, 2.0, 0.0);
+        s.zero_momentum();
+        assert!(s.total_momentum().norm() < 1e-12);
+    }
+
+    #[test]
+    fn displace_wraps() {
+        let mut s = System::new(SimBox::cubic(10.0), nacl_species());
+        s.push_particle(0, Vec3::new(9.5, 0.0, 0.0));
+        s.displace(0, Vec3::new(1.0, 0.0, 0.0));
+        assert!((s.positions()[0].x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density() {
+        let mut s = System::new(SimBox::cubic(10.0), nacl_species());
+        for _ in 0..500 {
+            s.push_particle(0, Vec3::ZERO);
+        }
+        assert!((s.number_density() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Unit system and physical constants.
+//!
+//! The engine works in the "MD-natural" unit system for ionic melts:
+//!
+//! | quantity | unit |
+//! |---|---|
+//! | length | Å (ångström) |
+//! | time | fs (femtosecond) |
+//! | mass | amu (unified atomic mass unit) |
+//! | energy | eV (electron-volt) |
+//! | charge | e (elementary charge) |
+//! | temperature | K |
+//!
+//! One derived constant is non-trivial: 1 amu·Å²/fs² = 103.642697 eV, so
+//! accelerations from eV/Å forces need the factor [`ACCEL_CONV`].
+
+/// Coulomb constant `e²/(4πε₀)` in eV·Å. Two unit charges 1 Å apart have
+/// 14.4 eV of electrostatic energy.
+pub const COULOMB_EV_A: f64 = 14.399_645_478;
+
+/// Boltzmann constant in eV/K.
+pub const KB_EV_K: f64 = 8.617_333_262e-5;
+
+/// Energy of 1 amu·(Å/fs)² in eV. (1.66053907e-27 kg · (1e5 m/s)² /
+/// 1.602176634e-19 J/eV.)
+pub const AMU_A2_FS2_IN_EV: f64 = 103.642_696_56;
+
+/// Conversion factor from (eV/Å)/amu to Å/fs²: `a = ACCEL_CONV · F/m`.
+pub const ACCEL_CONV: f64 = 1.0 / AMU_A2_FS2_IN_EV;
+
+/// One erg in eV (the Tosi–Fumi parameters are tabulated in CGS).
+pub const ERG_IN_EV: f64 = 6.241_509_074e11;
+
+/// Atomic masses used by the NaCl system, in amu.
+pub mod mass {
+    /// Sodium.
+    pub const NA: f64 = 22.989_769;
+    /// Chlorine.
+    pub const CL: f64 = 35.453;
+}
+
+/// Pressure conversion: 1 eV/Å³ in GPa.
+pub const EV_A3_IN_GPA: f64 = 160.217_663_4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coulomb_constant_self_consistent() {
+        // e²/(4πε₀) = 1.602176634e-19 C × 8.9875517923e9 N·m²/C² × e / 1e-10 m
+        // = 14.3996 eV·Å — sanity-pin to 6 digits.
+        assert!((COULOMB_EV_A - 14.399_645).abs() < 1e-5);
+    }
+
+    #[test]
+    fn thermal_speed_of_sodium_is_about_one_km_per_s() {
+        // <½ m v²> = 3/2 kB T with the kinetic energy measured in eV:
+        // v² [Å²/fs²] = 3 kB T / (m · AMU_A2_FS2_IN_EV).
+        let t = 1200.0;
+        let v = (3.0 * KB_EV_K * t / (mass::NA * AMU_A2_FS2_IN_EV)).sqrt();
+        // ~1.1 km/s = 0.011 Å/fs.
+        assert!((0.008..0.016).contains(&v), "thermal speed {v} Å/fs");
+    }
+
+    #[test]
+    fn accel_conv_matches_definition() {
+        assert!((ACCEL_CONV * AMU_A2_FS2_IN_EV - 1.0).abs() < 1e-15);
+        // ~9.65e-3 Å/fs² per (eV/Å)/amu.
+        assert!((ACCEL_CONV - 9.648_5e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erg_conversion() {
+        // 1 erg = 1e-7 J = 6.2415e11 eV.
+        assert!((ERG_IN_EV / 6.241_509e11 - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Maxwell–Boltzmann velocity initialisation.
+
+use crate::system::System;
+use crate::units::{AMU_A2_FS2_IN_EV, KB_EV_K};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Draw velocities from the Maxwell–Boltzmann distribution at
+/// temperature `t` (K), remove centre-of-mass drift, and rescale to hit
+/// `t` exactly (the paper's velocity-scaling convention makes the
+/// *instantaneous* temperature the controlled quantity).
+///
+/// Deterministic for a given `seed` — large-scale runs must be
+/// reproducible bit-for-bit across processes.
+pub fn maxwell_boltzmann(system: &mut System, t: f64, seed: u64) {
+    assert!(t >= 0.0, "temperature must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let masses: Vec<f64> = system.masses().to_vec();
+    for (v, &m) in system.velocities_mut().iter_mut().zip(&masses) {
+        // σ² = kB T / m, in Å/fs with the eV↔amu·Å²/fs² conversion.
+        let sigma = (KB_EV_K * t / (m * AMU_A2_FS2_IN_EV)).sqrt();
+        v.x = sigma * normal(&mut rng);
+        v.y = sigma * normal(&mut rng);
+        v.z = sigma * normal(&mut rng);
+    }
+    system.zero_momentum();
+    rescale_to_temperature(system, t);
+}
+
+/// Standard normal via Box–Muller (we avoid a distributions crate).
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Kinetic energy in eV.
+pub fn kinetic_energy(system: &System) -> f64 {
+    0.5 * AMU_A2_FS2_IN_EV
+        * system
+            .velocities()
+            .iter()
+            .zip(system.masses())
+            .map(|(v, m)| m * v.norm_sq())
+            .sum::<f64>()
+}
+
+/// Instantaneous temperature `T = 2·KE / (3N·kB)` (K). Zero for empty
+/// systems.
+pub fn temperature(system: &System) -> f64 {
+    if system.is_empty() {
+        return 0.0;
+    }
+    2.0 * kinetic_energy(system) / (3.0 * system.len() as f64 * KB_EV_K)
+}
+
+/// Rescale all velocities so the instantaneous temperature equals `t`
+/// exactly — the velocity-scaling thermostat primitive (§5: "NVT
+/// constant ensemble by scaling the velocity").
+pub fn rescale_to_temperature(system: &mut System, t: f64) {
+    let current = temperature(system);
+    if current > 0.0 {
+        let factor = (t / current).sqrt();
+        for v in system.velocities_mut() {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+
+    #[test]
+    fn hits_target_temperature_exactly() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 1200.0, 42);
+        assert!((temperature(&s) - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_momentum_after_init() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 300.0, 7);
+        assert!(s.total_momentum().norm() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = rocksalt_nacl(2, NACL_LATTICE_A);
+        let mut b = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut a, 500.0, 123);
+        maxwell_boltzmann(&mut b, 500.0, 123);
+        assert_eq!(a.velocities(), b.velocities());
+        let mut c = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut c, 500.0, 124);
+        assert_ne!(a.velocities(), c.velocities());
+    }
+
+    #[test]
+    fn speeds_are_plausibly_distributed() {
+        let mut s = rocksalt_nacl(3, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 1200.0, 1);
+        // Velocity components should change sign across the population
+        // and no component should be absurdly large (> 10 σ).
+        let sigma_max = (KB_EV_K * 1200.0 / (20.0 * AMU_A2_FS2_IN_EV)).sqrt();
+        let mut pos = 0usize;
+        for v in s.velocities() {
+            if v.x > 0.0 {
+                pos += 1;
+            }
+            assert!(v.norm() < 10.0 * sigma_max * 3f64.sqrt());
+        }
+        let frac = pos as f64 / s.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "sign fraction {frac}");
+    }
+
+    #[test]
+    fn zero_temperature_gives_zero_velocities() {
+        let mut s = rocksalt_nacl(1, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 0.0, 5);
+        assert!(kinetic_energy(&s) < 1e-20);
+    }
+
+    #[test]
+    fn rescale_idempotent_at_target() {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 800.0, 3);
+        let before = s.velocities().to_vec();
+        rescale_to_temperature(&mut s, 800.0);
+        for (a, b) in before.iter().zip(s.velocities()) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+}

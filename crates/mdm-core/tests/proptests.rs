@@ -1,0 +1,128 @@
+//! Property-based tests on the MD engine's core invariants.
+
+use mdm_core::boxsim::SimBox;
+use mdm_core::celllist::CellList;
+use mdm_core::ewald::real::real_kernel;
+use mdm_core::ewald::{EwaldParams, EwaldSum};
+use mdm_core::special::{erf, erfc};
+use mdm_core::vec3::Vec3;
+use proptest::prelude::*;
+
+fn arb_vec3(l: f64) -> impl Strategy<Value = Vec3> {
+    (0.0..l, 0.0..l, 0.0..l).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// Minimum-image displacement components never exceed L/2.
+    #[test]
+    fn min_image_bound(a in arb_vec3(13.7), b in arb_vec3(13.7)) {
+        let sb = SimBox::cubic(13.7);
+        let d = sb.min_image(a, b);
+        prop_assert!(d.abs().max_component() <= 13.7 / 2.0 + 1e-12);
+    }
+
+    /// Minimum image is antisymmetric and consistent with wrap.
+    #[test]
+    fn min_image_antisymmetric(a in arb_vec3(9.3), b in arb_vec3(9.3)) {
+        let sb = SimBox::cubic(9.3);
+        prop_assert!((sb.min_image(a, b) + sb.min_image(b, a)).norm() < 1e-12);
+    }
+
+    /// Wrapping is idempotent.
+    #[test]
+    fn wrap_idempotent(x in -100.0f64..100.0, y in -100.0f64..100.0, z in -100.0f64..100.0) {
+        let sb = SimBox::cubic(7.1);
+        let w = sb.wrap(Vec3::new(x, y, z));
+        prop_assert!((sb.wrap(w) - w).norm() < 1e-12);
+        prop_assert!(w.x >= 0.0 && w.x < 7.1);
+    }
+
+    /// erf is bounded, odd, monotone; erfc complements it.
+    #[test]
+    fn erf_properties(x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 2e-15);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y));
+        }
+    }
+
+    /// The Ewald real-space kernel is positive and decreasing in r.
+    #[test]
+    fn real_kernel_monotone(kappa in 0.05f64..2.0, r in 0.5f64..8.0) {
+        let (e1, f1) = real_kernel(kappa, r * r);
+        let (e2, _) = real_kernel(kappa, (r * 1.01) * (r * 1.01));
+        prop_assert!(e1 > 0.0 && f1 > 0.0);
+        prop_assert!(e2 < e1);
+    }
+
+    /// Cell list half-pair iteration finds exactly the brute-force pairs
+    /// for random configurations, cutoffs and box sizes.
+    #[test]
+    fn celllist_completeness(
+        seed in 0u64..50,
+        l in 8.0f64..20.0,
+        r_cut_frac in 0.15f64..0.49,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let sb = SimBox::cubic(l);
+        let n = 120;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let r_cut = r_cut_frac * l;
+        let cl = CellList::build(sb, &pos, r_cut);
+        let mut got = std::collections::BTreeSet::new();
+        cl.for_each_half_pair(&pos, r_cut, |i, j, _, _| { got.insert((i, j)); });
+        let mut want = std::collections::BTreeSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sb.dist_sq(pos[i], pos[j]) <= r_cut * r_cut {
+                    want.insert((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Ewald forces obey Newton's third law globally (zero net force)
+    /// for arbitrary neutral configurations.
+    #[test]
+    fn ewald_zero_net_force(seed in 0u64..20) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let l = 11.0;
+        let sb = SimBox::cubic(l);
+        let n = 16;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sum = EwaldSum::new(EwaldParams::from_alpha_accuracy(7.0, 3.2, 3.2, l));
+        let r = sum.compute(sb, &pos, &q);
+        let net: Vec3 = r.forces.iter().copied().sum();
+        prop_assert!(net.norm() < 1e-9, "net {net:?}");
+    }
+
+    /// Ewald total energy is invariant under rigid translation of all
+    /// particles (any translation, including across the boundary).
+    #[test]
+    fn ewald_translation_invariance(seed in 0u64..10, shift in arb_vec3(11.0)) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let l = 11.0;
+        let sb = SimBox::cubic(l);
+        let n = 12;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sum = EwaldSum::new(EwaldParams::from_alpha_accuracy(7.0, 3.2, 3.2, l));
+        let e0 = sum.compute(sb, &pos, &q).energy();
+        let moved: Vec<Vec3> = pos.iter().map(|&p| sb.wrap(p + shift)).collect();
+        let e1 = sum.compute(sb, &moved, &q).energy();
+        prop_assert!(((e0 - e1) / e0).abs() < 1e-10, "{e0} vs {e1}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Wide fixed-point accumulators.
+//!
+//! The WINE-2 pipeline accumulates `Σⱼ qⱼ sin θⱼ` over up to millions of
+//! particles (paper: N = 1.88×10⁷). A 32-bit datapath value cannot hold
+//! such a sum, so the hardware keeps a much wider accumulator register at
+//! the end of the pipeline (the paper's Fig. 7 "ACC" stages). We model it
+//! as a 128-bit two's-complement register holding a value with the same
+//! fractional resolution as the datapath.
+
+use crate::fx::Fx;
+
+/// A wide accumulator with `FRAC` fractional bits. Adds are wrapping in
+/// 128 bits; with Q30 terms, overflow would need ~2⁹⁷ terms, so in
+/// practice the accumulator is exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FixedAccum<const FRAC: u32> {
+    raw: i128,
+    terms: u64,
+}
+
+impl<const FRAC: u32> FixedAccum<FRAC> {
+    /// A cleared accumulator.
+    pub const ZERO: Self = Self { raw: 0, terms: 0 };
+
+    /// Create a cleared accumulator.
+    pub const fn new() -> Self {
+        Self::ZERO
+    }
+
+    /// Accumulate one datapath value (same fractional format).
+    #[inline]
+    pub fn add<const W: u32>(&mut self, value: Fx<W, FRAC>) {
+        self.raw = self.raw.wrapping_add(value.raw() as i128);
+        self.terms += 1;
+    }
+
+    /// Accumulate the truncating product of two datapath values — the
+    /// fused multiply-accumulate at the tail of the DFT pipeline. The
+    /// product keeps full precision inside the accumulator (the hardware
+    /// accumulates the *un*-truncated product, which is why the
+    /// accumulated sums are more accurate than a chain of datapath
+    /// multiplies would be).
+    #[inline]
+    pub fn mac<const W1: u32, const W2: u32>(&mut self, a: Fx<W1, FRAC>, b: Fx<W2, FRAC>) {
+        let prod = (a.raw() as i128) * (b.raw() as i128);
+        // Product has 2·FRAC fractional bits; renormalise to FRAC keeping
+        // the extra bits' rounding inside the wide register (truncate).
+        self.raw = self.raw.wrapping_add(prod >> FRAC);
+        self.terms += 1;
+    }
+
+    /// Subtracting variant of [`Self::mac`].
+    #[inline]
+    pub fn mac_neg<const W1: u32, const W2: u32>(&mut self, a: Fx<W1, FRAC>, b: Fx<W2, FRAC>) {
+        let prod = (a.raw() as i128) * (b.raw() as i128);
+        self.raw = self.raw.wrapping_sub(prod >> FRAC);
+        self.terms += 1;
+    }
+
+    /// Number of accumulated terms (for cycle accounting).
+    pub const fn terms(&self) -> u64 {
+        self.terms
+    }
+
+    /// Raw register contents.
+    pub const fn raw(&self) -> i128 {
+        self.raw
+    }
+
+    /// Merge another accumulator into this one (partial-sum reduction, as
+    /// the host does across pipelines/boards/processes).
+    #[inline]
+    pub fn merge(&mut self, other: Self) {
+        self.raw = self.raw.wrapping_add(other.raw);
+        self.terms += other.terms;
+    }
+
+    /// Read out the accumulated value as `f64` (the host-side readback;
+    /// may round if the sum exceeds 53 significant bits, as a real
+    /// readback through a float conversion would).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 / (1i128 << FRAC) as f64
+    }
+
+    /// Clear the accumulator for the next wave.
+    pub fn clear(&mut self) {
+        *self = Self::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q30;
+
+    #[test]
+    fn sums_many_terms_exactly() {
+        let mut acc = FixedAccum::<30>::new();
+        let v = Q30::from_f64(0.5);
+        for _ in 0..1_000_000 {
+            acc.add(v);
+        }
+        assert_eq!(acc.terms(), 1_000_000);
+        assert!((acc.to_f64() - 500_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mac_matches_float_product() {
+        let mut acc = FixedAccum::<30>::new();
+        let a = Q30::from_f64(0.123);
+        let b = Q30::from_f64(-0.456);
+        acc.mac(a, b);
+        assert!((acc.to_f64() - (0.123 * -0.456)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mac_neg_subtracts() {
+        let mut acc = FixedAccum::<30>::new();
+        let a = Q30::from_f64(0.25);
+        let b = Q30::from_f64(0.5);
+        acc.mac(a, b);
+        acc.mac_neg(a, b);
+        assert_eq!(acc.raw(), 0);
+    }
+
+    #[test]
+    fn merge_combines_partial_sums() {
+        let mut a = FixedAccum::<30>::new();
+        let mut b = FixedAccum::<30>::new();
+        a.add(Q30::from_f64(1.0));
+        b.add(Q30::from_f64(0.5));
+        a.merge(b);
+        assert!((a.to_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(a.terms(), 2);
+    }
+
+    #[test]
+    fn alternating_sum_cancels() {
+        let mut acc = FixedAccum::<30>::new();
+        let v = Q30::from_f64(1.2345);
+        for i in 0..10_000 {
+            if i % 2 == 0 {
+                acc.add(v);
+            } else {
+                acc.add(-v);
+            }
+        }
+        assert_eq!(acc.raw(), 0);
+    }
+}

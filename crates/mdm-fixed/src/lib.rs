@@ -1,0 +1,42 @@
+//! # mdm-fixed — fixed-point arithmetic substrate for the WINE-2 emulator
+//!
+//! The WINE-2 pipeline of the Molecular Dynamics Machine (Narumi et al.,
+//! SC 2000, §3.4.4) performs *all* of its arithmetic in two's-complement
+//! fixed-point format. This crate provides that substrate:
+//!
+//! * [`Fx`] — a width/fraction-parameterised two's-complement fixed-point
+//!   number with hardware-style **wrapping** add/sub and truncating multiply.
+//! * [`Phase32`] — a 32-bit "turns" phase register. A full circle is exactly
+//!   `2^32`, so the natural wrap-around of two's-complement addition *is*
+//!   the `mod 2π` reduction the DFT pipeline needs when it forms
+//!   `θ = 2π k·r`.
+//! * [`trig::SinCosTable`] — the lookup-table + linear-interpolation
+//!   sine/cosine unit of the pipeline (Fig. 7 of the paper shows the
+//!   dedicated sine/cosine stage after the inner-product stage).
+//! * [`accum::FixedAccum`] — a wide accumulator for the `Σ qⱼ sin θⱼ`
+//!   running sums; the hardware keeps more integer headroom in the
+//!   accumulator than in the datapath so that millions of terms can be
+//!   summed without overflow.
+//!
+//! The formats chosen by default ([`Q30`], [`Phase32`], a 4096-entry
+//! sine table) give a relative force accuracy of ~10⁻⁴·⁵, which is the
+//! figure the paper quotes for the WINE-2 pipeline.
+
+pub mod accum;
+pub mod fx;
+pub mod phase;
+pub mod trig;
+
+pub use accum::FixedAccum;
+pub use fx::Fx;
+pub use phase::Phase32;
+pub use trig::SinCosTable;
+
+/// The default WINE-2 datapath value format: 32-bit word, 30 fractional
+/// bits (range `[-2, 2)`, resolution `2⁻³⁰`). Sine/cosine values, charges
+/// (pre-scaled by the host), and their products all fit this range.
+pub type Q30 = Fx<32, 30>;
+
+/// A wider intermediate format used when forming products before they are
+/// requantised back into the datapath width.
+pub type Q60 = Fx<62, 60>;

@@ -1,0 +1,113 @@
+//! Property-based tests for the fixed-point substrate.
+
+use mdm_fixed::{Fx, Phase32, SinCosTable};
+use proptest::prelude::*;
+
+type Q30 = Fx<32, 30>;
+
+fn q30() -> impl Strategy<Value = Q30> {
+    // Any 32-bit raw pattern is a valid register state.
+    any::<i32>().prop_map(|r| Q30::from_raw(r as i64))
+}
+
+proptest! {
+    /// Addition is commutative even with wrapping.
+    #[test]
+    fn add_commutative(a in q30(), b in q30()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    /// Addition is associative even with wrapping (two's complement is a
+    /// ring mod 2^WIDTH).
+    #[test]
+    fn add_associative(a in q30(), b in q30(), c in q30()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// x + (-x) == 0 for every register state, including min_value
+    /// (whose negation wraps to itself but min+min wraps to 0).
+    #[test]
+    fn add_neg_is_zero(a in q30()) {
+        prop_assert_eq!(a + (-a), Q30::ZERO);
+    }
+
+    /// Subtraction is addition of the wrapped negation.
+    #[test]
+    fn sub_is_add_neg(a in q30(), b in q30()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    /// Multiplication by zero annihilates; by "one" (max representable
+    /// below 1.0 is not 1.0 in Q30 — use 1.0 exactly which is in range).
+    #[test]
+    fn mul_zero(a in q30()) {
+        prop_assert_eq!(a * Q30::ZERO, Q30::ZERO);
+    }
+
+    /// Multiply matches f64 within truncation tolerance when no overflow.
+    #[test]
+    fn mul_matches_f64(af in -1.0f64..1.0, bf in -1.0f64..1.0) {
+        let a = Q30::from_f64(af);
+        let b = Q30::from_f64(bf);
+        let p = (a * b).to_f64();
+        let exact = a.to_f64() * b.to_f64();
+        // One truncation step: error < 1 ulp of Q30.
+        prop_assert!((p - exact).abs() <= 2.0f64.powi(-30) + 1e-15);
+    }
+
+    /// f64 round trip is within half an ulp for in-range values.
+    #[test]
+    fn round_trip(v in -1.999f64..1.999) {
+        let q = Q30::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 2.0f64.powi(-31));
+    }
+
+    /// Wrapping conversion is periodic with period 4.0 (the Q30 span).
+    #[test]
+    fn wrap_periodic(v in -1.9f64..1.9) {
+        let a = Q30::from_f64(v);
+        let b = Q30::from_f64(v + 4.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Phase addition corresponds to angle addition mod one turn.
+    #[test]
+    fn phase_add_mod(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let pa = Phase32::from_turns(a);
+        let pb = Phase32::from_turns(b);
+        let sum = pa.wrapping_add(pb).to_turns();
+        let expect = (pa.to_turns() + pb.to_turns()).rem_euclid(1.0);
+        let diff = (sum - expect).abs();
+        // Allow wrap at the seam.
+        prop_assert!(diff < 1e-8 || (1.0 - diff) < 1e-8);
+    }
+
+    /// Integer phase multiplication matches float modular arithmetic.
+    #[test]
+    fn phase_mul_int(s in 0.0f64..1.0, n in -1000i32..1000) {
+        let p = Phase32::from_turns(s);
+        let got = p.wrapping_mul_int(n).to_turns();
+        let expect = (p.to_turns() * n as f64).rem_euclid(1.0);
+        let diff = (got - expect).abs();
+        prop_assert!(diff < 1e-6 || (1.0 - diff) < 1e-6, "got={got} expect={expect}");
+    }
+
+    /// The sine unit stays within its documented error bound everywhere.
+    #[test]
+    fn sine_error_bound(turns in 0.0f64..1.0) {
+        let t = SinCosTable::default();
+        let p = Phase32::from_turns(turns);
+        let approx = t.sin(p).to_f64();
+        let exact = (p.to_turns() * std::f64::consts::TAU).sin();
+        prop_assert!((approx - exact).abs() < 3.5e-7);
+    }
+
+    /// sin² + cos² ≈ 1 everywhere.
+    #[test]
+    fn pythagoras(turns in 0.0f64..1.0) {
+        let t = SinCosTable::default();
+        let (s, c) = t.sin_cos(Phase32::from_turns(turns));
+        let norm = s.to_f64().powi(2) + c.to_f64().powi(2);
+        prop_assert!((norm - 1.0).abs() < 2e-6);
+    }
+}

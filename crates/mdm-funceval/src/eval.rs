@@ -1,0 +1,136 @@
+//! The evaluation datapath.
+
+use crate::segments::SegmentHit;
+use crate::table::FunctionTable;
+
+/// The function evaluator proper: address decode + coefficient RAM read +
+/// 4th-order Horner evaluation, all in IEEE 754 single precision like the
+/// silicon (§3.5.4).
+#[derive(Clone, Debug)]
+pub struct FunctionEvaluator {
+    table: FunctionTable,
+}
+
+impl FunctionEvaluator {
+    /// Wire the evaluator to a coefficient RAM image.
+    pub fn new(table: FunctionTable) -> Self {
+        Self { table }
+    }
+
+    /// Swap in a new RAM image (what `MR1SetTable` ultimately does).
+    pub fn load_table(&mut self, table: FunctionTable) {
+        self.table = table;
+    }
+
+    /// The loaded table.
+    pub fn table(&self) -> &FunctionTable {
+        &self.table
+    }
+
+    /// Evaluate `g(x)`.
+    ///
+    /// * In range: quartic Horner in `f32`.
+    /// * Below range (including `x == 0`): the first segment's `t = 0`
+    ///   value — finite, harmless, multiplied by `r⃗ = 0⃗` downstream.
+    /// * Above range: `0.0` (the kernel tail has decayed).
+    #[inline]
+    pub fn eval(&self, x: f32) -> f32 {
+        match self.table.segmentation().locate(x) {
+            SegmentHit::In { index, t } => {
+                let c = self.table.coefficients(index);
+                ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+            }
+            SegmentHit::Below => self.table.coefficients(0)[0],
+            SegmentHit::Above => 0.0,
+        }
+    }
+
+    /// Evaluate a batch (one per pipeline input); provided so emulator
+    /// inner loops don't repeat the match per call site.
+    pub fn eval_slice(&self, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len());
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.eval(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segments::Segmentation;
+
+    fn evaluator_for<F: Fn(f64) -> f64>(g: F) -> FunctionEvaluator {
+        let seg = Segmentation::HARDWARE_DEFAULT;
+        FunctionEvaluator::new(FunctionTable::generate("t", seg, g).unwrap())
+    }
+
+    #[test]
+    fn evaluates_smooth_kernel_to_f32_accuracy() {
+        let g = |x: f64| 2.0 * x.powf(-3.5).min(1e6) * (-x / 10.0).exp();
+        let ev = evaluator_for(g);
+        for &x in &[0.01f32, 0.5, 1.0, 7.0, 100.0] {
+            let approx = ev.eval(x) as f64;
+            let exact = g(x as f64);
+            assert!(
+                (approx - exact).abs() / exact.abs() < 1e-5,
+                "x={x}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn below_range_is_finite() {
+        let ev = evaluator_for(|x| 1.0 / (x + 1e-30));
+        let v = ev.eval(0.0);
+        assert!(v.is_finite());
+        // and equals the left edge value of the domain
+        let edge = ev.table().segmentation().x_min();
+        assert!((v as f64 - 1.0 / (edge + 1e-30)).abs() / (1.0 / edge) < 1e-2);
+    }
+
+    #[test]
+    fn above_range_is_zero() {
+        let ev = evaluator_for(|x| (-x).exp());
+        assert_eq!(ev.eval(1e20), 0.0);
+    }
+
+    #[test]
+    fn eval_slice_matches_scalar() {
+        let ev = evaluator_for(|x| x.sqrt());
+        let xs = [0.25f32, 1.0, 4.0, 16.0];
+        let mut out = [0.0f32; 4];
+        ev.eval_slice(&xs, &mut out);
+        for (x, o) in xs.iter().zip(out) {
+            assert_eq!(ev.eval(*x), o);
+        }
+    }
+
+    #[test]
+    fn load_table_swaps_function() {
+        let mut ev = evaluator_for(|_| 1.0);
+        assert!((ev.eval(1.0) - 1.0).abs() < 1e-6);
+        let seg = Segmentation::HARDWARE_DEFAULT;
+        ev.load_table(FunctionTable::generate("two", seg, |_| 2.0).unwrap());
+        assert!((ev.eval(1.0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuity_across_segment_edges() {
+        // Both-endpoint Chebyshev nodes make neighbouring quartics agree
+        // at shared edges up to f32 rounding.
+        let g = |x: f64| (-x).exp() * x.sqrt();
+        let ev = evaluator_for(g);
+        let seg = ev.table().segmentation();
+        for index in 600..700 {
+            let edge = seg.segment_hi(index) as f32;
+            let left = ev.eval(f32::from_bits(edge.to_bits() - 1)) as f64;
+            let right = ev.eval(edge) as f64;
+            let scale = left.abs().max(right.abs()).max(1e-12);
+            assert!(
+                ((left - right) / scale).abs() < 1e-4,
+                "segment {index}: {left} vs {right}"
+            );
+        }
+    }
+}

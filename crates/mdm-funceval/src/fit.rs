@@ -1,0 +1,142 @@
+//! Quartic fitting — the "separate utility program" of the paper (§4)
+//! that generates the coefficient tables loaded by `MR1SetTable`.
+//!
+//! Each segment gets a degree-4 polynomial in the normalised coordinate
+//! `t ∈ [0,1]`, obtained by interpolating `g` at the five Chebyshev
+//! points of the segment (Chebyshev nodes keep the interpolation error
+//! near-uniform, avoiding the Runge blow-up equispaced nodes would give
+//! at segment edges).
+
+/// Interpolation nodes in `[0,1]`: Chebyshev points of the second kind
+/// mapped from `[-1,1]`, which include both endpoints so neighbouring
+/// segments agree exactly at their shared edge.
+pub fn chebyshev_nodes5() -> [f64; 5] {
+    let mut nodes = [0.0; 5];
+    for (k, n) in nodes.iter_mut().enumerate() {
+        // cos(kπ/4) for k=4..0 mapped to [0,1], ascending.
+        let x = (std::f64::consts::PI * (4 - k) as f64 / 4.0).cos();
+        *n = 0.5 * (x + 1.0);
+    }
+    nodes
+}
+
+/// Fit the degree-4 interpolating polynomial through `(nodes[i], values[i])`.
+/// Returns coefficients `c` such that `p(t) = c[0] + c[1] t + ... + c[4] t⁴`.
+///
+/// Solved by Gaussian elimination with partial pivoting on the 5×5
+/// Vandermonde system — tiny and done once per segment at table-build
+/// time, so numerical elegance beats cleverness here.
+pub fn polyfit5(nodes: &[f64; 5], values: &[f64; 5]) -> [f64; 5] {
+    let mut a = [[0.0f64; 6]; 5];
+    for i in 0..5 {
+        let mut p = 1.0;
+        for j in 0..5 {
+            a[i][j] = p;
+            p *= nodes[i];
+        }
+        a[i][5] = values[i];
+    }
+    gauss_solve5(&mut a)
+}
+
+/// Solve the augmented 5×6 system in place; returns the solution vector.
+fn gauss_solve5(a: &mut [[f64; 6]; 5]) -> [f64; 5] {
+    for col in 0..5 {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..5 {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        a.swap(col, pivot);
+        let diag = a[col][col];
+        debug_assert!(diag.abs() > 1e-300, "singular Vandermonde system");
+        for row in col + 1..5 {
+            let factor = a[row][col] / diag;
+            for k in col..6 {
+                a[row][k] -= factor * a[col][k];
+            }
+        }
+    }
+    let mut x = [0.0f64; 5];
+    for row in (0..5).rev() {
+        let mut sum = a[row][5];
+        for k in row + 1..5 {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    x
+}
+
+/// Evaluate the fitted polynomial in `f64` (reference path; the hardware
+/// path in [`crate::eval`] uses `f32`).
+#[inline]
+pub fn horner5_f64(c: &[f64; 5], t: f64) -> f64 {
+    ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_sorted_and_span_unit_interval() {
+        let n = chebyshev_nodes5();
+        assert_eq!(n[0], 0.0);
+        assert!((n[4] - 1.0).abs() < 1e-15);
+        for w in n.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn fit_reproduces_quartic_exactly() {
+        // p(t) = 3 - 2t + t² + 0.5t³ - 0.25t⁴ must be recovered exactly.
+        let truth = [3.0, -2.0, 1.0, 0.5, -0.25];
+        let nodes = chebyshev_nodes5();
+        let mut values = [0.0; 5];
+        for i in 0..5 {
+            values[i] = horner5_f64(&truth, nodes[i]);
+        }
+        let fitted = polyfit5(&nodes, &values);
+        for i in 0..5 {
+            assert!(
+                (fitted[i] - truth[i]).abs() < 1e-10,
+                "coeff {i}: {} vs {}",
+                fitted[i],
+                truth[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fit_interpolates_at_nodes() {
+        let nodes = chebyshev_nodes5();
+        let values = [1.0, -0.5, 2.25, 0.0, 7.5];
+        let c = polyfit5(&nodes, &values);
+        for i in 0..5 {
+            assert!((horner5_f64(&c, nodes[i]) - values[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smooth_function_error_is_small() {
+        // exp on [0,1] with a single quartic: Chebyshev interpolation
+        // error bound ~ |f⁽⁵⁾| / (5! · 2⁷) ≈ 1.8e-4; we should be well
+        // within 1e-4 at mid-points.
+        let nodes = chebyshev_nodes5();
+        let mut values = [0.0; 5];
+        for i in 0..5 {
+            values[i] = nodes[i].exp();
+        }
+        let c = polyfit5(&nodes, &values);
+        let mut max_err = 0.0f64;
+        for k in 0..=100 {
+            let t = k as f64 / 100.0;
+            max_err = max_err.max((horner5_f64(&c, t) - t.exp()).abs());
+        }
+        assert!(max_err < 1e-4, "max_err = {max_err}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Exponent/mantissa segment addressing.
+//!
+//! The function evaluator's coefficient RAM is addressed directly from
+//! the bit pattern of the single-precision input `x = a·r²`: the 8-bit
+//! exponent selects an octave `[2ᵉ, 2ᵉ⁺¹)` and the top mantissa bits
+//! subdivide it. This makes segment width proportional to `x`, which is
+//! what a smooth force kernel needs: fine resolution near the core,
+//! coarse resolution in the tail — without it, 1,024 *linear* segments
+//! could never cover `x ∈ [10⁻⁶, 10⁴]` accurately.
+
+/// Maps positive finite `f32` inputs to segment indices.
+///
+/// The covered domain is `[2^e_min, 2^e_max)`; each octave is divided
+/// into `2^mantissa_bits` equal-width segments, for a total of
+/// `(e_max - e_min) << mantissa_bits` segments (1,024 in the hardware
+/// configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    /// Smallest covered binary exponent: the domain starts at `2^e_min`.
+    pub e_min: i32,
+    /// One past the largest covered binary exponent: domain ends at `2^e_max`.
+    pub e_max: i32,
+    /// Mantissa bits used for intra-octave subdivision.
+    pub mantissa_bits: u32,
+}
+
+/// Where an input landed relative to the covered domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SegmentHit {
+    /// Inside the domain: segment index and normalised position `t ∈ [0,1)`.
+    In { index: usize, t: f32 },
+    /// Below `2^e_min` (including `x == 0`, the self-interaction case).
+    Below,
+    /// At or above `2^e_max`.
+    Above,
+}
+
+impl Segmentation {
+    /// The hardware-default segmentation: 64 octaves × 16 segments =
+    /// 1,024 segments covering `x ∈ [2⁻⁴⁰, 2²⁴) ≈ [9.1×10⁻¹³, 1.7×10⁷)`.
+    ///
+    /// The range is chosen so that for typical MD parameters
+    /// (`x = α²r²/L²` down to the closest approach, up to the corner of
+    /// the 27-cell block) every physically occurring input is in range.
+    pub const HARDWARE_DEFAULT: Self = Self {
+        e_min: -40,
+        e_max: 24,
+        mantissa_bits: 4,
+    };
+
+    /// Create a segmentation; panics if parameters are inconsistent.
+    pub fn new(e_min: i32, e_max: i32, mantissa_bits: u32) -> Self {
+        assert!(e_min < e_max, "e_min must be < e_max");
+        assert!(mantissa_bits <= 8, "mantissa_bits must be <= 8");
+        assert!(
+            (-126..=127).contains(&e_min) && (-126..=128).contains(&e_max),
+            "exponent range must fit normal f32 exponents"
+        );
+        Self {
+            e_min,
+            e_max,
+            mantissa_bits,
+        }
+    }
+
+    /// Total number of segments.
+    #[inline]
+    pub const fn segment_count(&self) -> usize {
+        ((self.e_max - self.e_min) as usize) << self.mantissa_bits
+    }
+
+    /// Lowest covered input.
+    #[inline]
+    pub fn x_min(&self) -> f64 {
+        (self.e_min as f64).exp2()
+    }
+
+    /// One past the highest covered input.
+    #[inline]
+    pub fn x_max(&self) -> f64 {
+        (self.e_max as f64).exp2()
+    }
+
+    /// Lower edge of segment `index`.
+    pub fn segment_lo(&self, index: usize) -> f64 {
+        let per_octave = 1usize << self.mantissa_bits;
+        let octave = self.e_min + (index / per_octave) as i32;
+        let sub = (index % per_octave) as f64 / per_octave as f64;
+        (octave as f64).exp2() * (1.0 + sub)
+    }
+
+    /// Upper edge of segment `index` (equals `segment_lo(index + 1)` for
+    /// interior segments).
+    pub fn segment_hi(&self, index: usize) -> f64 {
+        let per_octave = 1usize << self.mantissa_bits;
+        let octave = self.e_min + (index / per_octave) as i32;
+        let sub = (index % per_octave + 1) as f64 / per_octave as f64;
+        (octave as f64).exp2() * (1.0 + sub)
+    }
+
+    /// The address decode: classify `x` and, when in range, extract the
+    /// segment index and the normalised intra-segment coordinate from the
+    /// raw IEEE 754 bit pattern — the same shift-and-mask a chip does.
+    #[inline]
+    pub fn locate(&self, x: f32) -> SegmentHit {
+        if !(x > 0.0) || !x.is_finite() {
+            // Zero, negatives (impossible for r²·a with a>0), NaN: treat
+            // as below-range; the pipeline multiplies the result by
+            // r⃗ = 0 in the self-interaction case, so any finite g works.
+            return SegmentHit::Below;
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 23) & 0xff) as i32 - 127;
+        if exp < self.e_min {
+            return SegmentHit::Below;
+        }
+        if exp >= self.e_max {
+            return SegmentHit::Above;
+        }
+        let mantissa = bits & 0x7f_ffff;
+        let sub = (mantissa >> (23 - self.mantissa_bits)) as usize;
+        let index = (((exp - self.e_min) as usize) << self.mantissa_bits) | sub;
+        // Remaining mantissa bits form t ∈ [0,1) across the segment.
+        let rem_bits = 23 - self.mantissa_bits;
+        let rem = mantissa & ((1u32 << rem_bits) - 1);
+        let t = rem as f32 / (1u32 << rem_bits) as f32;
+        SegmentHit::In { index, t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_default_has_1024_segments() {
+        assert_eq!(Segmentation::HARDWARE_DEFAULT.segment_count(), 1024);
+    }
+
+    #[test]
+    fn locate_picks_correct_octave() {
+        let seg = Segmentation::new(0, 4, 2); // [1,16), 4 per octave
+        assert_eq!(seg.segment_count(), 16);
+        match seg.locate(1.0) {
+            SegmentHit::In { index, t } => {
+                assert_eq!(index, 0);
+                assert_eq!(t, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match seg.locate(2.0) {
+            SegmentHit::In { index, .. } => assert_eq!(index, 4),
+            other => panic!("{other:?}"),
+        }
+        match seg.locate(15.999) {
+            SegmentHit::In { index, .. } => assert_eq!(index, 15),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_edges() {
+        let seg = Segmentation::new(0, 4, 2);
+        assert_eq!(seg.locate(0.0), SegmentHit::Below);
+        assert_eq!(seg.locate(0.5), SegmentHit::Below);
+        assert_eq!(seg.locate(16.0), SegmentHit::Above);
+        assert_eq!(seg.locate(1e10), SegmentHit::Above);
+        assert_eq!(seg.locate(f32::NAN), SegmentHit::Below);
+        assert_eq!(seg.locate(-1.0), SegmentHit::Below);
+    }
+
+    #[test]
+    fn segment_edges_are_contiguous() {
+        let seg = Segmentation::HARDWARE_DEFAULT;
+        for i in 0..seg.segment_count() - 1 {
+            let hi = seg.segment_hi(i);
+            let lo_next = seg.segment_lo(i + 1);
+            assert!(
+                (hi - lo_next).abs() / hi < 1e-12,
+                "gap between segment {i} and {}",
+                i + 1
+            );
+        }
+        assert!((seg.segment_lo(0) - seg.x_min()).abs() < 1e-20);
+        let last = seg.segment_count() - 1;
+        assert!((seg.segment_hi(last) - seg.x_max()).abs() / seg.x_max() < 1e-12);
+    }
+
+    #[test]
+    fn t_spans_zero_to_one_within_segment() {
+        let seg = Segmentation::new(0, 1, 0); // single segment [1,2)
+        match seg.locate(1.0) {
+            SegmentHit::In { t, .. } => assert_eq!(t, 0.0),
+            other => panic!("{other:?}"),
+        }
+        match seg.locate(1.5) {
+            SegmentHit::In { t, .. } => assert!((t - 0.5).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+        match seg.locate(1.999_999) {
+            SegmentHit::In { t, .. } => assert!(t > 0.999),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_is_consistent_with_segment_edges() {
+        let seg = Segmentation::HARDWARE_DEFAULT;
+        for &x in &[1e-9f32, 3.7e-4, 0.02, 1.0, 42.0, 9_999.0, 1.0e6] {
+            match seg.locate(x) {
+                SegmentHit::In { index, .. } => {
+                    let lo = seg.segment_lo(index);
+                    let hi = seg.segment_hi(index);
+                    assert!(
+                        (x as f64) >= lo * (1.0 - 1e-7) && (x as f64) < hi * (1.0 + 1e-7),
+                        "x={x} not in segment {index} [{lo},{hi})"
+                    );
+                }
+                other => panic!("x={x}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A simulated message-passing fabric.
+//!
+//! The paper's MD program "is parallelized with Message Passing
+//! Interface (MPI)" over Myrinet (§4). Here the processes are threads
+//! and the interconnect is crossbeam channels, but the programming
+//! model is the same: ranks, point-to-point send/recv with tags,
+//! barrier, all-reduce and gather. The [`parallel`](crate::parallel)
+//! module writes against this exactly as the paper's code wrote against
+//! MPI.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A tagged message.
+struct Message {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// One rank's endpoint.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order delivery buffer keyed by `(from, tag)`.
+    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+}
+
+impl Comm {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `data` to `to` with `tag`. Never blocks (channels are
+    /// unbounded, like a buffered MPI eager send).
+    pub fn send(&self, to: usize, tag: u64, data: &[f64]) {
+        self.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data: data.to_vec(),
+            })
+            .expect("peer hung up");
+    }
+
+    /// Blocking receive matching `(from, tag)`; unrelated messages are
+    /// buffered for later receives.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(queue) = self.pending.get_mut(&(from, tag)) {
+            if let Some(data) = queue.pop_front() {
+                return data;
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("world shut down");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.pending
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.data);
+        }
+    }
+
+    /// Synchronise all ranks (central-coordinator algorithm).
+    pub fn barrier(&mut self, tag: u64) {
+        if self.rank == 0 {
+            for from in 1..self.size {
+                let _ = self.recv(from, tag);
+            }
+            for to in 1..self.size {
+                self.send(to, tag, &[]);
+            }
+        } else {
+            self.send(0, tag, &[]);
+            let _ = self.recv(0, tag);
+        }
+    }
+
+    /// Element-wise sum across all ranks; every rank gets the result
+    /// (reduce-to-root + broadcast).
+    pub fn allreduce_sum(&mut self, tag: u64, data: &[f64]) -> Vec<f64> {
+        if self.rank == 0 {
+            let mut acc = data.to_vec();
+            for from in 1..self.size {
+                let part = self.recv(from, tag);
+                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a += p;
+                }
+            }
+            for to in 1..self.size {
+                self.send(to, tag, &acc);
+            }
+            acc
+        } else {
+            self.send(0, tag, data);
+            self.recv(0, tag)
+        }
+    }
+
+    /// Gather variable-length contributions to rank 0 (others get an
+    /// empty vec). Contributions are concatenated in rank order.
+    pub fn gather_to_root(&mut self, tag: u64, data: &[f64]) -> Vec<f64> {
+        if self.rank == 0 {
+            let mut all = data.to_vec();
+            for from in 1..self.size {
+                all.extend(self.recv(from, tag));
+            }
+            all
+        } else {
+            self.send(0, tag, data);
+            Vec::new()
+        }
+    }
+}
+
+/// Run `size` ranks, each executing `f(comm)` on its own thread, and
+/// return the per-rank results in rank order.
+pub fn run_world<F, R>(size: usize, f: F) -> Vec<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(size > 0);
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Comm {
+            rank,
+            size,
+            senders: senders.clone(),
+            receiver,
+            pending: HashMap::new(),
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(|| f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = run_world(4, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, &[comm.rank() as f64]);
+            comm.recv(prev, 1)[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let out = run_world(5, |mut comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(7, &mine)
+        });
+        for r in out {
+            assert_eq!(r, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let out = run_world(3, |mut comm| {
+            let mine: Vec<f64> = (0..=comm.rank()).map(|i| i as f64).collect();
+            comm.gather_to_root(9, &mine)
+        });
+        assert_eq!(out[0], vec![0.0, 0.0, 1.0, 0.0, 1.0, 2.0]);
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn out_of_order_messages_are_buffered() {
+        let out = run_world(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 before tag 1; receiver asks for 1 first.
+                comm.send(1, 2, &[2.0]);
+                comm.send(1, 1, &[1.0]);
+                0.0
+            } else {
+                let first = comm.recv(0, 1)[0];
+                let second = comm.recv(0, 2)[0];
+                first * 10.0 + second
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = run_world(6, |mut comm| {
+            comm.barrier(42);
+            comm.rank()
+        });
+        assert_eq!(out.len(), 6);
+    }
+}

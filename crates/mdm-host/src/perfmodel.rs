@@ -1,0 +1,441 @@
+//! The performance model behind Tables 4 and 5.
+//!
+//! Table 4's machinery, reconstructed:
+//!
+//! 1. **Accuracy is held fixed** across columns: every `(α, r_cut,
+//!    L·k_cut)` triple in the table satisfies `α·r_cut/L = s_r ≈ 2.64`
+//!    and `π·L·k_cut/α = s_k ≈ 2.36` (check the paper's numbers — they
+//!    do, to the printed precision). So one parameter, α, spans the
+//!    whole design space.
+//! 2. **α is chosen per machine**: a conventional computer balances the
+//!    real and wavenumber *flop counts* (`59·N·N_int = 64·N·N_wv` →
+//!    α = 30.1); the MDM balances the *hardware times* of its two very
+//!    differently-sized engines, pushing α to 85 because WINE-2 is 45×
+//!    faster than MDGRAPE-2.
+//! 3. **Times** come from pipeline throughput (chips × pipelines ×
+//!    clock × duty), PCI/Myrinet transfer volumes, and an O(N) host
+//!    term.
+//! 4. **Effective speed** re-costs the same-accuracy computation at the
+//!    conventional optimum: `effective = min_conventional_flops /
+//!    t_step` — that is how 15.4 Tflops of raw rate becomes the honest
+//!    1.34 Tflops headline.
+
+use crate::machines::{MachineModel, RealSpaceEngine};
+use mdm_core::flops;
+
+/// The simulated system, in the model's terms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemSpec {
+    /// Particle count.
+    pub n: f64,
+    /// Box side, Å.
+    pub l: f64,
+    /// Real-space accuracy parameter `s_r = α·r_cut/L`.
+    pub s_r: f64,
+    /// Wavenumber accuracy parameter `s_k = π·L·k_cut/α`.
+    pub s_k: f64,
+}
+
+impl SystemSpec {
+    /// The paper's headline system: N = 1.88×10⁷ ions in L = 850 Å at
+    /// the accuracy of Table 4 (s_r = 2.64, s_k = 2.3615 — both derived
+    /// from the table's own `(α, r_cut, L·k_cut)` triples).
+    pub fn paper() -> Self {
+        Self {
+            n: 1.88e7,
+            l: 850.0,
+            s_r: 2.64,
+            s_k: 2.3615,
+        }
+    }
+
+    /// Same accuracy, different size (the §6.2 million-particle
+    /// projection), at the paper's molten-salt density.
+    pub fn paper_density(n: f64) -> Self {
+        let density = 1.88e7 / 850.0f64.powi(3);
+        Self {
+            n,
+            l: (n / density).cbrt(),
+            s_r: 2.64,
+            s_k: 2.3615,
+        }
+    }
+
+    /// `r_cut` for a given α.
+    pub fn r_cut(&self, alpha: f64) -> f64 {
+        self.s_r * self.l / alpha
+    }
+
+    /// `L·k_cut` for a given α.
+    pub fn n_max(&self, alpha: f64) -> f64 {
+        self.s_k * alpha / std::f64::consts::PI
+    }
+}
+
+/// How α is selected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlphaStrategy {
+    /// Use exactly this α (reproduce the paper's printed values).
+    Fixed(f64),
+    /// Balance conventional flop counts: `59·N·N_int = 64·N·N_wv`.
+    BalanceFlops,
+    /// Balance the hardware times of MDGRAPE-2 and WINE-2.
+    BalanceHardware,
+}
+
+/// One column of Table 4.
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Column {
+    /// α used.
+    pub alpha: f64,
+    /// Real-space cutoff, Å.
+    pub r_cut: f64,
+    /// Dimensionless wave cutoff `L·k_cut`.
+    pub n_max: f64,
+    /// Conventional interactions per particle (eq. 5).
+    pub n_int: f64,
+    /// MDGRAPE-2 interactions per particle (eq. 6).
+    pub n_int_g: f64,
+    /// Waves (eq. 13).
+    pub n_wv: f64,
+    /// Real-space flops per step (59·N·N_int or 59·N·N_int_g).
+    pub real_flops: f64,
+    /// Wavenumber flops per step (64·N·N_wv).
+    pub wave_flops: f64,
+    /// WINE-2 (or CPU-wavenumber) time, s.
+    pub t_wave: f64,
+    /// MDGRAPE-2 (or CPU-real) time, s.
+    pub t_real: f64,
+    /// Link (PCI) + network time, s.
+    pub t_comm: f64,
+    /// Host O(N) time, s.
+    pub t_host: f64,
+    /// Step time, s.
+    pub sec_per_step: f64,
+    /// Calculation speed: total flops / step time.
+    pub calc_speed: f64,
+    /// Effective speed: conventional-minimum flops / step time.
+    pub effective_speed: f64,
+}
+
+impl Table4Column {
+    /// Total flops per step.
+    pub fn total_flops(&self) -> f64 {
+        self.real_flops + self.wave_flops
+    }
+}
+
+/// The model: a machine plus the Table 4 arithmetic.
+#[derive(Clone, Copy, Debug)]
+pub struct PerformanceModel {
+    machine: MachineModel,
+    /// Host flops per particle per step for the O(N) work (integration,
+    /// scaling, bookkeeping).
+    pub host_flops_per_particle: f64,
+}
+
+impl PerformanceModel {
+    /// Wrap a machine with the default host cost (200 flops/particle).
+    pub fn new(machine: MachineModel) -> Self {
+        Self {
+            machine,
+            host_flops_per_particle: 200.0,
+        }
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Select α per strategy (closed forms — the balance conditions are
+    /// `A/α³ = B·α³`).
+    pub fn optimal_alpha(&self, spec: &SystemSpec, strategy: AlphaStrategy) -> f64 {
+        let pi = std::f64::consts::PI;
+        let two_pi_3 = 2.0 * pi / 3.0;
+        match strategy {
+            AlphaStrategy::Fixed(a) => a,
+            AlphaStrategy::BalanceFlops => {
+                // 59·N·(2π/3)·s_r³/α³ = 64·(2π/3)·(s_k/π)³·α³
+                let a6 = 59.0 * spec.n * spec.s_r.powi(3) * pi.powi(3)
+                    / (64.0 * spec.s_k.powi(3));
+                a6.powf(1.0 / 6.0)
+            }
+            AlphaStrategy::BalanceHardware => {
+                // N·27·s_r³/α³ / R_m = 2·N·(2π/3)·(s_k/π)³·α³ / N... :
+                // t_mdg = N·n_int_g/R_m, t_wine = 2·N·n_wv/R_w.
+                let r_m = self.machine.mdg_rate();
+                let r_w = self.machine.wine_rate();
+                assert!(r_m > 0.0 && r_w > 0.0, "hardware balance needs both engines");
+                let a6 = 27.0 * spec.s_r.powi(3) * spec.n * r_w
+                    / (2.0 * two_pi_3 * (spec.s_k / pi).powi(3) * r_m);
+                a6.powf(1.0 / 6.0)
+            }
+        }
+    }
+
+    /// The conventional-optimum flop count for this accuracy — the
+    /// denominator-side of the paper's *effective speed* (5.88×10¹³ for
+    /// the paper spec).
+    pub fn conventional_minimum_flops(&self, spec: &SystemSpec) -> f64 {
+        let alpha = self.optimal_alpha(spec, AlphaStrategy::BalanceFlops);
+        let r_cut = spec.r_cut(alpha);
+        let n_max = spec.n_max(alpha);
+        flops::real_flops_conventional(spec.n, r_cut, spec.l)
+            + flops::wave_flops(spec.n, n_max)
+    }
+
+    /// Evaluate the full Table 4 column for a given α.
+    pub fn evaluate(&self, spec: &SystemSpec, alpha: f64) -> Table4Column {
+        let m = &self.machine;
+        let r_cut = spec.r_cut(alpha);
+        let n_max = spec.n_max(alpha);
+        let n_int = flops::n_int(r_cut, spec.n, spec.l);
+        let n_int_g = flops::n_int_g(r_cut, spec.n, spec.l);
+        let n_wv = flops::n_wv(n_max);
+
+        let (real_flops, t_real, t_wave, t_comm, t_host) = match m.real_engine {
+            RealSpaceEngine::Mdgrape2 => {
+                let real_flops = flops::real_flops_mdgrape(spec.n, r_cut, spec.l);
+                let t_real = spec.n * n_int_g / m.mdg_rate();
+                let t_wave = 2.0 * spec.n * n_wv / m.wine_rate();
+                let t_comm = self.comm_time(spec, n_wv);
+                let t_host = self.host_flops_per_particle * spec.n / m.host_flops;
+                (real_flops, t_real, t_wave, t_comm, t_host)
+            }
+            RealSpaceEngine::Conventional => {
+                let real_flops = flops::real_flops_conventional(spec.n, r_cut, spec.l);
+                let wave_flops = flops::wave_flops(spec.n, n_max);
+                let t_real = real_flops / m.cpu_flops;
+                let t_wave = wave_flops / m.cpu_flops;
+                let t_host = self.host_flops_per_particle * spec.n / m.host_flops;
+                (real_flops, t_real, t_wave, 0.0, t_host)
+            }
+        };
+        let wave_flops = flops::wave_flops(spec.n, n_max);
+
+        let sec_per_step = match m.real_engine {
+            // The two engines overlap; comm and host serialise.
+            RealSpaceEngine::Mdgrape2 => t_real.max(t_wave) + t_comm + t_host,
+            // One CPU pool does everything in sequence.
+            RealSpaceEngine::Conventional => t_real + t_wave + t_host,
+        };
+
+        let total = real_flops + wave_flops;
+        Table4Column {
+            alpha,
+            r_cut,
+            n_max,
+            n_int,
+            n_int_g,
+            n_wv,
+            real_flops,
+            wave_flops,
+            t_wave,
+            t_real,
+            t_comm,
+            t_host,
+            sec_per_step,
+            calc_speed: total / sec_per_step,
+            effective_speed: self.conventional_minimum_flops(spec) / sec_per_step,
+        }
+    }
+
+    /// PCI + network time per step for the MDM dataflow.
+    fn comm_time(&self, spec: &SystemSpec, n_wv: f64) -> f64 {
+        let m = &self.machine;
+        let wine_clusters = (m.wine_chips as f64
+            / (wine2::board::CHIPS_PER_BOARD * wine2::cluster::BOARDS_PER_CLUSTER) as f64)
+            .max(1.0);
+        let mdg_clusters = (m.mdg_chips as f64
+            / (mdgrape2::board::CHIPS_PER_BOARD * mdgrape2::cluster::BOARDS_PER_CLUSTER) as f64)
+            .max(1.0);
+        // WINE-2 per-cluster traffic: particle load (16 B) and force
+        // read-back (24 B) for the cluster's particle share, plus the
+        // wave stream — every board sees every wave twice (DFT vectors
+        // 16 B, IDFT coefficients 24 B).
+        let wine_bytes = 40.0 * spec.n / wine_clusters
+            + 40.0 * n_wv * wine2::cluster::BOARDS_PER_CLUSTER as f64;
+        // MDGRAPE-2 per-cluster traffic: 4 passes (Coulomb-real,
+        // Born-Mayer, r⁻⁶, r⁻⁸) × (j-stream 16 B × 2 boards + forces
+        // 24 B) over the cluster's domain share.
+        let mdg_bytes = 4.0 * (spec.n / mdg_clusters) * (16.0 * 2.0 + 24.0);
+        let t_pci = wine_bytes.max(mdg_bytes) / m.pci_bytes_per_s;
+        // Network: S/C all-reduce (2 × 8 B per wave, up and down) plus a
+        // halo exchange (~20 % of each node's particles at 16 B).
+        let net_bytes = 4.0 * 16.0 * n_wv + 0.2 * (spec.n / m.nodes as f64) * 16.0;
+        t_pci + net_bytes / m.network_bytes_per_s
+    }
+
+    /// Solve the WINE-2 duty factor so the model's step time for
+    /// `(spec, alpha)` equals `target_sec` (used once, against the
+    /// measured 43.8 s/step). MDGRAPE-2 duty is set equal — both
+    /// engines share the same host-driver inefficiencies.
+    pub fn calibrate_duty(&mut self, spec: &SystemSpec, alpha: f64, target_sec: f64) -> f64 {
+        let mut lo = 0.01;
+        let mut hi = 1.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            self.machine.wine_duty = mid;
+            self.machine.mdg_duty = mid;
+            let t = self.evaluate(spec, alpha).sec_per_step;
+            if t > target_sec {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.machine.wine_duty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SystemSpec {
+        SystemSpec::paper()
+    }
+
+    #[test]
+    fn conventional_alpha_matches_table4() {
+        let model = PerformanceModel::new(MachineModel::conventional(1.34e12));
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceFlops);
+        assert!((alpha - 30.1).abs() < 0.5, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn mdm_alpha_matches_table4_shape() {
+        // The hardware-balance optimum lands near the paper's 85 (the
+        // exact value depends on the duty ratio, which cancels when the
+        // duties are equal).
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceHardware);
+        assert!((70.0..95.0).contains(&alpha), "alpha = {alpha}");
+    }
+
+    #[test]
+    fn future_alpha_matches_table4_shape() {
+        let model = PerformanceModel::new(MachineModel::mdm_future());
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceHardware);
+        assert!((42.0..56.0).contains(&alpha), "alpha = {alpha}");
+    }
+
+    #[test]
+    fn paper_alpha_reproduces_table4_counts() {
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        let col = model.evaluate(&paper(), 85.0);
+        assert!((col.r_cut - 26.4).abs() < 0.1, "r_cut {}", col.r_cut);
+        assert!((col.n_max - 63.9).abs() < 0.3, "n_max {}", col.n_max);
+        assert!((col.n_int_g / 1.52e4 - 1.0).abs() < 0.02, "n_int_g {}", col.n_int_g);
+        assert!((col.n_wv / 5.46e5 - 1.0).abs() < 0.02, "n_wv {}", col.n_wv);
+        assert!((col.real_flops / 1.69e13 - 1.0).abs() < 0.02);
+        assert!((col.wave_flops / 6.58e14 - 1.0).abs() < 0.02);
+        assert!((col.total_flops() / 6.75e14 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn conventional_minimum_flops_is_5_88e13() {
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        let min = model.conventional_minimum_flops(&paper());
+        assert!((min / 5.88e13 - 1.0).abs() < 0.02, "{min}");
+    }
+
+    #[test]
+    fn calibration_reproduces_measured_step_time() {
+        // One knob (shared duty) fits the measured 43.8 s/step; the
+        // resulting duty must be physically sensible (0.3–0.6) and is
+        // the value baked into MachineModel::mdm_current.
+        let mut model = PerformanceModel::new(MachineModel::mdm_current());
+        let duty = model.calibrate_duty(&paper(), 85.0, 43.8);
+        assert!((0.3..0.6).contains(&duty), "duty = {duty}");
+        assert!(
+            (duty - MachineModel::mdm_current().wine_duty).abs() < 0.05,
+            "baked duty drifted: calibrated {duty}"
+        );
+        let col = model.evaluate(&paper(), 85.0);
+        assert!((col.sec_per_step - 43.8).abs() < 0.1, "{}", col.sec_per_step);
+        // Calculation speed 15.4 Tflops, effective 1.34 Tflops.
+        assert!((col.calc_speed / 15.4e12 - 1.0).abs() < 0.03, "{}", col.calc_speed);
+        assert!(
+            (col.effective_speed / 1.34e12 - 1.0).abs() < 0.03,
+            "{}",
+            col.effective_speed
+        );
+    }
+
+    #[test]
+    fn conventional_column_closes() {
+        // A conventional machine with the MDM's effective speed takes
+        // the same 43.8 s/step on the minimum-flop plan.
+        let model = PerformanceModel::new(MachineModel::conventional(1.34e12));
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceFlops);
+        let col = model.evaluate(&paper(), alpha);
+        assert!((col.n_int / 2.65e4 - 1.0).abs() < 0.05, "n_int {}", col.n_int);
+        assert!((col.n_wv / 2.44e4 - 1.0).abs() < 0.05, "n_wv {}", col.n_wv);
+        assert!((col.real_flops / 2.94e13 - 1.0).abs() < 0.05);
+        assert!((col.wave_flops / 2.94e13 - 1.0).abs() < 0.05);
+        // host term is tiny at 1.34 Tflops sustained.
+        assert!((col.sec_per_step - 43.8).abs() < 2.5, "{}", col.sec_per_step);
+    }
+
+    #[test]
+    fn future_machine_is_roughly_ten_times_faster() {
+        // The paper projects 4.48 s/step. The calibrated model (duty
+        // carried over at the paper's 50% estimate) lands in the same
+        // regime — a ~6–12× speedup over 43.8 s — while the paper's own
+        // optimistic duty reproduces its 4.48 s.
+        let model = PerformanceModel::new(MachineModel::mdm_future());
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceHardware);
+        let col = model.evaluate(&paper(), alpha);
+        assert!(
+            (3.0..12.0).contains(&col.sec_per_step),
+            "future sec/step {}",
+            col.sec_per_step
+        );
+        let optimistic = PerformanceModel::new(MachineModel::mdm_future_paper_projection());
+        let col_opt = optimistic.evaluate(&paper(), 50.3);
+        assert!(
+            (3.0..7.0).contains(&col_opt.sec_per_step),
+            "paper-projection sec/step {}",
+            col_opt.sec_per_step
+        );
+    }
+
+    #[test]
+    fn million_particle_projection_order_of_magnitude() {
+        // §6.2: "MDM should take 0.19 seconds per time-step for MD
+        // simulations with a million particles".
+        let spec = SystemSpec::paper_density(1e6);
+        let model = PerformanceModel::new(MachineModel::mdm_future_paper_projection());
+        let alpha = model.optimal_alpha(&spec, AlphaStrategy::BalanceHardware);
+        let col = model.evaluate(&spec, alpha);
+        assert!(
+            (0.05..1.0).contains(&col.sec_per_step),
+            "1M-particle step {} s",
+            col.sec_per_step
+        );
+    }
+
+    #[test]
+    fn effective_speed_never_exceeds_calc_speed() {
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        for alpha in [40.0, 60.0, 85.0, 110.0] {
+            let col = model.evaluate(&paper(), alpha);
+            assert!(col.effective_speed <= col.calc_speed * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn hardware_balance_alpha_actually_balances() {
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        let alpha = model.optimal_alpha(&paper(), AlphaStrategy::BalanceHardware);
+        let col = model.evaluate(&paper(), alpha);
+        assert!(
+            (col.t_wave / col.t_real - 1.0).abs() < 0.02,
+            "t_wave {} vs t_real {}",
+            col.t_wave,
+            col.t_real
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests on the host-side infrastructure: domain
+//! decomposition invariants and performance-model algebra.
+
+use mdm_core::boxsim::SimBox;
+use mdm_core::vec3::Vec3;
+use mdm_host::domain::CartesianDecomposition;
+use mdm_host::machines::MachineModel;
+use mdm_host::perfmodel::{AlphaStrategy, PerformanceModel, SystemSpec};
+use proptest::prelude::*;
+
+fn positions(seed: u64, n: usize, l: f64) -> Vec<Vec3> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Domain assignment is a partition for any grid shape.
+    #[test]
+    fn assignment_is_partition(
+        seed in 0u64..1000,
+        dx in 1usize..5,
+        dy in 1usize..5,
+        dz in 1usize..5,
+    ) {
+        let l = 17.0;
+        let sb = SimBox::cubic(l);
+        let d = CartesianDecomposition::new(sb, [dx, dy, dz]);
+        let pos = positions(seed, 150, l);
+        let owned = d.assign(&pos);
+        prop_assert_eq!(owned.len(), dx * dy * dz);
+        let total: usize = owned.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 150);
+    }
+
+    /// Halo completeness: every cross-domain pair within r_cut is
+    /// covered, for any grid shape.
+    #[test]
+    fn halo_complete(seed in 0u64..200, dx in 1usize..4, dy in 1usize..4) {
+        let l = 14.0;
+        let sb = SimBox::cubic(l);
+        let d = CartesianDecomposition::new(sb, [dx, dy, 2]);
+        let pos = positions(seed, 80, l);
+        let r_cut = 3.0;
+        let owned = d.assign(&pos);
+        for dom in 0..d.len() {
+            let halo: std::collections::HashSet<u32> = d
+                .halo(dom, &pos, r_cut)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            for &i in &owned[dom] {
+                for (j, &rj) in pos.iter().enumerate() {
+                    if d.domain_of(rj) != dom
+                        && sb.dist_sq(pos[i as usize], rj) <= r_cut * r_cut
+                    {
+                        prop_assert!(halo.contains(&(j as u32)), "({i},{j}) uncovered");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flop-balance α satisfies its defining equation, and the
+    /// evaluated column is self-consistent, for any system size.
+    #[test]
+    fn alpha_balance_equation(n_log in 4.0f64..8.0) {
+        let spec = SystemSpec::paper_density(10f64.powf(n_log));
+        let model = PerformanceModel::new(MachineModel::conventional(1e12));
+        let alpha = model.optimal_alpha(&spec, AlphaStrategy::BalanceFlops);
+        let col = model.evaluate(&spec, alpha);
+        prop_assert!(
+            (col.real_flops / col.wave_flops - 1.0).abs() < 1e-6,
+            "imbalance at N={}: {} vs {}",
+            spec.n,
+            col.real_flops,
+            col.wave_flops
+        );
+        // Total flops at the optimum beat any nearby alpha.
+        for factor in [0.8, 1.25] {
+            let other = model.evaluate(&spec, alpha * factor);
+            prop_assert!(other.total_flops() >= col.total_flops() * 0.999);
+        }
+    }
+
+    /// Effective speed never exceeds calculation speed, anywhere in the
+    /// (machine, α, N) space.
+    #[test]
+    fn effective_le_calc(n_log in 5.0f64..7.8, alpha in 20.0f64..120.0) {
+        let spec = SystemSpec::paper_density(10f64.powf(n_log));
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        let col = model.evaluate(&spec, alpha);
+        prop_assert!(col.effective_speed <= col.calc_speed * (1.0 + 1e-12));
+    }
+
+    /// Step time decreases monotonically with more MDGRAPE-2 chips at
+    /// the hardware-balanced α (no pathological non-monotonicity in the
+    /// model).
+    #[test]
+    fn more_chips_never_slower(chips_a in 32usize..512, mult in 2usize..8) {
+        let spec = SystemSpec::paper();
+        let mut small = MachineModel::mdm_current();
+        small.mdg_chips = chips_a;
+        let mut large = small;
+        large.mdg_chips = chips_a * mult;
+        let m_small = PerformanceModel::new(small);
+        let m_large = PerformanceModel::new(large);
+        let a_small = m_small.optimal_alpha(&spec, AlphaStrategy::BalanceHardware);
+        let a_large = m_large.optimal_alpha(&spec, AlphaStrategy::BalanceHardware);
+        let t_small = m_small.evaluate(&spec, a_small).sec_per_step;
+        let t_large = m_large.evaluate(&spec, a_large).sec_per_step;
+        prop_assert!(t_large <= t_small * 1.0001, "{t_small} -> {t_large}");
+    }
+}

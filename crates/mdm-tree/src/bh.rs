@@ -1,0 +1,201 @@
+//! The classical CPU Barnes–Hut force evaluation, plus the direct-sum
+//! reference.
+
+use crate::octree::Octree;
+use mdm_core::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Parameters of a Barnes–Hut evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BhParams {
+    /// Opening angle θ (0 = exact/direct, 0.5–1.0 typical).
+    pub theta: f64,
+    /// Plummer softening length ε.
+    pub eps: f64,
+    /// Coupling constant (G for gravity, C for Coulomb), with sign
+    /// convention `F⃗ᵢ = −G Σ mᵢmⱼ (r²+ε²)^(−3/2) r⃗ᵢⱼ` (attractive for
+    /// positive G and masses).
+    pub g: f64,
+}
+
+impl BhParams {
+    /// Typical gravitational settings.
+    pub fn gravity(theta: f64, eps: f64) -> Self {
+        Self { theta, eps, g: 1.0 }
+    }
+}
+
+#[inline]
+fn pair_accel(d: Vec3, m_source: f64, params: &BhParams) -> Vec3 {
+    // d = r_target − r_source; attractive force pulls toward the source.
+    let r2 = d.norm_sq() + params.eps * params.eps;
+    d * (-params.g * m_source / (r2 * r2.sqrt()))
+}
+
+/// Barnes–Hut forces (per unit target mass — i.e. accelerations times
+/// `mᵢ` gives forces). `O(N log N)` with Rayon over targets.
+pub fn bh_forces(positions: &[Vec3], masses: &[f64], params: &BhParams) -> Vec<Vec3> {
+    let tree = Octree::build(positions, masses);
+    bh_forces_with_tree(&tree, positions, masses, params)
+}
+
+/// As [`bh_forces`] with a prebuilt tree.
+pub fn bh_forces_with_tree(
+    tree: &Octree,
+    positions: &[Vec3],
+    masses: &[f64],
+    params: &BhParams,
+) -> Vec<Vec3> {
+    positions
+        .par_iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let mut acc = Vec3::ZERO;
+            tree.walk(r, params.theta, &mut |event| match event {
+                crate::octree::WalkEvent::Node { com, mass } => {
+                    acc += pair_accel(r - com, mass, params);
+                }
+                crate::octree::WalkEvent::Particle(p) => {
+                    if p as usize != i {
+                        acc += pair_accel(r - positions[p as usize], masses[p as usize], params);
+                    }
+                }
+            });
+            acc * masses[i]
+        })
+        .collect()
+}
+
+/// The `O(N²)` direct sum (exact up to the softening).
+pub fn direct_forces(positions: &[Vec3], masses: &[f64], params: &BhParams) -> Vec<Vec3> {
+    positions
+        .par_iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let mut acc = Vec3::ZERO;
+            for (j, &s) in positions.iter().enumerate() {
+                if i != j {
+                    acc += pair_accel(r - s, masses[j], params);
+                }
+            }
+            acc * masses[i]
+        })
+        .collect()
+}
+
+/// Count the interactions a Barnes–Hut walk performs per particle (the
+/// `O(log N)` list length that makes the method scale).
+pub fn interaction_counts(positions: &[Vec3], masses: &[f64], theta: f64) -> Vec<usize> {
+    let tree = Octree::build(positions, masses);
+    positions
+        .iter()
+        .map(|&r| {
+            let mut count = 0usize;
+            tree.walk(r, theta, &mut |_| count += 1);
+            count
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn plummer_sphere(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pos = Vec::with_capacity(n);
+        while pos.len() < n {
+            let p = Vec3::new(
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+            );
+            if p.norm_sq() <= 1.0 {
+                pos.push(p);
+            }
+        }
+        (pos, vec![1.0 / n as f64; n])
+    }
+
+    #[test]
+    fn bh_converges_to_direct_as_theta_shrinks() {
+        let (pos, m) = plummer_sphere(300, 1);
+        let exact = direct_forces(&pos, &m, &BhParams::gravity(0.0, 0.05));
+        let scale = exact.iter().map(|f| f.norm()).fold(0.0f64, f64::max);
+        let mut prev_err = f64::INFINITY;
+        for theta in [1.2, 0.8, 0.4, 0.2] {
+            let approx = bh_forces(&pos, &m, &BhParams::gravity(theta, 0.05));
+            let err = approx
+                .iter()
+                .zip(&exact)
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0f64, f64::max)
+                / scale;
+            assert!(err < prev_err * 1.1, "theta={theta}: err {err} vs prev {prev_err}");
+            prev_err = err;
+        }
+        // θ = 0.2 should be well under 1% max error.
+        assert!(prev_err < 0.01, "theta=0.2 err {prev_err}");
+    }
+
+    #[test]
+    fn theta_zero_is_exactly_direct() {
+        let (pos, m) = plummer_sphere(120, 2);
+        let p = BhParams::gravity(0.0, 0.05);
+        let a = bh_forces(&pos, &m, &p);
+        let b = direct_forces(&pos, &m, &p);
+        let scale = b.iter().map(|f| f.norm()).fold(1e-300f64, f64::max);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).norm() / scale < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forces_point_inward_for_a_sphere() {
+        let (pos, m) = plummer_sphere(200, 3);
+        let forces = bh_forces(&pos, &m, &BhParams::gravity(0.6, 0.05));
+        // Centre of mass sits near the origin; outer particles must be
+        // pulled toward it.
+        let mut inward = 0usize;
+        let mut outer = 0usize;
+        for (p, f) in pos.iter().zip(&forces) {
+            if p.norm() > 0.7 {
+                outer += 1;
+                if f.dot(*p) < 0.0 {
+                    inward += 1;
+                }
+            }
+        }
+        assert!(outer > 10);
+        assert!(inward == outer, "{inward}/{outer} outer particles pulled inward");
+    }
+
+    #[test]
+    fn interaction_counts_scale_sublinearly() {
+        let (pos_s, m_s) = plummer_sphere(200, 4);
+        let (pos_l, m_l) = plummer_sphere(1600, 5);
+        let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        let small = avg(&interaction_counts(&pos_s, &m_s, 0.7));
+        let large = avg(&interaction_counts(&pos_l, &m_l, 0.7));
+        // 8x the particles must cost far less than 8x the list length.
+        assert!(
+            large / small < 4.0,
+            "tree not sublinear: {small} -> {large}"
+        );
+        // And both are far below N (the direct-sum cost).
+        assert!(large < 1600.0 / 2.0);
+    }
+
+    #[test]
+    fn momentum_error_bounded_by_theta() {
+        // BH violates Newton's third law by O(theta²); the net force
+        // must stay small relative to the total force magnitude.
+        let (pos, m) = plummer_sphere(300, 6);
+        let forces = bh_forces(&pos, &m, &BhParams::gravity(0.5, 0.05));
+        let net: Vec3 = forces.iter().copied().sum();
+        let total: f64 = forces.iter().map(|f| f.norm()).sum();
+        assert!(net.norm() / total < 0.01, "net/total = {}", net.norm() / total);
+    }
+}

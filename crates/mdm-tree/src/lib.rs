@@ -1,0 +1,33 @@
+//! # mdm-tree — the §6.3 extension: tree-code on MDGRAPE-2
+//!
+//! The paper's discussion (§6.3): "Makino et al. performed
+//! gravitational calculation with tree-code, one of a major O(N log N)
+//! method, and found that GRAPE machine can accelerate tree-code. If we
+//! use tree-code with MDM, we can not only compare the accuracy with
+//! Ewald method but also perform larger simulation that cannot be done
+//! with Ewald method."
+//!
+//! This crate implements that programme:
+//!
+//! * [`octree`] — a Barnes–Hut octree over point masses/charges
+//!   (centre-of-mass monopoles, geometric opening criterion);
+//! * [`bh`] — the classical CPU tree walk (`O(N log N)` force
+//!   evaluation with opening angle θ);
+//! * [`grape`] — Makino's scheme (ApJ 369, 200 (1991)): the tree walk
+//!   only *builds interaction lists* of accepted nodes + leaf
+//!   particles; the pairwise evaluations are streamed through the
+//!   MDGRAPE-2 pipeline with a softened `g(x) = (x+ε²)^(−3/2)` table —
+//!   pseudo-particles are just particles whose "charge" word holds the
+//!   node mass.
+//!
+//! Open (non-periodic) boundaries, as in the gravitational use-case the
+//! paper cites; the Ewald-vs-tree accuracy comparison lives in the
+//! `treecode_comparison` example at the repository root.
+
+pub mod bh;
+pub mod grape;
+pub mod octree;
+
+pub use bh::{bh_forces, direct_forces, BhParams};
+pub use grape::grape_tree_forces;
+pub use octree::Octree;

@@ -1,0 +1,321 @@
+//! The Barnes–Hut octree.
+//!
+//! Flat-array storage (indices, not boxes-of-boxes): nodes live in one
+//! `Vec`, children are index ranges — cache-friendly and trivially
+//! traversable without recursion limits.
+
+use mdm_core::vec3::Vec3;
+
+/// Index of the root node.
+pub const ROOT: usize = 0;
+
+/// Maximum particles in a leaf before it splits.
+pub const LEAF_CAPACITY: usize = 8;
+
+/// One octree node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Geometric centre of this cube.
+    pub centre: Vec3,
+    /// Cube edge length.
+    pub size: f64,
+    /// Total mass (or charge) below this node.
+    pub mass: f64,
+    /// Centre of mass below this node.
+    pub com: Vec3,
+    /// Indices of the eight children in the node array (0 = absent;
+    /// the root is never a child).
+    pub children: [u32; 8],
+    /// Particle indices if this is a leaf (empty for internal nodes).
+    pub particles: Vec<u32>,
+}
+
+impl Node {
+    /// Is this a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|&c| c == 0)
+    }
+}
+
+/// A built octree over a particle snapshot.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    n_particles: usize,
+}
+
+impl Octree {
+    /// Build over `positions` with `masses` (may be signed for
+    /// charges). All positions must be finite.
+    pub fn build(positions: &[Vec3], masses: &[f64]) -> Self {
+        assert_eq!(positions.len(), masses.len());
+        assert!(!positions.is_empty(), "octree needs at least one particle");
+        // Bounding cube.
+        let mut lo = positions[0];
+        let mut hi = positions[0];
+        for &p in positions {
+            assert!(p.is_finite(), "non-finite position");
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let size = (hi - lo).max_component().max(1e-9) * 1.000_001;
+        let centre = (lo + hi) * 0.5;
+
+        let mut tree = Self {
+            nodes: vec![Node {
+                centre,
+                size,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                children: [0; 8],
+                particles: Vec::new(),
+            }],
+            n_particles: positions.len(),
+        };
+        for i in 0..positions.len() {
+            tree.insert(ROOT, i as u32, positions);
+        }
+        tree.summarize(ROOT, positions, masses);
+        tree
+    }
+
+    fn octant(centre: Vec3, p: Vec3) -> usize {
+        (usize::from(p.x >= centre.x))
+            | (usize::from(p.y >= centre.y) << 1)
+            | (usize::from(p.z >= centre.z) << 2)
+    }
+
+    fn insert(&mut self, node: usize, particle: u32, positions: &[Vec3]) {
+        if self.nodes[node].is_leaf() {
+            self.nodes[node].particles.push(particle);
+            // Split when over capacity — unless the node is already so
+            // small that splitting would hit float resolution
+            // (coincident particles stay in one leaf).
+            if self.nodes[node].particles.len() > LEAF_CAPACITY && self.nodes[node].size > 1e-6 {
+                let resident = std::mem::take(&mut self.nodes[node].particles);
+                for r in resident {
+                    self.push_down(node, r, positions);
+                }
+            }
+        } else {
+            self.push_down(node, particle, positions);
+        }
+    }
+
+    fn push_down(&mut self, node: usize, particle: u32, positions: &[Vec3]) {
+        let centre = self.nodes[node].centre;
+        let size = self.nodes[node].size;
+        let oct = Self::octant(centre, positions[particle as usize]);
+        let child = self.nodes[node].children[oct];
+        let child = if child == 0 {
+            let quarter = size / 4.0;
+            let child_centre = centre
+                + Vec3::new(
+                    if oct & 1 != 0 { quarter } else { -quarter },
+                    if oct & 2 != 0 { quarter } else { -quarter },
+                    if oct & 4 != 0 { quarter } else { -quarter },
+                );
+            self.nodes.push(Node {
+                centre: child_centre,
+                size: size / 2.0,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                children: [0; 8],
+                particles: Vec::new(),
+            });
+            let idx = (self.nodes.len() - 1) as u32;
+            self.nodes[node].children[oct] = idx;
+            idx
+        } else {
+            child
+        };
+        self.insert(child as usize, particle, positions);
+    }
+
+    fn summarize(&mut self, node: usize, positions: &[Vec3], masses: &[f64]) {
+        if self.nodes[node].is_leaf() {
+            let (mut m, mut weighted) = (0.0, Vec3::ZERO);
+            for &p in &self.nodes[node].particles {
+                m += masses[p as usize];
+                weighted += positions[p as usize] * masses[p as usize];
+            }
+            self.nodes[node].mass = m;
+            self.nodes[node].com = if m.abs() > 1e-300 {
+                weighted / m
+            } else {
+                // Neutral group: fall back to the geometric centre.
+                self.nodes[node].centre
+            };
+        } else {
+            let children = self.nodes[node].children;
+            let (mut m, mut weighted) = (0.0, Vec3::ZERO);
+            for c in children {
+                if c == 0 {
+                    continue;
+                }
+                self.summarize(c as usize, positions, masses);
+                m += self.nodes[c as usize].mass;
+                weighted += self.nodes[c as usize].com * self.nodes[c as usize].mass;
+            }
+            self.nodes[node].mass = m;
+            self.nodes[node].com = if m.abs() > 1e-300 {
+                weighted / m
+            } else {
+                self.nodes[node].centre
+            };
+        }
+    }
+
+    /// The node array.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Particles covered.
+    pub fn n_particles(&self) -> usize {
+        self.n_particles
+    }
+
+    /// Total mass under the root.
+    pub fn total_mass(&self) -> f64 {
+        self.nodes[ROOT].mass
+    }
+
+    /// Walk the tree for a target at `r`, emitting one [`WalkEvent`]
+    /// per interaction source: accepted nodes (opening criterion
+    /// `size/dist < theta`) and particles of opened leaves.
+    pub fn walk<V>(&self, r: Vec3, theta: f64, visit: &mut V)
+    where
+        V: FnMut(WalkEvent),
+    {
+        let mut stack = vec![ROOT as u32];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            let dist = (node.com - r).norm();
+            if node.is_leaf() {
+                for &p in &node.particles {
+                    visit(WalkEvent::Particle(p));
+                }
+            } else if node.size < theta * dist {
+                visit(WalkEvent::Node {
+                    com: node.com,
+                    mass: node.mass,
+                });
+            } else {
+                for &c in &node.children {
+                    if c != 0 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One interaction source produced by [`Octree::walk`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WalkEvent {
+    /// An accepted internal node, summarised by its monopole.
+    Node {
+        /// Centre of mass of the node.
+        com: Vec3,
+        /// Total mass under the node.
+        mass: f64,
+    },
+    /// A particle of an opened leaf.
+    Particle(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()) * 10.0)
+            .collect();
+        let m = (0..n).map(|_| 0.5 + rng.gen::<f64>()).collect();
+        (pos, m)
+    }
+
+    #[test]
+    fn total_mass_and_com_match_direct() {
+        let (pos, m) = cloud(300, 1);
+        let tree = Octree::build(&pos, &m);
+        let m_tot: f64 = m.iter().sum();
+        assert!((tree.total_mass() - m_tot).abs() < 1e-9);
+        let com: Vec3 = pos
+            .iter()
+            .zip(&m)
+            .map(|(p, &mm)| *p * mm)
+            .sum::<Vec3>()
+            / m_tot;
+        assert!((tree.nodes()[ROOT].com - com).norm() < 1e-9);
+    }
+
+    #[test]
+    fn every_particle_in_exactly_one_leaf() {
+        let (pos, m) = cloud(500, 2);
+        let tree = Octree::build(&pos, &m);
+        let mut seen = vec![0u32; pos.len()];
+        for node in tree.nodes() {
+            for &p in &node.particles {
+                seen[p as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "leaf coverage broken");
+    }
+
+    #[test]
+    fn leaves_respect_capacity() {
+        let (pos, m) = cloud(400, 3);
+        let tree = Octree::build(&pos, &m);
+        for node in tree.nodes() {
+            if node.size > 1e-6 {
+                assert!(node.particles.len() <= LEAF_CAPACITY);
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_contained_in_parent() {
+        let (pos, m) = cloud(200, 4);
+        let tree = Octree::build(&pos, &m);
+        for node in tree.nodes() {
+            for &c in &node.children {
+                if c == 0 {
+                    continue;
+                }
+                let child = &tree.nodes()[c as usize];
+                let d = (child.centre - node.centre).abs();
+                assert!(d.max_component() <= node.size / 4.0 + 1e-12);
+                assert!((child.size - node.size / 2.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_walk_visits_every_particle() {
+        let (pos, m) = cloud(150, 5);
+        let tree = Octree::build(&pos, &m);
+        let mut leaves = 0usize;
+        let mut accepted = 0usize;
+        tree.walk(Vec3::splat(5.0), 0.0, &mut |event| match event {
+            WalkEvent::Node { .. } => accepted += 1,
+            WalkEvent::Particle(_) => leaves += 1,
+        });
+        assert_eq!(accepted, 0);
+        assert_eq!(leaves, 150);
+    }
+
+    #[test]
+    fn coincident_particles_do_not_blow_the_stack() {
+        let pos = vec![Vec3::splat(1.0); 40];
+        let m = vec![1.0; 40];
+        let tree = Octree::build(&pos, &m);
+        assert!((tree.total_mass() - 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! The host library of Table 2, name for name.
+//!
+//! | paper routine | method |
+//! |---|---|
+//! | `wine2_set_MPI_community` | [`Wine2Library::wine2_set_mpi_community`] |
+//! | `wine2_allocate_board` | [`Wine2Library::wine2_allocate_board`] |
+//! | `wine2_initialize_board` | [`Wine2Library::wine2_initialize_board`] |
+//! | `wine2_set_nn` | [`Wine2Library::wine2_set_nn`] |
+//! | `calculate_force_and_pot_wavepart_nooffset` | [`Wine2Library::calculate_force_and_pot_wavepart_nooffset`] |
+//! | `wine2_free_board` | [`Wine2Library::wine2_free_board`] |
+//!
+//! The library enforces the call protocol of the real driver: allocate →
+//! initialize → (set_nn, calculate)* → free. Violations are reported as
+//! [`ApiError`]s rather than undefined behaviour.
+
+use crate::board::BoardError;
+use crate::cluster::BOARDS_PER_CLUSTER;
+use crate::system::{Wine2Config, Wine2System, WineForceResult};
+use mdm_core::boxsim::SimBox;
+use mdm_core::vec3::Vec3;
+
+/// Errors from misuse of the library protocol or from the hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// A call arrived in the wrong state (message explains).
+    Protocol(&'static str),
+    /// The boards rejected the workload.
+    Board(BoardError),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Self::Board(e) => write!(f, "board error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<BoardError> for ApiError {
+    fn from(e: BoardError) -> Self {
+        Self::Board(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Created,
+    Allocated,
+    Initialized,
+}
+
+/// The WINE-2 host library (Table 2).
+pub struct Wine2Library {
+    state: State,
+    processes: usize,
+    boards_requested: usize,
+    nn: usize,
+    system: Option<Wine2System>,
+}
+
+impl Default for Wine2Library {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wine2Library {
+    /// A fresh, unallocated library handle.
+    pub fn new() -> Self {
+        Self {
+            state: State::Created,
+            processes: 1,
+            boards_requested: 0,
+            nn: 0,
+            system: None,
+        }
+    }
+
+    /// `wine2_set_MPI_community`: declare the (simulated) process group
+    /// that shares the wavenumber-space work (the paper used 8).
+    pub fn wine2_set_mpi_community(&mut self, processes: usize) -> Result<(), ApiError> {
+        if processes == 0 {
+            return Err(ApiError::Protocol("process group must be non-empty"));
+        }
+        self.processes = processes;
+        Ok(())
+    }
+
+    /// `wine2_allocate_board`: set the number of WINE-2 boards to
+    /// acquire.
+    pub fn wine2_allocate_board(&mut self, boards: usize) -> Result<(), ApiError> {
+        if self.state != State::Created {
+            return Err(ApiError::Protocol("boards already allocated"));
+        }
+        if boards == 0 {
+            return Err(ApiError::Protocol("must allocate at least one board"));
+        }
+        self.boards_requested = boards;
+        self.state = State::Allocated;
+        Ok(())
+    }
+
+    /// `wine2_initialize_board`: acquire the boards.
+    pub fn wine2_initialize_board(&mut self) -> Result<(), ApiError> {
+        if self.state != State::Allocated {
+            return Err(ApiError::Protocol(
+                "wine2_allocate_board must precede wine2_initialize_board",
+            ));
+        }
+        let clusters = self.boards_requested.div_ceil(BOARDS_PER_CLUSTER);
+        self.system = Some(Wine2System::new(Wine2Config { clusters }));
+        self.state = State::Initialized;
+        Ok(())
+    }
+
+    /// `wine2_set_nn`: set the number of particles each process will
+    /// stream.
+    pub fn wine2_set_nn(&mut self, nn: usize) -> Result<(), ApiError> {
+        if self.state != State::Initialized {
+            return Err(ApiError::Protocol("boards not initialized"));
+        }
+        self.nn = nn;
+        Ok(())
+    }
+
+    /// `calculate_force_and_pot_wavepart_nooffset`: the force
+    /// calculation routine. Computes the wavenumber-space Coulomb forces
+    /// and potential for the given configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn calculate_force_and_pot_wavepart_nooffset(
+        &mut self,
+        simbox: SimBox,
+        positions: &[Vec3],
+        charges: &[f64],
+        alpha: f64,
+        n_max: f64,
+    ) -> Result<WineForceResult, ApiError> {
+        if self.state != State::Initialized {
+            return Err(ApiError::Protocol("boards not initialized"));
+        }
+        if self.nn != 0 && self.nn != positions.len() {
+            return Err(ApiError::Protocol(
+                "particle count differs from wine2_set_nn declaration",
+            ));
+        }
+        let system = self.system.as_mut().expect("initialized state has a system");
+        Ok(system.compute_wavepart(simbox, positions, charges, alpha, n_max)?)
+    }
+
+    /// `wine2_free_board`: release the boards.
+    pub fn wine2_free_board(&mut self) -> Result<(), ApiError> {
+        if self.state != State::Initialized {
+            return Err(ApiError::Protocol("nothing to free"));
+        }
+        self.system = None;
+        self.state = State::Created;
+        self.boards_requested = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+
+    #[test]
+    fn full_protocol_succeeds() {
+        let s = rocksalt_nacl(1, NACL_LATTICE_A);
+        let mut lib = Wine2Library::new();
+        lib.wine2_set_mpi_community(8).unwrap();
+        lib.wine2_allocate_board(14).unwrap();
+        lib.wine2_initialize_board().unwrap();
+        lib.wine2_set_nn(s.len()).unwrap();
+        let out = lib
+            .calculate_force_and_pot_wavepart_nooffset(
+                s.simbox(),
+                s.positions(),
+                s.charges(),
+                6.0,
+                5.0,
+            )
+            .unwrap();
+        assert_eq!(out.forces.len(), s.len());
+        lib.wine2_free_board().unwrap();
+        // Can be re-allocated afterwards.
+        lib.wine2_allocate_board(7).unwrap();
+    }
+
+    #[test]
+    fn calculate_before_initialize_is_protocol_error() {
+        let s = rocksalt_nacl(1, NACL_LATTICE_A);
+        let mut lib = Wine2Library::new();
+        let err = lib
+            .calculate_force_and_pot_wavepart_nooffset(
+                s.simbox(),
+                s.positions(),
+                s.charges(),
+                6.0,
+                5.0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Protocol(_)));
+    }
+
+    #[test]
+    fn double_allocate_rejected() {
+        let mut lib = Wine2Library::new();
+        lib.wine2_allocate_board(7).unwrap();
+        assert!(lib.wine2_allocate_board(7).is_err());
+    }
+
+    #[test]
+    fn nn_mismatch_detected() {
+        let s = rocksalt_nacl(1, NACL_LATTICE_A);
+        let mut lib = Wine2Library::new();
+        lib.wine2_allocate_board(7).unwrap();
+        lib.wine2_initialize_board().unwrap();
+        lib.wine2_set_nn(3).unwrap();
+        let err = lib
+            .calculate_force_and_pot_wavepart_nooffset(
+                s.simbox(),
+                s.positions(),
+                s.charges(),
+                6.0,
+                5.0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Protocol(_)));
+    }
+
+    #[test]
+    fn zero_boards_rejected() {
+        let mut lib = Wine2Library::new();
+        assert!(lib.wine2_allocate_board(0).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! The WINE-2 board (paper Fig. 5): 16 chips, the interface
+//! logic / particle index counter (an FPGA on the real board), and
+//! 16 MB of SDRAM particle memory.
+//!
+//! A board holds a subset of the particles in its memory for the whole
+//! step and streams wave batches (≤ 256 waves, 16 per chip) past them —
+//! the dataflow that keeps the bus traffic linear in `N` while the
+//! compute is `N·N_wv`.
+
+use crate::chip::{WineChip, WAVES_PER_CHIP};
+use crate::pipeline::{DftAccum, IdftAccum, IdftWave, WineParticle};
+
+/// Chips per board (Fig. 4b).
+pub const CHIPS_PER_BOARD: usize = 16;
+/// Waves resident per board pass.
+pub const WAVES_PER_BOARD: usize = CHIPS_PER_BOARD * WAVES_PER_CHIP;
+/// Particle memory size: 16 MB SDRAM (§3.4.2).
+pub const PARTICLE_MEMORY_BYTES: usize = 16 * 1024 * 1024;
+/// Bytes per stored particle: 3 × 4-byte fixed-point coordinates plus a
+/// 4-byte charge word.
+pub const BYTES_PER_PARTICLE: usize = 16;
+/// Particles a board's memory can hold.
+pub const PARTICLE_CAPACITY: usize = PARTICLE_MEMORY_BYTES / BYTES_PER_PARTICLE;
+
+/// Board-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// More particles than the 16 MB SDRAM holds.
+    ParticleMemoryOverflow {
+        /// Requested number of particles.
+        requested: usize,
+        /// The fixed capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for BoardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParticleMemoryOverflow { requested, capacity } => write!(
+                f,
+                "particle memory overflow: {requested} particles > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoardError {}
+
+/// One WINE-2 board with loaded particle memory.
+#[derive(Clone, Debug)]
+pub struct WineBoard {
+    chips: Vec<WineChip>,
+    particles: Vec<WineParticle>,
+    /// Bytes moved over the board's bus interface (loads + read-backs).
+    bus_bytes: u64,
+}
+
+impl Default for WineBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WineBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self {
+            chips: (0..CHIPS_PER_BOARD).map(|_| WineChip::new()).collect(),
+            particles: Vec::new(),
+            bus_bytes: 0,
+        }
+    }
+
+    /// Load the board's particle subset into SDRAM (counted as bus
+    /// traffic). Fails if the subset exceeds the memory capacity —
+    /// the same constraint that forced the real machine to split
+    /// particles across boards.
+    pub fn load_particles(&mut self, particles: &[WineParticle]) -> Result<(), BoardError> {
+        if particles.len() > PARTICLE_CAPACITY {
+            return Err(BoardError::ParticleMemoryOverflow {
+                requested: particles.len(),
+                capacity: PARTICLE_CAPACITY,
+            });
+        }
+        self.particles = particles.to_vec();
+        self.bus_bytes += (particles.len() * BYTES_PER_PARTICLE) as u64;
+        Ok(())
+    }
+
+    /// Number of particles resident.
+    pub fn particle_count(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Total particle–wave ops across the chips.
+    pub fn ops(&self) -> u64 {
+        self.chips.iter().map(WineChip::ops).sum()
+    }
+
+    /// Busy cycles: chips run in lock-step on the shared particle
+    /// stream, so the board time per pass is the maximum over chips;
+    /// accumulated here as the sum over passes of that maximum — which
+    /// equals any single chip's cycle count because the wave batches are
+    /// dealt round-robin.
+    pub fn cycles(&self) -> u64 {
+        self.chips.iter().map(WineChip::cycles).max().unwrap_or(0)
+    }
+
+    /// Bus traffic so far, bytes.
+    pub fn bus_bytes(&self) -> u64 {
+        self.bus_bytes
+    }
+
+    /// Reset all counters (between steps).
+    pub fn reset_counters(&mut self) {
+        self.bus_bytes = 0;
+        for c in &mut self.chips {
+            c.reset_counters();
+        }
+    }
+
+    /// DFT over an arbitrarily long wave list: batches of ≤ 256 waves
+    /// stream through the 16 chips. Returns one accumulator per wave.
+    /// Wave uploads and accumulator read-backs are counted as bus bytes
+    /// (16 B per wave up, 16 B per accumulator pair down).
+    pub fn dft(&mut self, waves: &[[i32; 3]]) -> Vec<DftAccum> {
+        let mut out = Vec::with_capacity(waves.len());
+        for batch in waves.chunks(WAVES_PER_BOARD) {
+            self.bus_bytes += (batch.len() * 16) as u64;
+            for (chip_idx, chip_waves) in batch.chunks(WAVES_PER_CHIP).enumerate() {
+                out.extend(self.chips[chip_idx].dft_pass(chip_waves, &self.particles));
+            }
+            self.bus_bytes += (batch.len() * 16) as u64;
+        }
+        out
+    }
+
+    /// IDFT over an arbitrarily long wave list; returns per-particle
+    /// accumulators for the board's resident particles. Coefficient
+    /// uploads (24 B per wave) and final force read-backs (12 B per
+    /// particle) are counted as bus traffic.
+    pub fn idft(&mut self, waves: &[IdftWave]) -> Vec<IdftAccum> {
+        let mut acc = vec![IdftAccum::default(); self.particles.len()];
+        for batch in waves.chunks(WAVES_PER_BOARD) {
+            self.bus_bytes += (batch.len() * 24) as u64;
+            // Chips share the per-particle accumulators: on silicon each
+            // chip accumulates its own partial and the FPGA sums them;
+            // accumulating serially into one buffer is bit-identical
+            // because fixed-point addition is exact and associative.
+            for (chip_idx, chip_waves) in batch.chunks(WAVES_PER_CHIP).enumerate() {
+                self.chips[chip_idx].idft_pass(chip_waves, &self.particles, &mut acc);
+            }
+        }
+        self.bus_bytes += (self.particles.len() * 12) as u64;
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particles(n: usize) -> Vec<WineParticle> {
+        (0..n)
+            .map(|i| {
+                WineParticle::quantize(
+                    [
+                        (0.1 + 0.37 * i as f64) % 1.0,
+                        (0.5 + 0.21 * i as f64) % 1.0,
+                        (0.9 + 0.11 * i as f64) % 1.0,
+                    ],
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capacity_is_one_megaparticle() {
+        assert_eq!(PARTICLE_CAPACITY, 1024 * 1024);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut b = WineBoard::new();
+        let too_many = vec![WineParticle::quantize([0.0; 3], 0.0); PARTICLE_CAPACITY + 1];
+        assert!(matches!(
+            b.load_particles(&too_many),
+            Err(BoardError::ParticleMemoryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_batch_dft_matches_single_chip_result() {
+        let mut b = WineBoard::new();
+        b.load_particles(&particles(20)).unwrap();
+        // 300 waves → two board passes.
+        let waves: Vec<[i32; 3]> = (0..300).map(|i| [i % 13 - 6, i % 7 - 3, i % 5 + 1]).collect();
+        let out = b.dft(&waves);
+        assert_eq!(out.len(), 300);
+        // Cross-check a few waves against a fresh single pipeline.
+        let mut lone = crate::pipeline::WinePipeline::new();
+        for &w in [0usize, 17, 255, 256, 299].iter() {
+            let reference = lone.dft_wave(waves[w], &particles(20));
+            assert_eq!(out[w].resolve(), reference.resolve(), "wave {w}");
+        }
+    }
+
+    #[test]
+    fn ops_count_is_particles_times_waves() {
+        let mut b = WineBoard::new();
+        b.load_particles(&particles(11)).unwrap();
+        let waves: Vec<[i32; 3]> = (0..40).map(|i| [i, 1, 1]).collect();
+        b.dft(&waves);
+        assert_eq!(b.ops(), 11 * 40);
+    }
+
+    #[test]
+    fn bus_accounting() {
+        let mut b = WineBoard::new();
+        b.load_particles(&particles(10)).unwrap();
+        let load_bytes = 10 * BYTES_PER_PARTICLE as u64;
+        assert_eq!(b.bus_bytes(), load_bytes);
+        let waves: Vec<[i32; 3]> = (0..8).map(|i| [i, 0, 0]).collect();
+        b.dft(&waves);
+        // + 8 waves up + 8 accumulators down at 16 B each.
+        assert_eq!(b.bus_bytes(), load_bytes + 8 * 16 * 2);
+    }
+
+    #[test]
+    fn idft_output_length_matches_particles() {
+        let mut b = WineBoard::new();
+        b.load_particles(&particles(9)).unwrap();
+        let waves: Vec<crate::pipeline::IdftWave> = (1..=20)
+            .map(|i| crate::pipeline::IdftWave {
+                n: [i % 5, i % 3, 1],
+                u: mdm_fixed::Q30::from_f64(0.01 * i as f64),
+                v: mdm_fixed::Q30::from_f64(-0.02 * i as f64),
+            })
+            .collect();
+        let acc = b.idft(&waves);
+        assert_eq!(acc.len(), 9);
+        assert_eq!(b.ops(), 9 * 20);
+    }
+}

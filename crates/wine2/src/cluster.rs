@@ -1,0 +1,184 @@
+//! A WINE-2 cluster: 7 boards sharing one CompactPCI bus, attached to a
+//! node computer through a PCI–CompactPCI bridge (§3.4.1). From the
+//! host's point of view each board "looks like a normal PCI device";
+//! from the performance model's point of view the cluster is the unit
+//! of bus bandwidth.
+
+use crate::board::{BoardError, WineBoard};
+use crate::pipeline::{DftAccum, IdftAccum, IdftWave, WineParticle};
+
+/// Boards per cluster (Fig. 3).
+pub const BOARDS_PER_CLUSTER: usize = 7;
+
+/// One cluster of seven boards.
+#[derive(Clone, Debug)]
+pub struct WineCluster {
+    boards: Vec<WineBoard>,
+}
+
+impl Default for WineCluster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WineCluster {
+    /// A cluster of empty boards.
+    pub fn new() -> Self {
+        Self {
+            boards: (0..BOARDS_PER_CLUSTER).map(|_| WineBoard::new()).collect(),
+        }
+    }
+
+    /// The boards.
+    pub fn boards(&self) -> &[WineBoard] {
+        &self.boards
+    }
+
+    /// Mutable board access (the system distributes particles directly).
+    pub fn boards_mut(&mut self) -> &mut [WineBoard] {
+        &mut self.boards
+    }
+
+    /// Split `particles` across the cluster's boards (contiguous chunks)
+    /// and load each board's share.
+    pub fn load_particles(&mut self, particles: &[WineParticle]) -> Result<(), BoardError> {
+        let per = particles.len().div_ceil(BOARDS_PER_CLUSTER);
+        for (b, chunk) in self
+            .boards
+            .iter_mut()
+            .zip(particles.chunks(per.max(1)).chain(std::iter::repeat(&[][..])))
+        {
+            b.load_particles(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// DFT over the whole wave list: each board computes the partial sum
+    /// over its resident particles; partials merge exactly (fixed-point
+    /// addition is associative).
+    pub fn dft(&mut self, waves: &[[i32; 3]]) -> Vec<DftAccum> {
+        let mut total: Vec<DftAccum> = vec![DftAccum::default(); waves.len()];
+        for b in &mut self.boards {
+            if b.particle_count() == 0 {
+                continue;
+            }
+            let part = b.dft(waves);
+            for (t, p) in total.iter_mut().zip(&part) {
+                t.merge(p);
+            }
+        }
+        total
+    }
+
+    /// IDFT: per-board forces for disjoint particle subsets, returned
+    /// concatenated in load order.
+    pub fn idft(&mut self, waves: &[IdftWave]) -> Vec<IdftAccum> {
+        let mut out = Vec::new();
+        for b in &mut self.boards {
+            if b.particle_count() > 0 {
+                out.extend(b.idft(waves));
+            }
+        }
+        out
+    }
+
+    /// Total ops across boards.
+    pub fn ops(&self) -> u64 {
+        self.boards.iter().map(WineBoard::ops).sum()
+    }
+
+    /// Cluster busy cycles: boards run concurrently; the bus serialises
+    /// only transfers, so compute time is the max over boards.
+    pub fn cycles(&self) -> u64 {
+        self.boards.iter().map(WineBoard::cycles).max().unwrap_or(0)
+    }
+
+    /// Bytes moved over the shared CompactPCI bus (sum over boards — the
+    /// bus is shared, so transfers serialise).
+    pub fn bus_bytes(&self) -> u64 {
+        self.boards.iter().map(WineBoard::bus_bytes).sum()
+    }
+
+    /// Reset counters on every board.
+    pub fn reset_counters(&mut self) {
+        for b in &mut self.boards {
+            b.reset_counters();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particles(n: usize) -> Vec<WineParticle> {
+        (0..n)
+            .map(|i| {
+                WineParticle::quantize(
+                    [
+                        (0.1 + 0.37 * i as f64) % 1.0,
+                        (0.5 + 0.21 * i as f64) % 1.0,
+                        (0.9 + 0.11 * i as f64) % 1.0,
+                    ],
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cluster_dft_equals_single_board_dft() {
+        // Splitting particles across boards must not change the result:
+        // fixed-point partial sums merge exactly.
+        let ps = particles(33);
+        let waves: Vec<[i32; 3]> = (0..25).map(|i| [i % 9 - 4, i % 5, 2]).collect();
+
+        let mut cluster = WineCluster::new();
+        cluster.load_particles(&ps).unwrap();
+        let split = cluster.dft(&waves);
+
+        let mut board = WineBoard::new();
+        board.load_particles(&ps).unwrap();
+        let whole = board.dft(&waves);
+
+        for (w, (a, b)) in split.iter().zip(&whole).enumerate() {
+            assert_eq!(a.resolve(), b.resolve(), "wave {w}");
+        }
+    }
+
+    #[test]
+    fn idft_concatenation_preserves_particle_order() {
+        let ps = particles(20);
+        let waves: Vec<IdftWave> = (1..=10)
+            .map(|i| IdftWave {
+                n: [i, 0, i],
+                u: mdm_fixed::Q30::from_f64(0.03 * i as f64),
+                v: mdm_fixed::Q30::from_f64(0.05 * i as f64),
+            })
+            .collect();
+
+        let mut cluster = WineCluster::new();
+        cluster.load_particles(&ps).unwrap();
+        let split = cluster.idft(&waves);
+
+        let mut board = WineBoard::new();
+        board.load_particles(&ps).unwrap();
+        let whole = board.idft(&waves);
+
+        assert_eq!(split.len(), whole.len());
+        for (i, (a, b)) in split.iter().zip(&whole).enumerate() {
+            assert_eq!(a.to_f64(), b.to_f64(), "particle {i}");
+        }
+    }
+
+    #[test]
+    fn particles_distributed_across_boards() {
+        let mut cluster = WineCluster::new();
+        cluster.load_particles(&particles(20)).unwrap();
+        let counts: Vec<usize> = cluster.boards().iter().map(|b| b.particle_count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        // ceil(20/7) = 3 per board for the first boards.
+        assert_eq!(counts[0], 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # wine2 — emulator of the WINE-2 special-purpose computer
+//!
+//! WINE-2 (Narumi et al., SC 2000, §3.4) is the wavenumber-space engine
+//! of the MDM: 2,240 chips × 8 fixed-point pipelines evaluating the
+//! Ewald reciprocal sum as a brute-force DFT (eqs. 9–10) and IDFT
+//! (eq. 11) over all wave vectors below the cutoff.
+//!
+//! The emulator mirrors the hardware hierarchy level by level:
+//!
+//! | paper | module | numbers (current MDM) |
+//! |---|---|---|
+//! | pipeline (Fig. 7) | [`pipeline`] | 2 waves resident, 1 particle–wave op/cycle |
+//! | chip (Fig. 6) | [`chip`] | 8 pipelines, 66.6 MHz, ≈20 Gflops |
+//! | board (Fig. 5) | [`board`] | 16 chips, 16 MB particle memory, FPGA interface |
+//! | cluster | [`cluster`] | 7 boards on a CompactPCI bus |
+//! | system (Fig. 3) | [`system`] | 20 clusters = 2,240 chips ≈ 45 Tflops |
+//!
+//! plus [`api`], the host library of Table 2 (`wine2_allocate_board`,
+//! `calculate_force_and_pot_wavepart_nooffset`, …), and [`timing`], the
+//! cycle/bus accounting used by the performance model.
+//!
+//! ## Numerics
+//!
+//! All pipeline arithmetic is two's-complement fixed point
+//! ([`mdm_fixed`]): positions enter as 32-bit turn fractions, the phase
+//! `θ = 2π n⃗·s⃗` is formed by wrapping integer multiplies (exact modulo
+//! one turn), sine/cosine come from a 4096-entry ROM with linear
+//! interpolation, and products accumulate into wide registers. The
+//! resulting relative force error is ~10⁻⁴·⁵, the figure the paper
+//! quotes (§3.4.4) — validated against the `f64` reference in the
+//! tests.
+
+pub mod api;
+pub mod board;
+pub mod chip;
+pub mod cluster;
+pub mod pipeline;
+pub mod system;
+pub mod timing;
+
+pub use api::Wine2Library;
+pub use pipeline::{WineParticle, WinePipeline};
+pub use system::{Wine2Config, Wine2System};

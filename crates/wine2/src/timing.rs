@@ -1,0 +1,105 @@
+//! Cycle and bandwidth accounting for WINE-2 — the numbers behind the
+//! performance model's `t_wine` term.
+
+/// Pipeline clock (§3.4.3: 66.6 MHz).
+pub const CLOCK_HZ: f64 = 66.6e6;
+
+/// Flops credited per particle–wave DFT op (paper §2.3).
+pub const FLOPS_PER_DFT_OP: f64 = 29.0;
+
+/// Flops credited per particle–wave IDFT op (paper §2.3).
+pub const FLOPS_PER_IDFT_OP: f64 = 35.0;
+
+/// Flops per op at *peak* rating: the paper rates a chip at "about
+/// 20 Gflops" = 8 pipelines × 66.6 MHz × 37.5 flops/op — the generic
+/// hardware rating, higher than the 29/35 Ewald accounting credits.
+pub const PEAK_FLOPS_PER_OP: f64 = 37.5;
+
+/// CompactPCI bus bandwidth per cluster, bytes/s (32-bit 33 MHz PCI,
+/// ~132 MB/s theoretical).
+pub const CLUSTER_BUS_BYTES_PER_S: f64 = 132.0e6;
+
+/// Hardware counters from one WINE-2 evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WineCounters {
+    /// Particle–wave operations in DFT mode.
+    pub dft_ops: u64,
+    /// Particle–wave operations in IDFT mode.
+    pub idft_ops: u64,
+    /// Busy pipeline cycles (max over clusters — they run concurrently).
+    pub cycles: u64,
+    /// Bus bytes moved on the busiest cluster's CompactPCI bus.
+    pub bus_bytes_per_cluster: u64,
+    /// Number of waves processed.
+    pub waves: u64,
+    /// Number of particles processed.
+    pub particles: u64,
+}
+
+impl WineCounters {
+    /// Ewald-credited floating-point work (the paper's `64·N·N_wv` when
+    /// DFT and IDFT each run once per particle–wave).
+    pub fn credited_flops(&self) -> f64 {
+        self.dft_ops as f64 * FLOPS_PER_DFT_OP + self.idft_ops as f64 * FLOPS_PER_IDFT_OP
+    }
+
+    /// Compute time at the hardware clock (seconds) — the lower bound
+    /// the performance model starts from.
+    pub fn compute_seconds(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ
+    }
+
+    /// Bus transfer time (seconds) on the busiest cluster.
+    pub fn bus_seconds(&self) -> f64 {
+        self.bus_bytes_per_cluster as f64 / CLUSTER_BUS_BYTES_PER_S
+    }
+
+    /// Achieved flop rate against a wall-clock time (flops/s).
+    pub fn achieved_flops(&self, seconds: f64) -> f64 {
+        self.credited_flops() / seconds
+    }
+}
+
+/// Peak rated flops of a WINE-2 configuration: every pipeline doing one
+/// op per cycle at the hardware rating. The paper quotes "about
+/// 20 Gflops" per chip, 45 Tflops for 2,240 chips, 54 for 2,688.
+pub fn peak_flops(chips: usize) -> f64 {
+    let pipes = chips as f64 * crate::chip::PIPELINES_PER_CHIP as f64;
+    pipes * CLOCK_HZ * PEAK_FLOPS_PER_OP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_peak_is_about_20_gflops() {
+        let per_chip = peak_flops(1);
+        assert!((15e9..22e9).contains(&per_chip), "{per_chip}");
+    }
+
+    #[test]
+    fn system_peak_is_about_45_tflops() {
+        let sys = peak_flops(2240);
+        assert!((35e12..50e12).contains(&sys), "{sys}");
+    }
+
+    #[test]
+    fn credited_flops_formula() {
+        let c = WineCounters {
+            dft_ops: 100,
+            idft_ops: 100,
+            ..Default::default()
+        };
+        assert_eq!(c.credited_flops(), 6400.0); // 64 per pair of ops
+    }
+
+    #[test]
+    fn compute_seconds() {
+        let c = WineCounters {
+            cycles: 66_600_000,
+            ..Default::default()
+        };
+        assert!((c.compute_seconds() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: the WINE-2 emulator must track the f64 reference
+//! within its fixed-point error budget for arbitrary configurations,
+//! and its partial-sum algebra must be exact.
+
+use mdm_core::boxsim::SimBox;
+use mdm_core::ewald::recip::recip_space;
+use mdm_core::kvectors::half_space_vectors;
+use mdm_core::vec3::Vec3;
+use proptest::prelude::*;
+use wine2::pipeline::WinePipeline;
+use wine2::system::{Wine2Config, Wine2System};
+use wine2::WineParticle;
+
+fn charged_config(seed: u64, n: usize, l: f64) -> (Vec<Vec3>, Vec<f64>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let pos = (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+        .collect();
+    let q = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (pos, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whole-system force error stays within the paper's ~1e-4.5 budget
+    /// for random neutral configurations and Ewald parameters.
+    #[test]
+    fn force_error_budget(seed in 0u64..1000, alpha in 5.0f64..9.0) {
+        let l = 12.0;
+        let (pos, q) = charged_config(seed, 24, l);
+        let sb = SimBox::cubic(l);
+        let n_max = 6.0;
+        let mut wine = Wine2System::new(Wine2Config { clusters: 2 });
+        let hw = wine.compute_wavepart(sb, &pos, &q, alpha, n_max).unwrap();
+        let waves = half_space_vectors(n_max);
+        let sw = recip_space(sb, &pos, &q, alpha, &waves);
+        let scale = sw.forces.iter().map(|f| f.norm()).fold(1e-12f64, f64::max);
+        for (a, b) in hw.forces.iter().zip(&sw.forces) {
+            prop_assert!((*a - *b).norm() / scale < 1e-4, "{a:?} vs {b:?}");
+        }
+        prop_assert!(((hw.energy - sw.energy) / sw.energy.max(1e-12)).abs() < 1e-3);
+    }
+
+    /// DFT partial sums over any split of the particle set merge to the
+    /// unsplit result exactly (fixed-point addition is associative).
+    #[test]
+    fn dft_partition_invariance(seed in 0u64..1000, split in 1usize..19) {
+        let (pos, q) = charged_config(seed, 20, 10.0);
+        let particles: Vec<WineParticle> = pos
+            .iter()
+            .zip(&q)
+            .map(|(r, &qq)| WineParticle::quantize([r.x / 10.0, r.y / 10.0, r.z / 10.0], qq))
+            .collect();
+        let n = [3, -1, 2];
+        let mut pipe = WinePipeline::new();
+        let whole = pipe.dft_wave(n, &particles);
+        let mut left = pipe.dft_wave(n, &particles[..split]);
+        let right = pipe.dft_wave(n, &particles[split..]);
+        left.merge(&right);
+        prop_assert_eq!(whole.resolve(), left.resolve());
+    }
+
+    /// Structure factors from the fixed-point pipeline respect the
+    /// conjugation symmetry S(-n) = -S(n), C(-n) = C(n) to quantisation
+    /// accuracy.
+    #[test]
+    fn conjugation_symmetry(seed in 0u64..1000) {
+        let (pos, q) = charged_config(seed, 16, 8.0);
+        let particles: Vec<WineParticle> = pos
+            .iter()
+            .zip(&q)
+            .map(|(r, &qq)| WineParticle::quantize([r.x / 8.0, r.y / 8.0, r.z / 8.0], qq))
+            .collect();
+        let mut pipe = WinePipeline::new();
+        let (s_p, c_p) = pipe.dft_wave([2, 3, -1], &particles).resolve();
+        let (s_m, c_m) = pipe.dft_wave([-2, -3, 1], &particles).resolve();
+        prop_assert!((s_p + s_m).abs() < 1e-4, "{s_p} vs {s_m}");
+        prop_assert!((c_p - c_m).abs() < 1e-4, "{c_p} vs {c_m}");
+    }
+
+    /// Zero net charge with all particles coincident cancels to within
+    /// one accumulator ulp (the truncating multiply rounds +q·v and
+    /// −q·v toward −∞, so the residual is at most 1 ulp per term —
+    /// hardware-faithful, not exact).
+    #[test]
+    fn coincident_dipole_cancels(x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0) {
+        let p = WineParticle::quantize([x, y, z], 1.0);
+        let m = WineParticle::quantize([x, y, z], -1.0);
+        let mut pipe = WinePipeline::new();
+        let (s, c) = pipe.dft_wave([5, -2, 7], &[p, m]).resolve();
+        let ulp = 2f64.powi(-30);
+        prop_assert!(s.abs() <= 2.0 * ulp, "{s}");
+        prop_assert!(c.abs() <= 2.0 * ulp, "{c}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The §6.3 programme: tree-code vs direct summation, CPU vs
+//! MDGRAPE-2-accelerated, with accuracy and work-count comparisons —
+//! "we can not only compare the accuracy with Ewald method but also
+//! perform larger simulation that cannot be done with Ewald method."
+//!
+//! Run with: `cargo run --release --example treecode_comparison [n]`
+
+use mdm::core::vec3::Vec3;
+use mdm::tree::bh::{bh_forces, direct_forces, interaction_counts, BhParams};
+use mdm::tree::grape::{grape_tree_forces, gravity_table};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn sphere(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pos = Vec::with_capacity(n);
+    while pos.len() < n {
+        let p = Vec3::new(
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+        );
+        if p.norm_sq() <= 1.0 {
+            pos.push(p);
+        }
+    }
+    (pos, vec![1.0 / n as f64; n])
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+    let eps = 0.05;
+    let (pos, m) = sphere(n, 11);
+    println!("== Section 6.3: tree-code on the MDM ==");
+    println!("N = {n} equal-mass particles, Plummer softening {eps}\n");
+
+    let t0 = std::time::Instant::now();
+    let exact = direct_forces(&pos, &m, &BhParams::gravity(0.0, eps));
+    let t_direct = t0.elapsed();
+    let scale = exact.iter().map(|f| f.norm()).fold(1e-300f64, f64::max);
+
+    println!(
+        "{:>7} | {:>12} {:>12} | {:>12} {:>12} | {:>14}",
+        "theta", "cpu-tree err", "cpu time", "grape err", "grape time", "pipeline ops"
+    );
+    println!("{}", "-".repeat(84));
+    let ev = gravity_table(eps).unwrap();
+    for theta in [1.0f64, 0.7, 0.5, 0.3] {
+        let params = BhParams::gravity(theta, eps);
+        let t1 = std::time::Instant::now();
+        let cpu = bh_forces(&pos, &m, &params);
+        let t_cpu = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let (hw, stats) = grape_tree_forces(&pos, &m, &params, &ev);
+        let t_hw = t2.elapsed();
+        let err = |f: &[Vec3]| {
+            f.iter()
+                .zip(&exact)
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0f64, f64::max)
+                / scale
+        };
+        println!(
+            "{:>7.2} | {:>12.2e} {:>10.1}ms | {:>12.2e} {:>10.1}ms | {:>14}",
+            theta,
+            err(&cpu),
+            t_cpu.as_secs_f64() * 1e3,
+            err(&hw),
+            t_hw.as_secs_f64() * 1e3,
+            stats.pipeline_ops,
+        );
+    }
+    println!(
+        "\ndirect O(N²) reference: {:.1} ms, {} pair evaluations",
+        t_direct.as_secs_f64() * 1e3,
+        n * (n - 1)
+    );
+
+    let counts = interaction_counts(&pos, &m, 0.7);
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    println!(
+        "mean interaction-list length at theta = 0.7: {mean:.0} of N = {n} \
+         ({}x saving — the O(N log N) claim)",
+        (n as f64 / mean).round()
+    );
+    println!(
+        "\nthe MDGRAPE-2 pipeline evaluates tree interaction lists exactly as it\n\
+         evaluates Ewald real-space pairs: same silicon, different g(x) table —\n\
+         the paper's argument for why the MDM is more than an Ewald machine."
+    );
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the whole machine, end to end.
+
+use mdm::core::forcefield::{EwaldTosiFumi, ForceField};
+use mdm::core::integrate::Simulation;
+use mdm::core::lattice::{rocksalt_nacl, rocksalt_nacl_at_density, NACL_LATTICE_A, PAPER_DENSITY};
+use mdm::core::thermostat::Thermostat;
+use mdm::core::vec3::Vec3;
+use mdm::core::velocities::{maxwell_boltzmann, temperature};
+use mdm::host::driver::MdmForceField;
+use mdm::host::parallel::{parallel_forces, ParallelConfig};
+
+/// The paper's full protocol in miniature, on the emulated hardware:
+/// crystal → thermalise at 1200 K (NVT, velocity scaling) → NVE; the
+/// NVE phase must conserve energy and hold a stable temperature.
+#[test]
+fn paper_protocol_on_emulated_mdm() {
+    let mut system = rocksalt_nacl(3, NACL_LATTICE_A);
+    maxwell_boltzmann(&mut system, 1200.0, 99);
+    let machine = MdmForceField::nacl_default(system.simbox().l()).unwrap();
+    let mut sim = Simulation::new(system, machine, 2.0);
+
+    sim.set_thermostat(Some(Thermostat::velocity_scaling(1200.0)));
+    sim.run(15);
+    assert!((temperature(sim.system()) - 1200.0).abs() < 1.0);
+
+    sim.set_thermostat(None);
+    let e0 = sim.record().total;
+    let records = sim.run(25);
+    let drift = ((records.last().unwrap().total - e0) / e0).abs();
+    assert!(drift < 1e-3, "NVE drift on hardware: {drift}");
+    // Momentum conservation through the whole stack.
+    assert!(
+        sim.system().total_momentum().norm() < 1e-6,
+        "momentum {:?}",
+        sim.system().total_momentum()
+    );
+}
+
+/// Hardware and software force fields must produce the same dynamics:
+/// integrate the same initial state with both and compare trajectories.
+#[test]
+fn hardware_and_software_trajectories_agree() {
+    let mut system = rocksalt_nacl(3, NACL_LATTICE_A);
+    maxwell_boltzmann(&mut system, 600.0, 5);
+    let l = system.simbox().l();
+
+    let hw = MdmForceField::nacl_default(l).unwrap();
+    let mut sim_hw = Simulation::new(system.clone(), hw, 1.0);
+
+    // The software reference with the *same* Ewald parameters — but it
+    // cuts off at r_cut while the hardware keeps kernel tails, so the
+    // trajectories agree closely, not bitwise.
+    let params = *MdmForceField::nacl_default(l).unwrap().params();
+    let sw = EwaldTosiFumi::new(params, mdm::core::potentials::TosiFumi::nacl());
+    let mut sim_sw = Simulation::new(system, sw, 1.0);
+
+    for _ in 0..10 {
+        sim_hw.step();
+        sim_sw.step();
+    }
+    let mut max_dev = 0.0f64;
+    for (a, b) in sim_hw
+        .system()
+        .positions()
+        .iter()
+        .zip(sim_sw.system().positions())
+    {
+        max_dev = max_dev.max(sim_hw.system().simbox().min_image(*a, *b).norm());
+    }
+    assert!(max_dev < 1e-3, "trajectories diverged: {max_dev} A after 10 fs");
+}
+
+/// The §4 parallel program must agree with the serial software field
+/// and with itself across process counts, on a molten-density system.
+#[test]
+fn parallel_program_is_exact() {
+    let mut system = rocksalt_nacl_at_density(3, PAPER_DENSITY);
+    maxwell_boltzmann(&mut system, 1200.0, 1);
+    // Small thermal kick so positions are generic.
+    let kicked: Vec<Vec3> = system
+        .positions()
+        .iter()
+        .zip(system.velocities())
+        .map(|(r, v)| *r + *v * 10.0)
+        .collect();
+    for (i, r) in kicked.into_iter().enumerate() {
+        system.set_position(i, r);
+    }
+
+    let params = mdm::core::ewald::EwaldParams::from_alpha_accuracy(
+        7.0,
+        3.2,
+        3.2,
+        system.simbox().l(),
+    );
+    let par = parallel_forces(&system, &params, ParallelConfig::paper());
+    let mut serial = EwaldTosiFumi::new(params, mdm::core::potentials::TosiFumi::nacl());
+    serial.set_parallel(false);
+    let ser = serial.compute(&system);
+    let scale = ser.forces.iter().map(|f| f.norm()).fold(0.0f64, f64::max);
+    for (i, (p, s)) in par.forces.iter().zip(&ser.forces).enumerate() {
+        assert!(
+            (*p - *s).norm() / scale < 1e-9,
+            "particle {i}: {p:?} vs {s:?}"
+        );
+    }
+    assert!(((par.potential - ser.potential) / ser.potential).abs() < 1e-10);
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// trajectories (hardware emulation included).
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let mut system = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut system, 900.0, 31);
+        let hw = MdmForceField::nacl_default(system.simbox().l()).unwrap();
+        let mut sim = Simulation::new(system, hw, 2.0);
+        sim.run(5);
+        sim.system().positions().to_vec()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give bitwise-identical trajectories");
+}
+
+/// Cohesion sanity on the full stack: the crystal binds with the
+/// Tosi–Fumi lattice energy, whichever engine computes it.
+#[test]
+fn cohesive_energy_consistency() {
+    let s = rocksalt_nacl(3, NACL_LATTICE_A);
+    let pairs = s.len() as f64 / 2.0;
+    let mut hw = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+    let e_hw = hw.compute(&s).potential / pairs;
+    let mut sw = EwaldTosiFumi::nacl_default(s.simbox().l());
+    let e_sw = sw.compute(&s).potential / pairs;
+    assert!((-8.4..-7.4).contains(&e_hw), "hardware: {e_hw} eV/pair");
+    assert!((-8.4..-7.4).contains(&e_sw), "software: {e_sw} eV/pair");
+    assert!((e_hw - e_sw).abs() < 0.05, "{e_hw} vs {e_sw}");
+}
