@@ -249,12 +249,12 @@ mod tests {
             .flat_map(|f| f.iter())
             .fold(0.0f64, |m, v| m.max(v.abs()));
         for (i, (h, s)) in hw.iter().zip(&sw).enumerate() {
-            for k in 0..3 {
+            for (k, sk) in s.iter().enumerate() {
                 assert!(
-                    (h.acc[k] - s[k]).abs() / scale < 1e-4,
+                    (h.acc[k] - sk).abs() / scale < 1e-4,
                     "particle {i} axis {k}: {} vs {}",
                     h.acc[k],
-                    s[k]
+                    sk
                 );
             }
         }

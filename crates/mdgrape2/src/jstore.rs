@@ -43,6 +43,7 @@ impl JStore {
     /// caller should enlarge `min_cell`'s box or fall back to software.
     pub fn build(simbox: SimBox, positions: &[Vec3], types: &[u8], min_cell: f64) -> Self {
         assert_eq!(positions.len(), types.len());
+        let _span = mdm_profile::span("jstore_build");
         let cl = CellList::build(simbox, positions, min_cell);
         assert!(
             cl.cells_per_side() >= 3,
@@ -181,7 +182,7 @@ mod tests {
         let (b, pos, ty) = setup(200, 18.0);
         let js = JStore::build(b, &pos, &ty, 4.5);
         assert_eq!(js.len(), 200);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for s in 0..js.len() {
             let o = js.original_index(s);
             assert!(!seen[o]);

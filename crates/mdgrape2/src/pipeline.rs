@@ -115,8 +115,8 @@ mod tests {
         p.interact(xi, xj, 1.0, 1.0, PipelineMode::Force, &mut acc);
         let d = [-1.5f64, 1.5, 1.0];
         let r_sq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-        for k in 0..3 {
-            let expect = d[k] / (r_sq * r_sq);
+        for (k, dk) in d.iter().enumerate() {
+            let expect = dk / (r_sq * r_sq);
             assert!(
                 ((acc.acc[k] - expect) / expect).abs() < 1e-5,
                 "axis {k}: {} vs {expect}",

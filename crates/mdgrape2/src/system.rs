@@ -125,6 +125,7 @@ impl Mdgrape2System {
         jstore: &JStore,
     ) -> Result<MdgPassResult, MdgBoardError> {
         assert_eq!(positions.len(), types.len());
+        let _span = mdm_profile::span("mdg_pass");
         for c in &mut self.clusters {
             c.reset_counters();
         }
@@ -154,6 +155,7 @@ impl Mdgrape2System {
             v.resize(n_boards, &[]);
             v
         };
+        let pipeline_span = mdm_profile::span("pipelines");
         let results: Vec<Vec<PairAccum>> = boards
             .into_par_iter()
             .zip(chunks)
@@ -165,6 +167,7 @@ impl Mdgrape2System {
                 Ok(board.calc_block2(mode, chunk, jstore))
             })
             .collect::<Result<_, MdgBoardError>>()?;
+        drop(pipeline_span);
 
         let mut values = Vec::with_capacity(positions.len());
         for r in &results {

@@ -54,6 +54,34 @@ impl MdgCounters {
     }
 }
 
+/// Modeled cycle time beside measured wall-clock — see
+/// `wine2::timing::MeasuredVsModeled` for the WINE-2 twin; together
+/// they give the Table 4 per-engine comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredVsModeled {
+    /// Wall-clock seconds the emulated pass actually took.
+    pub measured_seconds: f64,
+    /// Seconds the real hardware would take: busy cycles / clock.
+    pub modeled_seconds: f64,
+}
+
+impl MeasuredVsModeled {
+    /// Emulation slowdown: measured / modeled.
+    pub fn slowdown(&self) -> f64 {
+        self.measured_seconds / self.modeled_seconds
+    }
+}
+
+impl MdgCounters {
+    /// Pair the modeled compute time with a measured wall-clock.
+    pub fn against_wall_clock(&self, measured_seconds: f64) -> MeasuredVsModeled {
+        MeasuredVsModeled {
+            measured_seconds,
+            modeled_seconds: self.compute_seconds(),
+        }
+    }
+}
+
 /// Peak rated flops of an MDGRAPE-2 configuration (the paper's
 /// "1 Tflops" for 64 chips, "25 Tflops" for 1,536).
 pub fn peak_flops(chips: usize) -> f64 {
@@ -98,5 +126,16 @@ mod tests {
         assert_eq!(a.pair_ops, 30);
         assert_eq!(a.cycles, 12);
         assert_eq!(a.bus_bytes_per_cluster, 150);
+    }
+
+    #[test]
+    fn measured_vs_modeled_slowdown() {
+        let c = MdgCounters {
+            cycles: 100_000_000, // 1 s of modeled silicon
+            ..Default::default()
+        };
+        let cmp = c.against_wall_clock(4.0);
+        assert!((cmp.modeled_seconds - 1.0).abs() < 1e-12);
+        assert!((cmp.slowdown() - 4.0).abs() < 1e-12);
     }
 }

@@ -24,8 +24,8 @@ fn main() {
 }
 
 /// 1. Sine-ROM size: the interpolation error scales as (2π/size)²/8;
-/// the paper's ~1e-4.5 force budget needs ≥ ~1k entries, and 4096
-/// leaves headroom for the rest of the datapath.
+///    the paper's ~1e-4.5 force budget needs ≥ ~1k entries, and 4096
+///    leaves headroom for the rest of the datapath.
 fn sine_rom_ablation() {
     println!("== ablation 1: WINE-2 sine-ROM size vs wavenumber-force accuracy ==\n");
     let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
@@ -139,7 +139,7 @@ fn wavepart_error_with_rom(
 }
 
 /// 2. Function-evaluator segmentation: error vs segments per octave for
-/// the Coulomb-real kernel (paper: 16/octave × 64 octaves = 1,024).
+///    the Coulomb-real kernel (paper: 16/octave × 64 octaves = 1,024).
 fn segment_ablation() {
     println!("== ablation 2: MDGRAPE-2 segments per octave vs g(x) accuracy ==\n");
     let g = |x: f64| {
@@ -164,7 +164,7 @@ fn segment_ablation() {
 }
 
 /// 3. The §6.1 upgrade list, one factor at a time, at the calibrated
-/// operating point.
+///    operating point.
 fn upgrade_ablation() {
     println!("== ablation 3: the Section 6.1 upgrade list, factor by factor ==\n");
     let spec = SystemSpec::paper();

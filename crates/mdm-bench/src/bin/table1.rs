@@ -7,7 +7,7 @@ use mdm_host::topology::{table1_components, MdmTopology};
 
 fn main() {
     println!("== Table 1: components of the MDM system ==\n");
-    println!("{:<16} {:<52} {}", "Component", "Product", "Manufacturer");
+    println!("{:<16} {:<52} Manufacturer", "Component", "Product");
     println!("{}", "-".repeat(96));
     for row in table1_components() {
         println!("{:<16} {:<52} {}", row.component, row.product, row.manufacturer);

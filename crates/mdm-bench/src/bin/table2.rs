@@ -17,7 +17,7 @@ fn main() {
         ("Force calculation", "calculate_force_and_pot_wavepart_nooffset", "calculate the wavenumber-space part of force"),
         ("Finalization", "wine2_free_board", "release WINE-2 boards"),
     ];
-    println!("{:<18} {:<44} {}", "Category", "Name", "Function");
+    println!("{:<18} {:<44} Function", "Category", "Name");
     println!("{}", "-".repeat(110));
     for (cat, name, func) in rows {
         println!("{cat:<18} {name:<44} {func}");

@@ -18,7 +18,7 @@ fn main() {
         ("Force calculation", "MR1calcvdw_block2", "calculate the real-space part of force with cell-index method"),
         ("Finalization", "MR1free", "release MDGRAPE-2 boards"),
     ];
-    println!("{:<18} {:<22} {}", "Category", "Name", "Function");
+    println!("{:<18} {:<22} Function", "Category", "Name");
     println!("{}", "-".repeat(100));
     for (cat, name, func) in rows {
         println!("{cat:<18} {name:<22} {func}");

@@ -11,6 +11,8 @@
 //! | `table5` | Table 5 — current vs future MDM (chips, peaks, efficiencies) + the §6.2 million-particle projection |
 //! | `figure2` | Figure 2 — temperature vs time for a ladder of N, with the 1/√N fluctuation law |
 //! | `figure3` | Figures 1/3–11 — the machine block-diagram hierarchy |
+//! | `ablation` | §6.1's upgrade list quantified factor by factor |
+//! | `profile_step` | Table 4's `t_step = max(t_wine, t_mdg) + t_comm + t_host` measured live on the emulator vs modeled from cycle counters; `--json` writes the `BENCH_step.json` baseline |
 //!
 //! plus Criterion microbenchmarks (`cargo bench`) for the kernel-level
 //! shape claims (real-space work inflation, emulator overheads, α

@@ -38,6 +38,7 @@ impl CellList {
     /// Panics if `min_cell` is not positive.
     pub fn build(simbox: SimBox, positions: &[Vec3], min_cell: f64) -> Self {
         assert!(min_cell > 0.0, "min_cell must be positive");
+        let _span = mdm_profile::span("celllist_build");
         let l = simbox.l();
         let m = ((l / min_cell).floor() as usize).max(1);
         let cell_size = l / m as f64;
@@ -192,6 +193,7 @@ impl CellList {
     where
         F: FnMut(usize, usize, Vec3, f64),
     {
+        let _span = mdm_profile::span("celllist_traverse");
         assert!(
             r_cut <= self.simbox.max_cutoff() + 1e-12,
             "r_cut {} exceeds minimum-image limit {}",
@@ -244,6 +246,7 @@ impl CellList {
     where
         F: FnMut(usize, usize, Vec3, f64),
     {
+        let _span = mdm_profile::span("celllist_traverse");
         for c in 0..self.n_cells() {
             let center = self.particles_in(c);
             for (neighbor, shift) in self.neighbors27(c) {

@@ -39,6 +39,7 @@ pub fn real_space(
     kappa: f64,
     r_cut: f64,
 ) -> (f64, Vec<Vec3>, f64, u64) {
+    let _span = mdm_profile::span("ewald_real");
     let cl = CellList::build(simbox, positions, r_cut);
     let mut energy = 0.0;
     let mut virial = 0.0;
@@ -67,6 +68,7 @@ pub fn real_space_parallel(
     kappa: f64,
     r_cut: f64,
 ) -> (f64, Vec<Vec3>, f64, u64) {
+    let _span = mdm_profile::span("ewald_real");
     let cl = CellList::build(simbox, positions, r_cut);
     if !cl.supports_cutoff(r_cut) {
         // Grid too coarse for the 27-cell scan; the serial path has the

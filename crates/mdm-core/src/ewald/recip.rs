@@ -48,6 +48,7 @@ pub fn structure_factors(
     charges: &[f64],
     waves: &[KVector],
 ) -> Vec<(f64, f64)> {
+    let _span = mdm_profile::span("dft");
     let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
     waves
         .iter()
@@ -63,6 +64,7 @@ pub fn structure_factors_parallel(
     charges: &[f64],
     waves: &[KVector],
 ) -> Vec<(f64, f64)> {
+    let _span = mdm_profile::span("dft");
     let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
     waves
         .par_iter()
@@ -91,6 +93,7 @@ pub fn recip_space(
     alpha: f64,
     waves: &[KVector],
 ) -> RecipResult {
+    let _span = mdm_profile::span("ewald_recip");
     let sf = structure_factors(simbox, positions, charges, waves);
     finish(simbox, positions, charges, alpha, waves, sf, false)
 }
@@ -103,6 +106,7 @@ pub fn recip_space_parallel(
     alpha: f64,
     waves: &[KVector],
 ) -> RecipResult {
+    let _span = mdm_profile::span("ewald_recip");
     let sf = structure_factors_parallel(simbox, positions, charges, waves);
     finish(simbox, positions, charges, alpha, waves, sf, true)
 }
@@ -162,10 +166,13 @@ fn finish(
         f * (prefactor * charges[i])
     };
 
-    let forces: Vec<Vec3> = if parallel {
-        (0..positions.len()).into_par_iter().map(idft).collect()
-    } else {
-        (0..positions.len()).map(idft).collect()
+    let forces: Vec<Vec3> = {
+        let _span = mdm_profile::span("idft");
+        if parallel {
+            (0..positions.len()).into_par_iter().map(idft).collect()
+        } else {
+            (0..positions.len()).map(idft).collect()
+        }
     };
 
     RecipResult {

@@ -51,19 +51,23 @@ impl VelocityVerlet {
         // Half kick + drift.
         let masses = system.masses().to_vec();
         {
+            let _span = mdm_profile::span("integrate");
             let velocities = system.velocities_mut();
             for i in 0..n {
                 velocities[i] += current.forces[i] * (half / masses[i]);
             }
+            let velocities_snapshot: Vec<Vec3> = system.velocities().to_vec();
+            system.displace_all(|i| velocities_snapshot[i] * dt);
         }
-        let velocities_snapshot: Vec<Vec3> = system.velocities().to_vec();
-        system.displace_all(|i| velocities_snapshot[i] * dt);
 
         // New forces, second half kick.
         let next = ff.compute(system);
-        let velocities = system.velocities_mut();
-        for i in 0..n {
-            velocities[i] += next.forces[i] * (half / masses[i]);
+        {
+            let _span = mdm_profile::span("integrate");
+            let velocities = system.velocities_mut();
+            for i in 0..n {
+                velocities[i] += next.forces[i] * (half / masses[i]);
+            }
         }
         next
     }

@@ -112,6 +112,7 @@ impl Rdf {
 
     /// Accumulate one configuration.
     pub fn sample(&mut self, system: &System) {
+        let _span = mdm_profile::span("observables");
         let simbox = system.simbox();
         assert!(
             self.r_max <= simbox.max_cutoff() + 1e-9,
@@ -186,6 +187,7 @@ pub fn charge_structure_factor(system: &System, n_max: f64) -> Vec<(f64, f64)> {
     use crate::ewald::recip::structure_factors;
     use crate::kvectors::half_space_vectors;
     use std::collections::BTreeMap;
+    let _span = mdm_profile::span("observables");
     let waves = half_space_vectors(n_max);
     let sf = structure_factors(
         system.simbox(),

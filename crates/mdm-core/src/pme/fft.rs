@@ -23,15 +23,6 @@ impl Complex {
     /// Zero.
     pub const ZERO: Self = Self::new(0.0, 0.0);
 
-    /// Complex multiply.
-    #[inline]
-    pub fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
-    }
-
     /// Squared magnitude.
     #[inline]
     pub fn norm_sq(self) -> f64 {
@@ -49,6 +40,19 @@ impl Complex {
     pub fn cis(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
         Self::new(c, s)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Self;
+
+    /// Complex multiply.
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
     }
 }
 
@@ -84,10 +88,10 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = data[start + k];
-                let v = data[start + k + len / 2].mul(w);
+                let v = data[start + k + len / 2] * w;
                 data[start + k] = Complex::new(u.re + v.re, u.im + v.im);
                 data[start + k + len / 2] = Complex::new(u.re - v.re, u.im - v.im);
-                w = w.mul(w_len);
+                w = w * w_len;
             }
         }
         len <<= 1;
@@ -165,24 +169,24 @@ impl Grid3 {
         // y lines.
         for z in 0..k {
             for x in 0..k {
-                for y in 0..k {
-                    scratch[y] = self.data[self.idx(x, y, z)];
+                for (y, s) in scratch.iter_mut().enumerate() {
+                    *s = self.data[(z * k + y) * k + x];
                 }
                 fft_in_place(&mut scratch, inverse);
-                for y in 0..k {
-                    self.data[(z * k + y) * k + x] = scratch[y];
+                for (y, s) in scratch.iter().enumerate() {
+                    self.data[(z * k + y) * k + x] = *s;
                 }
             }
         }
         // z lines.
         for y in 0..k {
             for x in 0..k {
-                for z in 0..k {
-                    scratch[z] = self.data[self.idx(x, y, z)];
+                for (z, s) in scratch.iter_mut().enumerate() {
+                    *s = self.data[(z * k + y) * k + x];
                 }
                 fft_in_place(&mut scratch, inverse);
-                for z in 0..k {
-                    self.data[(z * k + y) * k + x] = scratch[z];
+                for (z, s) in scratch.iter().enumerate() {
+                    self.data[(z * k + y) * k + x] = *s;
                 }
             }
         }
@@ -254,15 +258,15 @@ mod tests {
             .collect();
         let mut fast = signal.clone();
         fft_in_place(&mut fast, false);
-        for f in 0..n {
+        for (f, fast_f) in fast.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (t, s) in signal.iter().enumerate() {
                 let w = Complex::cis(-std::f64::consts::TAU * (f * t) as f64 / n as f64);
-                let p = s.mul(w);
+                let p = *s * w;
                 acc = Complex::new(acc.re + p.re, acc.im + p.im);
             }
-            assert!((acc.re - fast[f].re).abs() < 1e-9, "bin {f}");
-            assert!((acc.im - fast[f].im).abs() < 1e-9, "bin {f}");
+            assert!((acc.re - fast_f.re).abs() < 1e-9, "bin {f}");
+            assert!((acc.im - fast_f.im).abs() < 1e-9, "bin {f}");
         }
     }
 

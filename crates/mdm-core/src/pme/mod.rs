@@ -108,6 +108,7 @@ impl SpmeRecip {
             (simbox.l() - self.l).abs() < 1e-9,
             "box changed; rebuild SpmeRecip"
         );
+        let _span = mdm_profile::span("pme");
         let k = self.mesh;
         let n = self.order;
         let kf = k as f64;
@@ -128,6 +129,7 @@ impl SpmeRecip {
             (base, w, dw)
         };
         let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+        let spread_span = mdm_profile::span("spread");
         for (f, &q) in fractional.iter().zip(charges) {
             let (bx, wx, _) = weights_of(f.x * kf);
             let (by, wy, _) = weights_of(f.y * kf);
@@ -145,14 +147,20 @@ impl SpmeRecip {
             }
         }
 
+        drop(spread_span);
+
         // --- Convolve with the influence function in Fourier space. ---
-        grid.fft3(false);
-        for (c, &theta) in grid.data_mut().iter_mut().zip(&self.influence) {
-            *c = Complex::new(c.re * theta, c.im * theta);
+        {
+            let _span = mdm_profile::span("fft");
+            grid.fft3(false);
+            for (c, &theta) in grid.data_mut().iter_mut().zip(&self.influence) {
+                *c = Complex::new(c.re * theta, c.im * theta);
+            }
+            grid.fft3(true); // unnormalised inverse: matches E = ½ Σ Q·φ
         }
-        grid.fft3(true); // unnormalised inverse: matches E = ½ Σ Q·φ
 
         // --- Energy and forces from the convolved potential grid. ---
+        let _gather_span = mdm_profile::span("gather");
         let mut energy = 0.0;
         let mut forces = vec![Vec3::ZERO; positions.len()];
         let du_dr = kf / self.l;

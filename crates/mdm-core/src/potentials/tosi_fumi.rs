@@ -98,9 +98,9 @@ impl TosiFumi {
         params.validate();
         let n = params.sigma.len();
         let mut bm = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                bm[i][j] = params.pauling[i][j]
+        for (i, row) in bm.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = params.pauling[i][j]
                     * params.b
                     * ((params.sigma[i] + params.sigma[j]) / params.rho).exp();
             }

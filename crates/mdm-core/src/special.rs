@@ -20,7 +20,7 @@
 const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
 
 /// `2/√π`, the derivative of `erf` at 0.
-const FRAC_2_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+use std::f64::consts::FRAC_2_SQRT_PI;
 
 /// Crossover between the series and continued-fraction regimes.
 const SERIES_LIMIT: f64 = 1.75;

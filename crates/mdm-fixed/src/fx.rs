@@ -154,13 +154,20 @@ impl<const WIDTH: u32, const FRAC: u32> Fx<WIDTH, FRAC> {
     }
 
     /// Arithmetic shift right (divide by a power of two, rounding toward −∞).
+    ///
+    /// Deliberately an inherent method, not `std::ops::Shr`: the name
+    /// mirrors the hardware barrel-shifter stage it emulates.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, bits: u32) -> Self {
         Self { raw: self.raw >> bits }
     }
 
     /// Arithmetic shift left with wrap.
+    ///
+    /// Inherent for the same reason as [`Fx::shr`].
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, bits: u32) -> Self {
         Self::wrap(self.raw << bits)
     }

@@ -30,8 +30,8 @@ pub fn polyfit5(nodes: &[f64; 5], values: &[f64; 5]) -> [f64; 5] {
     let mut a = [[0.0f64; 6]; 5];
     for i in 0..5 {
         let mut p = 1.0;
-        for j in 0..5 {
-            a[i][j] = p;
+        for v in a[i].iter_mut().take(5) {
+            *v = p;
             p *= nodes[i];
         }
         a[i][5] = values[i];
@@ -52,10 +52,11 @@ fn gauss_solve5(a: &mut [[f64; 6]; 5]) -> [f64; 5] {
         a.swap(col, pivot);
         let diag = a[col][col];
         debug_assert!(diag.abs() > 1e-300, "singular Vandermonde system");
-        for row in col + 1..5 {
-            let factor = a[row][col] / diag;
-            for k in col..6 {
-                a[row][k] -= factor * a[col][k];
+        let pivot_row = a[col];
+        for row in a.iter_mut().skip(col + 1) {
+            let factor = row[col] / diag;
+            for (k, v) in row.iter_mut().enumerate().skip(col) {
+                *v -= factor * pivot_row[k];
             }
         }
     }

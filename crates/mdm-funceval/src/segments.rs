@@ -103,7 +103,7 @@ impl Segmentation {
     /// raw IEEE 754 bit pattern — the same shift-and-mask a chip does.
     #[inline]
     pub fn locate(&self, x: f32) -> SegmentHit {
-        if !(x > 0.0) || !x.is_finite() {
+        if !x.is_finite() || x <= 0.0 {
             // Zero, negatives (impossible for r²·a with a>0), NaN: treat
             // as below-range; the pipeline multiplies the result by
             // r⃗ = 0 in the self-interaction case, so any finite g works.

@@ -186,11 +186,11 @@ mod tests {
         let pos = positions(250, 18.0, 3);
         let r_cut = 4.0;
         let owned = d.assign(&pos);
-        for dom in 0..d.len() {
+        for (dom, own) in owned.iter().enumerate() {
             let halo = d.halo(dom, &pos, r_cut);
             let halo_set: std::collections::HashSet<u32> =
                 halo.iter().map(|(i, _)| *i).collect();
-            for &i in &owned[dom] {
+            for &i in own {
                 for (j, &rj) in pos.iter().enumerate() {
                     if d.domain_of(rj) == dom {
                         continue;

@@ -212,8 +212,14 @@ impl MdmForceField {
         let coeffs = self.energy_coefficients(system, kappa);
         let mut totals = [0.0f64; 4];
         for (pass, (table, coeff)) in self.energy_tables.clone().iter().zip(&coeffs).enumerate() {
-            self.mdg.load_table(table);
-            self.mdg.load_coefficients(coeff);
+            {
+                let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+                let _upload = mdm_profile::span("upload");
+                self.mdg.load_table(table);
+                self.mdg.load_coefficients(coeff);
+            }
+            let _real = mdm_profile::span(mdm_profile::phase::REAL);
+            let _pot = mdm_profile::span("potential");
             let out = self
                 .mdg
                 .calc_pass_with_jstore(
@@ -241,23 +247,32 @@ impl ForceField for MdmForceField {
         self.coulomb_pass_ops = 0;
 
         // j-store shared by all MDGRAPE-2 passes this step.
-        let jstore = JStore::build(simbox, system.positions(), system.types(), self.params.r_cut);
+        let jstore = {
+            let _host = mdm_profile::span(mdm_profile::phase::HOST);
+            JStore::build(simbox, system.positions(), system.types(), self.params.r_cut)
+        };
 
         // --- MDGRAPE-2: four force passes. ---
         let coeffs = self.force_coefficients(system, kappa);
         let mut forces = vec![Vec3::ZERO; n];
         for (pass, (table, coeff)) in self.force_tables.clone().iter().zip(&coeffs).enumerate() {
-            self.mdg.load_table(table);
-            self.mdg.load_coefficients(coeff);
-            let out = self
-                .mdg
-                .calc_pass_with_jstore(
-                    PipelineMode::Force,
-                    system.positions(),
-                    system.types(),
-                    &jstore,
-                )
-                .expect("force pass");
+            {
+                let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+                let _upload = mdm_profile::span("upload");
+                self.mdg.load_table(table);
+                self.mdg.load_coefficients(coeff);
+            }
+            let out = {
+                let _real = mdm_profile::span(mdm_profile::phase::REAL);
+                self.mdg
+                    .calc_pass_with_jstore(
+                        PipelineMode::Force,
+                        system.positions(),
+                        system.types(),
+                        &jstore,
+                    )
+                    .expect("force pass")
+            };
             for (f, v) in forces.iter_mut().zip(&out.values) {
                 *f += Vec3::new(v[0], v[1], v[2]);
             }
@@ -268,24 +283,29 @@ impl ForceField for MdmForceField {
         }
 
         // --- WINE-2: wavenumber part. ---
-        let wave = self
-            .wine
-            .compute_wavepart_with_waves(
-                simbox,
-                system.positions(),
-                system.charges(),
-                self.params.alpha,
-                &self.waves,
-            )
-            .expect("wavepart");
+        let wave = {
+            let _wave = mdm_profile::span(mdm_profile::phase::WAVE);
+            self.wine
+                .compute_wavepart_with_waves(
+                    simbox,
+                    system.positions(),
+                    system.charges(),
+                    self.params.alpha,
+                    &self.waves,
+                )
+                .expect("wavepart")
+        };
         for (f, df) in forces.iter_mut().zip(&wave.forces) {
             *f += *df;
         }
         self.last_counters.wine = wave.counters;
 
         // --- Host: self-energy. ---
-        let q_sq: f64 = system.charges().iter().map(|q| q * q).sum();
-        let e_self = -COULOMB_EV_A * kappa / std::f64::consts::PI.sqrt() * q_sq;
+        let e_self = {
+            let _host = mdm_profile::span(mdm_profile::phase::HOST);
+            let q_sq: f64 = system.charges().iter().map(|q| q * q).sum();
+            -COULOMB_EV_A * kappa / std::f64::consts::PI.sqrt() * q_sq
+        };
 
         // --- Potential (every `potential_interval` steps). ---
         let need_potential =
@@ -298,6 +318,14 @@ impl ForceField for MdmForceField {
             self.steps_since_potential += 1;
         }
         let (e_real, e_short) = self.last_potential.expect("potential computed at least once");
+
+        // Engine counters beside the wall-clock spans — the modeled leg
+        // of the measured-vs-modeled comparison.
+        mdm_profile::counter("wine_dft_ops", self.last_counters.wine.dft_ops);
+        mdm_profile::counter("wine_idft_ops", self.last_counters.wine.idft_ops);
+        mdm_profile::counter("wine_cycles", self.last_counters.wine.cycles);
+        mdm_profile::counter("mdg_pair_ops", self.last_counters.mdg.pair_ops);
+        mdm_profile::counter("mdg_cycles", self.last_counters.mdg.cycles);
 
         let coulomb = e_real + wave.energy + e_self;
         ForceResult {

@@ -97,7 +97,11 @@ pub fn parallel_forces(
         if rank < n_real {
             // ---- real-space process ----
             let mine = &owned[rank];
-            let halo = decomp.halo(rank, positions, r_cut);
+            let halo = {
+                let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+                let _halo = mdm_profile::span("halo");
+                decomp.halo(rank, positions, r_cut)
+            };
             // Local index space: owned then halo (canonical positions;
             // image resolution happens per pair via minimum image).
             let mut local_pos: Vec<Vec3> =
@@ -112,6 +116,7 @@ pub fn parallel_forces(
             let n_own = mine.len();
             // Ordered pairs (i owned, any j), half-weighted energy. An
             // all-pairs scan over owned+halo is exact; domains are small.
+            let real_span = mdm_profile::span(mdm_profile::phase::REAL);
             let mut forces = vec![Vec3::ZERO; n_own];
             let (mut e_real, mut e_short, mut virial) = (0.0, 0.0, 0.0);
             let r_cut_sq = r_cut * r_cut;
@@ -137,8 +142,11 @@ pub fn parallel_forces(
                     virial += 0.5 * f.dot(d);
                 }
             }
+            drop(real_span);
             // Gather to rank 0 — within the real-space sub-group only
             // (rank 0 must not wait on the wave ranks for these tags).
+            let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+            let _gather = mdm_profile::span("gather");
             let idx: Vec<f64> = mine.iter().map(|&i| i as f64).collect();
             let flat: Vec<f64> = forces
                 .iter()
@@ -167,6 +175,7 @@ pub fn parallel_forces(
                 .map(|&r| simbox.fractional(r))
                 .collect();
             // Partial DFT over my block, for every wave.
+            let dft_span = mdm_profile::span(mdm_profile::phase::WAVE);
             let mut partial = Vec::with_capacity(waves.len() * 2);
             for k in &waves {
                 let (mut s_sum, mut c_sum) = (0.0f64, 0.0f64);
@@ -180,10 +189,15 @@ pub fn parallel_forces(
                 partial.push(s_sum);
                 partial.push(c_sum);
             }
+            drop(dft_span);
             // All-reduce within the wave group: emulate a
             // sub-communicator by staging through the wave-root
             // (rank n_real), then forwarding.
-            let sc = wave_group_allreduce(&mut comm, n_real, n_wave, &partial);
+            let sc = {
+                let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+                let _allreduce = mdm_profile::span("allreduce");
+                wave_group_allreduce(&mut comm, n_real, n_wave, &partial)
+            };
             // Energy (computed redundantly on every wave rank; the
             // wave-root reports it).
             let l = simbox.l();
@@ -194,6 +208,7 @@ pub fn parallel_forces(
                     * (sc_pair[0] * sc_pair[0] + sc_pair[1] * sc_pair[1]);
             }
             // IDFT for my block.
+            let idft_span = mdm_profile::span(mdm_profile::phase::WAVE);
             let prefactor = 4.0 * COULOMB_EV_A / (l * l);
             let mut flat = Vec::with_capacity((hi - lo) * 3);
             for (f, &q) in frac.iter().zip(&charges[lo..hi]) {
@@ -209,7 +224,10 @@ pub fn parallel_forces(
                 force *= prefactor * q;
                 flat.extend([force.x, force.y, force.z]);
             }
+            drop(idft_span);
             // Ship block forces (+ energy from the wave-root) to rank 0.
+            let _comm = mdm_profile::span(mdm_profile::phase::COMM);
+            let _gather = mdm_profile::span("gather");
             comm.send(0, tag::FORCE_GATHER + 100 + w as u64, &flat);
             if w == 0 {
                 comm.send(0, tag::ENERGY + 100, &[e_recip]);

@@ -47,13 +47,13 @@ proptest! {
         let pos = positions(seed, 80, l);
         let r_cut = 3.0;
         let owned = d.assign(&pos);
-        for dom in 0..d.len() {
+        for (dom, own) in owned.iter().enumerate() {
             let halo: std::collections::HashSet<u32> = d
                 .halo(dom, &pos, r_cut)
                 .into_iter()
                 .map(|(i, _)| i)
                 .collect();
-            for &i in &owned[dom] {
+            for &i in own {
                 for (j, &rj) in pos.iter().enumerate() {
                     if d.domain_of(rj) != dom
                         && sb.dist_sq(pos[i as usize], rj) <= r_cut * r_cut

@@ -1,0 +1,331 @@
+//! # mdm-profile — wall-clock instrumentation for the MDM reproduction
+//!
+//! The paper's headline numbers (Table 4: 43.8 s/step decomposed as
+//! `t_step = max(t_wine, t_mdg) + t_comm + t_host`) are a *per-component
+//! timing budget*. The sibling crates model that budget analytically
+//! (`mdm-host::perfmodel`) and in cycle counters (`wine2::timing`,
+//! `mdgrape2::timing`); this crate adds the third leg: **measured
+//! wall-clock**, so modeled and measured decompositions can be printed
+//! side by side (`mdm-bench`'s `profile_step` binary, `BENCH_step.json`).
+//!
+//! Design:
+//!
+//! * [`span`] returns an RAII guard; spans on the same thread nest, and
+//!   the accumulated time is keyed by the dot-joined path (a `"dft"`
+//!   span inside a `"wave"` span accumulates under `"wave.dft"`).
+//! * Accumulation is global (a `Mutex` touched once per span *end*, not
+//!   per sample), so spans recorded on the simulated-MPI worker threads
+//!   of `mdm-host::mpi` aggregate into the same profile.
+//! * [`counter`] accumulates named integer totals (pairs visited, waves
+//!   processed, …) next to the timings.
+//! * [`take`] drains the registry into a [`Profile`] snapshot;
+//!   [`report::StepReport`] turns a profile plus modeled seconds into
+//!   the serializable per-step record.
+//!
+//! Everything is `std`-only: monotonic [`Instant`] clocks, no external
+//! dependencies, no feature gates. Overhead is one `Instant::now` pair
+//! plus one short critical section per span, intended for *phase*-level
+//! scopes (per step), not per-pair inner loops.
+
+pub mod json;
+pub mod report;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Canonical top-level phase names, mirroring the paper's Table 4
+/// decomposition `t_step = max(t_wine, t_mdg) + t_comm + t_host`.
+pub mod phase {
+    /// Real-space force engine (MDGRAPE-2 side / `t_mdg`).
+    pub const REAL: &str = "real";
+    /// Wavenumber-space force engine (WINE-2 side / `t_wine`).
+    pub const WAVE: &str = "wave";
+    /// Data movement: board uploads, halo exchange, reductions
+    /// (`t_comm`).
+    pub const COMM: &str = "comm";
+    /// Host-side O(N) work: integration, bookkeeping, self-energy
+    /// (`t_host`).
+    pub const HOST: &str = "host";
+}
+
+/// Accumulated timing for one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total time spent inside, summed over calls (and over threads).
+    pub total: Duration,
+}
+
+/// A drained snapshot of the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Profile {
+    /// Dot-joined span path → accumulated stat.
+    pub spans: HashMap<String, SpanStat>,
+    /// Counter name → accumulated value.
+    pub counters: HashMap<String, u64>,
+}
+
+impl Profile {
+    /// Seconds accumulated under exactly `path` (0.0 when absent).
+    pub fn seconds(&self, path: &str) -> f64 {
+        self.spans
+            .get(path)
+            .map_or(0.0, |stat| stat.total.as_secs_f64())
+    }
+
+    /// Seconds under `path` plus every nested `path.…` descendant that
+    /// ran *outside* it (on another thread, e.g. simulated-MPI ranks).
+    /// Descendant time recorded on the same thread is already inside
+    /// the parent's own clock, so plain [`Profile::seconds`] is right
+    /// for single-threaded phases; this sums the whole subtree instead.
+    pub fn subtree_seconds(&self, path: &str) -> f64 {
+        let prefix = format!("{path}.");
+        self.spans
+            .iter()
+            .filter(|(key, _)| *key == path || key.starts_with(&prefix))
+            .map(|(_, stat)| stat.total.as_secs_f64())
+            .sum()
+    }
+
+    /// Span paths, sorted for stable output.
+    pub fn sorted_paths(&self) -> Vec<&str> {
+        let mut paths: Vec<&str> = self.spans.keys().map(String::as_str).collect();
+        paths.sort_unstable();
+        paths
+    }
+
+    /// Merge another profile into this one (summing stats).
+    pub fn merge(&mut self, other: &Profile) {
+        for (path, stat) in &other.spans {
+            let entry = self.spans.entry(path.clone()).or_default();
+            entry.calls += stat.calls;
+            entry.total += stat.total;
+        }
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+}
+
+/// Global accumulation: one lock per span *end*, far off any inner loop.
+static REGISTRY: Mutex<Option<Profile>> = Mutex::new(None);
+
+thread_local! {
+    /// This thread's active span stack (for path nesting).
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut Profile) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|poisoned| {
+        // A panic inside the short record section cannot leave the map
+        // half-updated in a way we care about; keep profiling.
+        poisoned.into_inner()
+    });
+    f(guard.get_or_insert_with(Profile::default))
+}
+
+/// RAII guard: records the elapsed time under the span's path on drop.
+#[must_use = "a span measures until dropped — bind it with `let _span = …`"]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        with_registry(|profile| {
+            let stat = profile.spans.entry(std::mem::take(&mut self.path)).or_default();
+            stat.calls += 1;
+            stat.total += elapsed;
+        });
+    }
+}
+
+/// Open a scoped timer. The name joins the enclosing spans on this
+/// thread with dots: `span("wave")` containing `span("dft")` records
+/// `"wave"` and `"wave.dft"`.
+pub fn span(name: &'static str) -> SpanGuard {
+    debug_assert!(
+        !name.contains('.'),
+        "span names must be single segments; nesting builds the path"
+    );
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            // Reconstruct the parent path from the stack.
+            Some(_) => {
+                let mut joined = stack.join(".");
+                joined.push('.');
+                joined.push_str(name);
+                joined
+            }
+            None => name.to_string(),
+        };
+        stack.push(name);
+        path
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+/// Add `value` to the named counter.
+pub fn counter(name: &'static str, value: u64) {
+    with_registry(|profile| {
+        *profile.counters.entry(name.to_string()).or_insert(0) += value;
+    });
+}
+
+/// Drain the registry: returns everything accumulated since the last
+/// `take`/`reset` and leaves it empty.
+pub fn take() -> Profile {
+    with_registry(std::mem::take)
+}
+
+/// Clear the registry without reading it.
+pub fn reset() {
+    let _ = take();
+}
+
+/// Copy the registry without clearing it.
+pub fn snapshot() -> Profile {
+    with_registry(|profile| profile.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(duration: Duration) {
+        let start = Instant::now();
+        while start.elapsed() < duration {
+            std::hint::spin_loop();
+        }
+    }
+
+    // The registry is global and cargo runs tests concurrently, so each
+    // test uses its own unique span names and asserts only on those.
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        {
+            let _outer = span("t1_outer");
+            spin(Duration::from_millis(2));
+            {
+                let _inner = span("t1_inner");
+                spin(Duration::from_millis(2));
+            }
+            {
+                let _inner = span("t1_inner");
+                spin(Duration::from_millis(2));
+            }
+        }
+        let profile = snapshot();
+        assert_eq!(profile.spans["t1_outer"].calls, 1);
+        assert_eq!(profile.spans["t1_outer.t1_inner"].calls, 2);
+        assert!(!profile.spans.contains_key("t1_inner"));
+        // Parent's clock covers its children.
+        assert!(
+            profile.spans["t1_outer"].total >= profile.spans["t1_outer.t1_inner"].total,
+            "outer {:?} vs inner {:?}",
+            profile.spans["t1_outer"].total,
+            profile.spans["t1_outer.t1_inner"].total
+        );
+    }
+
+    #[test]
+    fn accumulation_sums_across_calls() {
+        for _ in 0..3 {
+            let _span = span("t2_repeat");
+            spin(Duration::from_millis(1));
+        }
+        let profile = snapshot();
+        assert_eq!(profile.spans["t2_repeat"].calls, 3);
+        assert!(profile.spans["t2_repeat"].total >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        counter("t3_pairs", 10);
+        counter("t3_pairs", 32);
+        assert_eq!(snapshot().counters["t3_pairs"], 42);
+    }
+
+    #[test]
+    fn worker_thread_spans_aggregate_globally() {
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _span = span("t4_rank");
+                    spin(Duration::from_millis(1));
+                });
+            }
+        });
+        let profile = snapshot();
+        // Worker threads have empty stacks: top-level path, 4 calls.
+        assert_eq!(profile.spans["t4_rank"].calls, 4);
+    }
+
+    #[test]
+    fn subtree_seconds_sums_descendants() {
+        let mut profile = Profile::default();
+        profile.spans.insert(
+            "t5".into(),
+            SpanStat {
+                calls: 1,
+                total: Duration::from_secs(1),
+            },
+        );
+        profile.spans.insert(
+            "t5.child".into(),
+            SpanStat {
+                calls: 1,
+                total: Duration::from_secs(2),
+            },
+        );
+        profile.spans.insert(
+            "t5other".into(),
+            SpanStat {
+                calls: 1,
+                total: Duration::from_secs(4),
+            },
+        );
+        assert_eq!(profile.subtree_seconds("t5"), 3.0);
+        assert_eq!(profile.seconds("t5"), 1.0);
+        assert_eq!(profile.seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_profiles() {
+        let mut a = Profile::default();
+        a.spans.insert(
+            "t6".into(),
+            SpanStat {
+                calls: 1,
+                total: Duration::from_secs(1),
+            },
+        );
+        a.counters.insert("t6_count".into(), 5);
+        let mut b = Profile::default();
+        b.spans.insert(
+            "t6".into(),
+            SpanStat {
+                calls: 2,
+                total: Duration::from_secs(3),
+            },
+        );
+        b.counters.insert("t6_count".into(), 7);
+        a.merge(&b);
+        assert_eq!(a.spans["t6"].calls, 3);
+        assert_eq!(a.spans["t6"].total, Duration::from_secs(4));
+        assert_eq!(a.counters["t6_count"], 12);
+    }
+}

@@ -62,7 +62,9 @@ pub fn grape_tree_forces(
         .map(|n| (n.centre, n.size, n.particles.clone()))
         .collect();
 
-    let results: Vec<(Vec<(u32, Vec3)>, u64, usize)> = groups
+    // Per-group: (particle, force) pairs + pair-op and list-length tallies.
+    type GroupForces = (Vec<(u32, Vec3)>, u64, usize);
+    let results: Vec<GroupForces> = groups
         .par_iter()
         .map(|(centre, group_size, members)| {
             // Interaction list for the group: walk with the group's

@@ -263,7 +263,7 @@ mod tests {
             let theta = std::f64::consts::TAU
                 * (2.0 * f[0] - 1.0 * f[1] + 3.0 * f[2]);
             let g = -0.82 * theta.sin() - 0.37 * theta.cos();
-            let expect = [g * 2.0, g * -1.0, g * 3.0];
+            let expect = [g * 2.0, -g, g * 3.0];
             let got = out[k].to_f64();
             for axis in 0..3 {
                 assert!(

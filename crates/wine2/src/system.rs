@@ -109,6 +109,7 @@ impl Wine2System {
         }
 
         // --- Host: quantise particles into the fixed-point format. ---
+        let quantize_span = mdm_profile::span("quantize");
         let q_scale = charges.iter().fold(0.0f64, |m, q| m.max(q.abs())).max(1e-300);
         let quantized: Vec<WineParticle> = positions
             .iter()
@@ -131,8 +132,10 @@ impl Wine2System {
         }
 
         let wave_ns: Vec<[i32; 3]> = waves.iter().map(|k| k.n).collect();
+        drop(quantize_span);
 
         // --- DFT phase (each cluster sums its own particles). ---
+        let dft_span = mdm_profile::span("dft");
         let partials: Vec<Vec<DftAccum>> = self
             .clusters
             .par_iter_mut()
@@ -152,6 +155,7 @@ impl Wine2System {
                 (s * q_scale, c * q_scale)
             })
             .collect();
+        drop(dft_span);
 
         // --- Host: energy and IDFT coefficients. ---
         let l = simbox.l();
@@ -177,11 +181,13 @@ impl Wine2System {
             .collect();
 
         // --- IDFT phase (per-cluster disjoint particles). ---
+        let idft_span = mdm_profile::span("idft");
         let force_chunks: Vec<Vec<crate::pipeline::IdftAccum>> = self
             .clusters
             .par_iter_mut()
             .map(|c| c.idft(&idft_waves))
             .collect();
+        drop(idft_span);
         let total_ops: u64 = self.clusters.iter().map(WineCluster::ops).sum();
         let idft_ops = total_ops - dft_ops;
 

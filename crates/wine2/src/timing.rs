@@ -60,6 +60,35 @@ impl WineCounters {
     }
 }
 
+/// Modeled cycle time beside measured wall-clock for one engine — the
+/// per-component comparison the paper's Table 4 makes between the
+/// hardware budget and the observed 43.8 s/step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredVsModeled {
+    /// Wall-clock seconds the emulated evaluation actually took.
+    pub measured_seconds: f64,
+    /// Seconds the real hardware would take: busy cycles / clock.
+    pub modeled_seconds: f64,
+}
+
+impl MeasuredVsModeled {
+    /// Emulation slowdown: measured / modeled (how many times slower the
+    /// software emulation is than the modeled silicon).
+    pub fn slowdown(&self) -> f64 {
+        self.measured_seconds / self.modeled_seconds
+    }
+}
+
+impl WineCounters {
+    /// Pair the modeled compute time with a measured wall-clock.
+    pub fn against_wall_clock(&self, measured_seconds: f64) -> MeasuredVsModeled {
+        MeasuredVsModeled {
+            measured_seconds,
+            modeled_seconds: self.compute_seconds(),
+        }
+    }
+}
+
 /// Peak rated flops of a WINE-2 configuration: every pipeline doing one
 /// op per cycle at the hardware rating. The paper quotes "about
 /// 20 Gflops" per chip, 45 Tflops for 2,240 chips, 54 for 2,688.
@@ -101,5 +130,16 @@ mod tests {
             ..Default::default()
         };
         assert!((c.compute_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_vs_modeled_slowdown() {
+        let c = WineCounters {
+            cycles: 66_600_000, // 1 s of modeled silicon
+            ..Default::default()
+        };
+        let cmp = c.against_wall_clock(2.5);
+        assert!((cmp.modeled_seconds - 1.0).abs() < 1e-12);
+        assert!((cmp.slowdown() - 2.5).abs() < 1e-12);
     }
 }

@@ -49,7 +49,7 @@ fn main() {
     );
     for _ in 0..steps {
         let r = sim.step();
-        if r.step % 5 == 0 {
+        if r.step.is_multiple_of(5) {
             println!(
                 "{:>6} {:>9.1} {:>12.2} {:>14.4} {:>14.4}",
                 r.step, r.time, r.temperature, r.potential, r.total

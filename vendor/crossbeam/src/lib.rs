@@ -1,0 +1,47 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the surface the workspace touches is provided:
+//! [`channel::unbounded`] with the [`channel::Sender`] /
+//! [`channel::Receiver`] pair, implemented directly on
+//! [`std::sync::mpsc`]. The simulated MPI fabric in `mdm-host` is
+//! single-producer-per-endpoint, so std's MPSC semantics (cloneable
+//! senders, single receiver) cover it exactly.
+
+/// Mirror of `crossbeam::channel` over [`std::sync::mpsc`].
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded FIFO channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|scope| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the property-testing
+//! surface this workspace uses is reimplemented here:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * range strategies (`0.0f64..1.0`, `0u64..1000`, …), tuple
+//!   strategies, `Strategy::prop_map`, `any`, `Just`, and
+//!   `prop::collection::vec`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (panic-based — a failing
+//!   case fails the test directly),
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from upstream: cases are drawn from a ChaCha8 stream
+//! seeded by the test's name (fully deterministic across runs and
+//! platforms), the first case pins every range strategy to its lower
+//! bound so boundary values are always exercised, and there is **no
+//! shrinking** — the failing values are printed as sampled.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors namespaced like upstream's `prop::`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A `Vec` of `size.start..size.end` elements drawn from
+        /// `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*` expects.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            for __case in 0..__config.cases {
+                __rng.set_case(__case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a property holds for the current case (panics on failure —
+/// this stub has no shrinking phase to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert two expressions differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// (The stub just `continue`s the case loop via an early return of the
+/// body closure — implemented as a plain conditional skip.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn shifted() -> impl Strategy<Value = f64> {
+        (0.0f64..1.0).prop_map(|x| x + 10.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in -3.0f64..7.0, n in 1usize..5, i in -10i32..10) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!((-10..10).contains(&i));
+        }
+
+        /// Tuple strategies sample elementwise and prop_map applies.
+        #[test]
+        fn tuple_and_map(v in shifted(), pair in (0u64..4, 0u64..4)) {
+            prop_assert!((10.0..11.0).contains(&v));
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+
+        /// any::<i32>() covers the full register range without panic.
+        #[test]
+        fn any_i32_total(r in any::<i32>()) {
+            let _ = r.wrapping_add(1);
+        }
+
+        /// Vec strategy respects its size range.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn first_case_hits_lower_bound() {
+        let mut rng = crate::test_runner::TestRng::for_test("boundary");
+        rng.set_case(0);
+        let x = Strategy::sample(&(2.5f64..9.0), &mut rng);
+        assert_eq!(x, 2.5);
+        let n = Strategy::sample(&(3usize..9), &mut rng);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::test_runner::TestRng::for_test("same-name");
+        let mut b = crate::test_runner::TestRng::for_test("same-name");
+        a.set_case(5);
+        b.set_case(5);
+        let xa = Strategy::sample(&(0.0f64..1.0), &mut a);
+        let xb = Strategy::sample(&(0.0f64..1.0), &mut b);
+        assert_eq!(xa, xb);
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the handful of `rand` APIs the workspace actually uses are
+//! reimplemented here behind the same names: [`RngCore`],
+//! [`SeedableRng`] (including the `seed_from_u64` splitmix64 expansion),
+//! and the [`Rng`] extension trait with `gen`/`gen_range`/`gen_bool`.
+//! Generators are deterministic and portable; they are **not** suitable
+//! for cryptography, which nothing in this workspace needs.
+
+/// The core generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with splitmix64 (the same scheme
+    /// upstream `rand` uses, so small seeds stay well distributed).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types [`Rng::gen`] can produce (the subset of `Standard` sampling
+/// the workspace uses).
+pub trait Random: Sized {
+    /// Draw one uniformly distributed value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for i32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Random for i64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for usize {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one value inside the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f32::random(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of type `T`.
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A value uniformly distributed over `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Bundled generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    /// The default generator, aliased to [`SmallRng`] in this stub.
+    pub type StdRng = SmallRng;
+}
+
+/// Everything a typical `use rand::prelude::*` expects.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..7);
+            assert!((-5..7).contains(&v));
+            let f = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `rayon` prelude.
+//!
+//! The build environment has no network access, so the data-parallel
+//! calls in the workspace (`par_iter`, `par_iter_mut`, `into_par_iter`)
+//! are mapped onto the corresponding **serial** `std` iterators. Every
+//! adaptor the call sites chain afterwards (`map`, `zip`, `enumerate`,
+//! `collect`, …) is then the ordinary [`Iterator`] machinery, so
+//! results are identical to the parallel versions — only wall-clock
+//! scaling differs. The profiling layer reports wall-clock honestly
+//! either way, and swapping the real rayon back in is a one-line
+//! `Cargo.toml` change.
+
+/// Serial mirror of `rayon::iter`.
+pub mod iter {
+    /// `into_par_iter()` for every owned collection: forwards to
+    /// [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Serial stand-in for rayon's parallel consumption.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for everything iterable by shared reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The serial iterator produced.
+        type Iter: Iterator;
+
+        /// Serial stand-in for rayon's `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for everything iterable by unique reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The serial iterator produced.
+        type Iter: Iterator;
+
+        /// Serial stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// What `use rayon::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Serial `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads — always 1 in the serial stub.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let owned: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(owned, 6);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let ok: Result<Vec<i32>, ()> = vec![1, 2].par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok, Ok(vec![1, 2]));
+    }
+}
