@@ -71,7 +71,7 @@ impl JStore {
         let cell_of_original = (0..positions.len())
             .map(|i| cl.cell_of(i) as u32)
             .collect();
-        Self {
+        let store = Self {
             positions: sorted_pos,
             types: sorted_ty,
             original: order.to_vec(),
@@ -79,7 +79,18 @@ impl JStore {
             neighbors,
             cell_of_original,
             cell_size: cl.cell_size(),
-        }
+        };
+        // Occupancy telemetry: the board walks whole cells, so one
+        // overfull cell sets the worst-case block length (and a wildly
+        // uneven histogram means the cell edge is mis-sized for the
+        // density).
+        mdm_profile::counter("jstore_builds", 1);
+        mdm_profile::counter("jstore_upload_bytes", store.upload_bytes());
+        mdm_profile::counter_max(
+            "jstore_cell_occupancy_max",
+            store.max_cell_occupancy() as u64,
+        );
+        store
     }
 
     /// Number of particles.
@@ -142,6 +153,25 @@ impl JStore {
     /// entry), for bus accounting.
     pub fn upload_bytes(&self) -> u64 {
         (self.positions.len() * 16 + self.ranges.len() * 8) as u64
+    }
+
+    /// Particles in the fullest cell (0 for an empty store). The board
+    /// streams j-cells whole, so this is the hardware's worst-case
+    /// inner-block length; it is also the `jstore_cell_occupancy_max`
+    /// telemetry counter.
+    pub fn max_cell_occupancy(&self) -> usize {
+        (0..self.n_cells())
+            .map(|c| self.cell_range(c).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean particles per cell.
+    pub fn mean_cell_occupancy(&self) -> f64 {
+        if self.n_cells() == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / self.n_cells() as f64
     }
 
     /// Total ordered block pairs the hardware will evaluate (the
@@ -226,5 +256,22 @@ mod tests {
         let js = JStore::build(b, &pos, &ty, 5.0);
         let cl = CellList::build(b, &pos, 5.0);
         assert_eq!(js.block_pair_count(), cl.block_pair_count() - 300);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let (b, pos, ty) = setup(300, 20.0);
+        let js = JStore::build(b, &pos, &ty, 5.0);
+        let max = js.max_cell_occupancy();
+        assert!(max >= 1);
+        // The max is an actual cell size and bounds every cell.
+        let sizes: Vec<usize> = (0..js.n_cells()).map(|c| js.cell_range(c).len()).collect();
+        assert_eq!(max, *sizes.iter().max().unwrap());
+        assert!((js.mean_cell_occupancy() - 300.0 / js.n_cells() as f64).abs() < 1e-12);
+        // Build telemetry landed in the registry.
+        let profile = mdm_profile::snapshot();
+        assert!(profile.counters["jstore_cell_occupancy_max"] >= max as u64);
+        assert!(profile.counters["jstore_upload_bytes"] >= js.upload_bytes());
+        assert!(profile.counters["jstore_builds"] >= 1);
     }
 }

@@ -1,0 +1,115 @@
+//! `bench_compare` — the perf-regression gate: rerun the `profile_step`
+//! measurement and diff it against the committed `BENCH_step.json`
+//! baseline, phase by phase, with relative tolerances.
+//!
+//! ```text
+//! cargo run --release -p mdm-bench --bin bench_compare
+//! cargo run --release -p mdm-bench --bin bench_compare -- --tolerance 0.5
+//! ```
+//!
+//! Exits `0` when every phase (and step total) of every baseline size
+//! is within tolerance of the fresh measurement, non-zero past it — so
+//! it can sit directly in CI or a pre-merge hook. On hardware other
+//! than the one that produced the baseline the absolute times shift
+//! wholesale; run with a generous `--tolerance` there (the CI job uses
+//! `0.5` and is informational).
+//!
+//! Options:
+//! * `--baseline PATH` — baseline file (default: the repo's
+//!   `BENCH_step.json`);
+//! * `--tolerance T` — relative slowdown allowed before a row fails
+//!   (default `0.3` = 30 %; speedups never fail);
+//! * `--min-seconds S` — noise floor: rows under `S` seconds on both
+//!   sides always pass (default `1e-3`);
+//! * `--steps K` — steps averaged per size for the fresh measurement
+//!   (default: the baseline's own step count per report).
+
+use mdm_bench::stepprof::{cells_for_particles, profile_size};
+use mdm_profile::compare::CompareReport;
+use mdm_profile::report::{BenchFile, StepReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline_path: String =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step.json").to_string();
+    let mut tolerance = 0.3f64;
+    let mut min_seconds = 1e-3f64;
+    let mut steps_override: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = args.next().expect("--baseline needs a path");
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a number");
+                assert!(tolerance >= 0.0, "--tolerance must be non-negative");
+            }
+            "--min-seconds" => {
+                min_seconds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-seconds needs a number");
+            }
+            "--steps" => {
+                let k: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--steps needs a positive integer");
+                assert!(k >= 1, "--steps needs a positive integer");
+                steps_override = Some(k);
+            }
+            other => panic!(
+                "unknown option {other:?} (try --baseline, --tolerance, --min-seconds, --steps)"
+            ),
+        }
+    }
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = BenchFile::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e}"));
+
+    // Re-measure every size the baseline covers, at the same (or the
+    // overridden) step count.
+    let reports: Vec<StepReport> = baseline
+        .reports
+        .iter()
+        .map(|base| {
+            let cells = cells_for_particles(base.n_particles).unwrap_or_else(|| {
+                panic!(
+                    "baseline report {} has non-rocksalt N = {}",
+                    base.label, base.n_particles
+                )
+            });
+            let steps = steps_override.unwrap_or(base.steps.max(1));
+            eprintln!(
+                "re-measuring {} (N = {}, {cells} cells per side, {steps} steps)...",
+                base.label, base.n_particles
+            );
+            profile_size(cells, steps)
+        })
+        .collect();
+    let current = BenchFile {
+        command: "cargo run --release -p mdm-bench --bin bench_compare".to_string(),
+        version: baseline.version,
+        reports,
+    };
+
+    let report = CompareReport::compare(&baseline, &current, tolerance, min_seconds);
+    println!("bench_compare: fresh measurement vs {baseline_path}");
+    println!();
+    print!("{}", report.render_table());
+
+    if report.passed() {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: perf gate exceeded (rerun on quiet hardware, raise --tolerance, or regenerate the baseline with profile_step --json)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,7 +1,7 @@
 //! `profile_step` — measured wall-clock vs modeled hardware time for
 //! one emulated MDM step, in the layout of the paper's Table 4.
 //!
-//! The emulator runs real MD steps through [`MdmForceField`] with the
+//! The emulator runs real MD steps through `MdmForceField` with the
 //! `mdm-profile` instrumentation live, then puts the measured phase
 //! wall-clock (real-space, wavenumber-space, communication, host)
 //! beside the time the *actual hardware* would have taken according to
@@ -13,110 +13,23 @@
 //! cargo run --release -p mdm-bench --bin profile_step -- --json  # BENCH_step.json
 //! ```
 //!
-//! Options: `--json` (write the machine-readable baseline to the repo
-//! root), `--steps K` (steps averaged per size, default 2),
-//! `--cells A,B,C` (rocksalt cells per side, default `4,8,16` →
-//! N = 512, 4,096, 32,768).
+//! Options:
+//! * `--json` — write the machine-readable baseline to the repo root
+//!   (`BENCH_step.json`, diffed by `bench_compare`);
+//! * `--steps K` — steps averaged per size (default 2);
+//! * `--cells A,B,C` — rocksalt cells per side (default `4,8,16` →
+//!   N = 512, 4,096, 32,768);
+//! * `--sizes N1,N2` — same ladder given as particle counts
+//!   (`512,4096,32768`; each must be a rocksalt count `8·c³`);
+//! * `--trace FILE` — also write a Chrome trace-event file (open in
+//!   Perfetto or `chrome://tracing`) with one track per emulated
+//!   device: MDGRAPE-2, WINE-2, comm, host;
+//! * `--record FILE` — also stream a per-step JSONL flight recording
+//!   (manifest + step events with counters, observables, and watchdog
+//!   verdicts).
 
-use mdm_core::ewald::EwaldParams;
-use mdm_core::integrate::Simulation;
-use mdm_core::lattice::{rocksalt_nacl_at_density, PAPER_DENSITY};
-use mdm_core::velocities::maxwell_boltzmann;
-use mdm_host::driver::MdmForceField;
-use mdm_host::machines::MachineModel;
-use mdm_profile::phase;
+use mdm_bench::stepprof::{cells_for_particles, modeled_step, profile_size, profile_size_recorded};
 use mdm_profile::report::{BenchFile, StepReport};
-use std::time::Instant;
-
-/// Molten-salt temperature for the velocity draw (NaCl melts at
-/// 1,074 K; the exact value only flavours the trajectory).
-const T_MELT: f64 = 1074.0;
-
-/// Balanced Ewald parameters for a box of side `l` with `n` particles.
-///
-/// The paper's §2 argument, transplanted to the machine we actually run
-/// on: α should balance the *times* of the two engines, not their flop
-/// counts. On the real MDM that pushes α from 30 to 85 (WINE-2 is 45×
-/// faster than MDGRAPE-2); in the emulator the real-space pair op is
-/// ~2.4× costlier than the wave op, which pushes α the same direction.
-/// The emulator's real-space cost is a *step function* of the cell
-/// grid — the block pair search visits all 27 neighbour cells of a
-/// `c³` grid with `c = ⌊α/s⌋`, so real time ∝ 27·N²/c³ while wave
-/// time ∝ N·α³. Balancing the two gives `c ≈ (0.8·N)^{1/6}` (the 0.8
-/// folds the emulator's per-op cost ratio the way the paper's
-/// `59·π³/64` folds the flop credits; fitted so both engines land
-/// within ~20% of each other at N = 4,096). α then sits just above the
-/// `c`-cell boundary. Without this, N = 32,768 at the conventional
-/// flop-balance α is stuck at 3 cells per side (effectively all
-/// pairs) and one step takes ~12 minutes instead of ~15 s.
-fn balanced_params(l: f64, n: usize) -> EwaldParams {
-    let s = 3.2f64;
-    let cells = (0.8 * n as f64).powf(1.0 / 6.0).round().max(3.0);
-    let alpha = 1.02 * s * cells;
-    EwaldParams::from_alpha_accuracy(alpha, s, s, l)
-}
-
-/// Run `steps` profiled MD steps at `cells` rocksalt cells per side and
-/// assemble the measured-vs-modeled report.
-fn profile_size(cells: usize, steps: u64) -> StepReport {
-    let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
-    let n = system.len();
-    let l = system.simbox().l();
-    maxwell_boltzmann(&mut system, T_MELT, 2000 + cells as u64);
-
-    let mut ff = MdmForceField::new(balanced_params(l, n), 2, 2)
-        .expect("function tables build");
-    // The paper amortised the energy-mode passes over 100 steps; push
-    // them out of the profiled window entirely so every timed step is
-    // the steady-state force-only step of Table 4.
-    ff.set_potential_interval(u64::MAX);
-
-    // Warmup: Simulation::new evaluates the initial forces (first-time
-    // table uploads, the one potential pass) outside the timed window.
-    let mut sim = Simulation::new(system, ff, 2.0);
-
-    mdm_profile::reset();
-    let t0 = Instant::now();
-    sim.run(steps as usize);
-    let total = t0.elapsed().as_secs_f64();
-    let profile = mdm_profile::take();
-
-    let mut report = StepReport::from_profile(
-        format!("nacl-{n}"),
-        n as u64,
-        steps,
-        total,
-        &profile,
-        &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
-    );
-
-    // Modeled per-step hardware times from the cycle counters of the
-    // last (steady-state) step.
-    let counters = sim.force_field().last_counters();
-    let machine = MachineModel::mdm_current();
-    report.set_modeled(phase::REAL, counters.mdg.compute_seconds());
-    report.set_modeled(phase::WAVE, counters.wine.compute_seconds());
-    report.set_modeled(
-        phase::COMM,
-        counters.mdg.bus_seconds() + counters.wine.bus_seconds(),
-    );
-    report.set_modeled(phase::HOST, 200.0 * n as f64 / machine.host_flops);
-    report
-}
-
-/// Modeled step time by the Table 4 rule:
-/// `max(t_wine, t_mdg) + t_comm + t_host`.
-fn modeled_step(report: &StepReport) -> f64 {
-    let get = |name: &str| {
-        report
-            .phases
-            .iter()
-            .find(|p| p.name == name)
-            .and_then(|p| p.modeled_seconds)
-            .unwrap_or(0.0)
-    };
-    get(phase::REAL).max(get(phase::WAVE)) + get(phase::COMM) + get(phase::HOST)
-}
 
 /// Format an emulation slowdown factor (`< 1` means the emulated path
 /// is *faster* than the modeled hardware — e.g. memcpy vs a PCI bus).
@@ -189,6 +102,8 @@ fn main() {
     let mut json = false;
     let mut steps: u64 = 2;
     let mut cells: Vec<usize> = vec![4, 8, 16];
+    let mut trace_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -209,17 +124,64 @@ fn main() {
                     .map(|v| v.parse().expect("cells must be integers"))
                     .collect();
             }
-            other => panic!("unknown option {other:?} (try --json, --steps, --cells)"),
+            "--sizes" => {
+                cells = args
+                    .next()
+                    .expect("--sizes needs a comma-separated list of particle counts")
+                    .split(',')
+                    .map(|v| {
+                        let n: u64 = v.parse().expect("sizes must be integers");
+                        cells_for_particles(n).unwrap_or_else(|| {
+                            panic!("{n} is not a rocksalt particle count (need N = 8c^3, e.g. 512, 4096, 32768)")
+                        })
+                    })
+                    .collect();
+            }
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs an output path"));
+            }
+            "--record" => {
+                record_path = Some(args.next().expect("--record needs an output path"));
+            }
+            other => panic!(
+                "unknown option {other:?} (try --json, --steps, --cells, --sizes, --trace, --record)"
+            ),
         }
     }
 
+    // The JSONL flight recorder appends every size's manifest+steps to
+    // one file; a reader splits runs on the manifest lines.
+    let mut recorder_sink = record_path.as_ref().map(|path| {
+        std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("create {path}: {e}"))
+    });
+
+    if trace_path.is_some() {
+        mdm_profile::timeline_start();
+    }
     let reports: Vec<StepReport> = cells
         .iter()
         .map(|&c| {
             eprintln!("profiling {} particles ({c} cells per side)...", 8 * c * c * c);
-            profile_size(c, steps)
+            match recorder_sink.as_mut() {
+                Some(sink) => profile_size_recorded(c, steps, sink)
+                    .expect("write flight recording"),
+                None => profile_size(c, steps),
+            }
         })
         .collect();
+    if let Some(path) = &trace_path {
+        let timeline = mdm_profile::timeline_stop();
+        let trace = mdm_profile::trace::chrome_trace(&timeline);
+        std::fs::write(path, trace.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "wrote {path} ({} events; open in Perfetto / chrome://tracing)",
+            timeline.events.len()
+        );
+    }
+    if let Some(path) = &record_path {
+        eprintln!("wrote {path} (JSONL flight recording)");
+    }
 
     println!("MDM emulated step: measured wall-clock vs modeled hardware time");
     println!("(Table 4 decomposition; the slowdown column is the emulation cost)");

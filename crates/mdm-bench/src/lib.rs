@@ -19,6 +19,7 @@
 //! crossover, cell-list scaling).
 
 pub mod figure2;
+pub mod stepprof;
 
 /// Format a flop count the way the paper's table does (e.g. `6.75e14`).
 pub fn sci(x: f64) -> String {

@@ -1,0 +1,203 @@
+//! Shared machinery for the step-profiling binaries (`profile_step`,
+//! `bench_compare`): building the emulated-MDM simulation at a given
+//! size and turning profiled steps into a [`StepReport`].
+
+use mdm_core::ewald::EwaldParams;
+use mdm_core::integrate::Simulation;
+use mdm_core::lattice::{rocksalt_nacl_at_density, PAPER_DENSITY};
+use mdm_core::observables::PhysicsWatchdogs;
+use mdm_core::velocities::maxwell_boltzmann;
+use mdm_host::driver::MdmForceField;
+use mdm_host::machines::MachineModel;
+use mdm_host::telemetry::{mdm_manifest, run_recorded};
+use mdm_profile::events::FlightRecorder;
+use mdm_profile::phase;
+use mdm_profile::report::StepReport;
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Molten-salt temperature for the velocity draw (NaCl melts at
+/// 1,074 K; the exact value only flavours the trajectory).
+pub const T_MELT: f64 = 1074.0;
+
+/// Balanced Ewald parameters for a box of side `l` with `n` particles.
+///
+/// The paper's §2 argument, transplanted to the machine we actually run
+/// on: α should balance the *times* of the two engines, not their flop
+/// counts. On the real MDM that pushes α from 30 to 85 (WINE-2 is 45×
+/// faster than MDGRAPE-2); in the emulator the real-space pair op is
+/// ~2.4× costlier than the wave op, which pushes α the same direction.
+/// The emulator's real-space cost is a *step function* of the cell
+/// grid — the block pair search visits all 27 neighbour cells of a
+/// `c³` grid with `c = ⌊α/s⌋`, so real time ∝ 27·N²/c³ while wave
+/// time ∝ N·α³. Balancing the two gives `c ≈ (0.8·N)^{1/6}` (the 0.8
+/// folds the emulator's per-op cost ratio the way the paper's
+/// `59·π³/64` folds the flop credits; fitted so both engines land
+/// within ~20% of each other at N = 4,096). α then sits just above the
+/// `c`-cell boundary. Without this, N = 32,768 at the conventional
+/// flop-balance α is stuck at 3 cells per side (effectively all
+/// pairs) and one step takes ~12 minutes instead of ~15 s.
+pub fn balanced_params(l: f64, n: usize) -> EwaldParams {
+    let s = 3.2f64;
+    let cells = (0.8 * n as f64).powf(1.0 / 6.0).round().max(3.0);
+    let alpha = 1.02 * s * cells;
+    EwaldParams::from_alpha_accuracy(alpha, s, s, l)
+}
+
+/// Cells per side for a rocksalt particle count `n = 8·c³`; `None` when
+/// `n` is not a valid rocksalt size.
+pub fn cells_for_particles(n: u64) -> Option<usize> {
+    let cells = ((n as f64 / 8.0).cbrt()).round() as usize;
+    (cells >= 1 && (8 * cells * cells * cells) as u64 == n).then_some(cells)
+}
+
+/// Build the warm emulated-MDM simulation profiled by [`profile_size`]:
+/// `cells` rocksalt cells per side at the paper's density, molten-salt
+/// velocities, balanced α, energy passes pushed out of the window.
+pub fn build_sim(cells: usize) -> Simulation<MdmForceField> {
+    let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
+    let n = system.len();
+    let l = system.simbox().l();
+    maxwell_boltzmann(&mut system, T_MELT, 2000 + cells as u64);
+
+    let mut ff =
+        MdmForceField::new(balanced_params(l, n), 2, 2).expect("function tables build");
+    // The paper amortised the energy-mode passes over 100 steps; push
+    // them out of the profiled window entirely so every timed step is
+    // the steady-state force-only step of Table 4.
+    ff.set_potential_interval(u64::MAX);
+
+    // Warmup: Simulation::new evaluates the initial forces (first-time
+    // table uploads, the one potential pass) outside the timed window.
+    Simulation::new(system, ff, 2.0)
+}
+
+/// Stamp the modeled per-step hardware times (from the cycle counters
+/// of the last, steady-state step) onto the report's phases.
+fn set_modeled(report: &mut StepReport, sim: &Simulation<MdmForceField>) {
+    let counters = sim.force_field().last_counters();
+    let machine = MachineModel::mdm_current();
+    report.set_modeled(phase::REAL, counters.mdg.compute_seconds());
+    report.set_modeled(phase::WAVE, counters.wine.compute_seconds());
+    report.set_modeled(
+        phase::COMM,
+        counters.mdg.bus_seconds() + counters.wine.bus_seconds(),
+    );
+    report.set_modeled(
+        phase::HOST,
+        200.0 * report.n_particles as f64 / machine.host_flops,
+    );
+}
+
+/// Run `steps` profiled MD steps at `cells` rocksalt cells per side and
+/// assemble the measured-vs-modeled report.
+pub fn profile_size(cells: usize, steps: u64) -> StepReport {
+    let mut sim = build_sim(cells);
+    let n = sim.system().len();
+
+    mdm_profile::reset();
+    let t0 = Instant::now();
+    sim.run(steps as usize);
+    let total = t0.elapsed().as_secs_f64();
+    let profile = mdm_profile::take();
+
+    let mut report = StepReport::from_profile(
+        format!("nacl-{n}"),
+        n as u64,
+        steps,
+        total,
+        &profile,
+        &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
+    );
+    set_modeled(&mut report, &sim);
+    report
+}
+
+/// [`profile_size`] with the flight recorder running: every step's
+/// phases, counters, observables, and watchdog verdicts stream to
+/// `sink` as JSONL while the aggregate report is assembled from the
+/// merged per-step profiles.
+pub fn profile_size_recorded<W: Write>(
+    cells: usize,
+    steps: u64,
+    sink: W,
+) -> io::Result<StepReport> {
+    let mut sim = build_sim(cells);
+    let n = sim.system().len();
+    let label = format!("nacl-{n}");
+    let manifest = mdm_manifest(
+        &label,
+        "cargo run --release -p mdm-bench --bin profile_step -- --record",
+        &sim,
+        2000 + cells as u64,
+    );
+    let mut recorder = FlightRecorder::new(sink, &manifest)?;
+    // Loose NVE watchdogs: the profiled window is a handful of steps of
+    // a healthy melt, so anything they catch is a genuine emulator bug.
+    let mut dogs = PhysicsWatchdogs::nve(1e-2, 1e-6);
+
+    mdm_profile::reset();
+    let t0 = Instant::now();
+    let run = run_recorded(&mut sim, steps as usize, &mut recorder, Some(&mut dogs))?;
+    let total = t0.elapsed().as_secs_f64();
+
+    let mut report = StepReport::from_profile(
+        label,
+        n as u64,
+        steps,
+        total,
+        &run.profile,
+        &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
+    );
+    set_modeled(&mut report, &sim);
+    Ok(report)
+}
+
+/// Modeled step time by the Table 4 rule:
+/// `max(t_wine, t_mdg) + t_comm + t_host`.
+pub fn modeled_step(report: &StepReport) -> f64 {
+    let get = |name: &str| {
+        report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .and_then(|p| p.modeled_seconds)
+            .unwrap_or(0.0)
+    };
+    get(phase::REAL).max(get(phase::WAVE)) + get(phase::COMM) + get(phase::HOST)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_round_trip_particle_counts() {
+        assert_eq!(cells_for_particles(512), Some(4));
+        assert_eq!(cells_for_particles(4096), Some(8));
+        assert_eq!(cells_for_particles(32768), Some(16));
+        assert_eq!(cells_for_particles(1000), Some(5));
+        assert_eq!(cells_for_particles(1001), None);
+        assert_eq!(cells_for_particles(100), None);
+        assert_eq!(cells_for_particles(0), None);
+    }
+
+    #[test]
+    fn recorded_profile_matches_plain_profile_shape() {
+        // One small recorded step: the report has the Table 4 phases
+        // and the JSONL stream parses back with matching N.
+        let mut jsonl = Vec::new();
+        let report = profile_size_recorded(3, 1, &mut jsonl).unwrap();
+        assert_eq!(report.n_particles, 8 * 27);
+        assert_eq!(report.phases.len(), 4);
+        assert!(report.phases.iter().any(|p| p.name == "real"));
+
+        let text = String::from_utf8(jsonl).unwrap();
+        let (manifest, steps) = mdm_profile::events::parse_jsonl(&text).unwrap();
+        assert_eq!(manifest.n_particles, 8 * 27);
+        assert!(manifest.params.contains_key("alpha"));
+        assert_eq!(steps.len(), 1);
+        assert!(steps[0].phases.contains_key("real"));
+        assert!(steps[0].observables.contains_key("temperature_k"));
+    }
+}

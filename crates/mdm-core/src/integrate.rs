@@ -145,6 +145,11 @@ impl<F: ForceField> Simulation<F> {
         self.step_count
     }
 
+    /// The integration time step (fs).
+    pub fn dt(&self) -> f64 {
+        self.integrator.dt()
+    }
+
     /// Advance one step; returns the record of the *new* state.
     pub fn step(&mut self) -> StepRecord {
         let next = self

@@ -261,6 +261,73 @@ impl Msd {
     }
 }
 
+/// The standard NVE health monitors, composed for the flight recorder:
+/// total-energy drift against step 0, net-momentum magnitude, and the
+/// rolling-mean temperature band. Feed every [`StepRecord`] through
+/// [`PhysicsWatchdogs::check`]; the returned [`Violation`]s go onto the
+/// step's flight-recorder event (see `mdm-host::telemetry`) instead of
+/// the run failing silently.
+///
+/// [`StepRecord`]: crate::integrate::StepRecord
+/// [`Violation`]: mdm_profile::watchdog::Violation
+#[derive(Clone, Debug)]
+pub struct PhysicsWatchdogs {
+    energy: mdm_profile::watchdog::DriftMonitor,
+    momentum: mdm_profile::watchdog::BoundMonitor,
+    temperature: Option<mdm_profile::watchdog::RollingMeanMonitor>,
+}
+
+impl PhysicsWatchdogs {
+    /// NVE monitors: energy drift beyond `energy_rel_tol` (relative to
+    /// the first checked step), net momentum magnitude beyond
+    /// `momentum_tol` (amu·Å/fs; Verlet conserves it to rounding), and
+    /// no temperature band (attach one with
+    /// [`PhysicsWatchdogs::with_temperature_band`]).
+    ///
+    /// The paper's own NVE criterion (§5: total energy conserved to
+    /// < 5×10⁻⁵ % over 1,000 steps) corresponds to
+    /// `energy_rel_tol = 5e-7`.
+    pub fn nve(energy_rel_tol: f64, momentum_tol: f64) -> Self {
+        Self {
+            energy: mdm_profile::watchdog::DriftMonitor::new("energy_drift", energy_rel_tol),
+            momentum: mdm_profile::watchdog::BoundMonitor::new(
+                "momentum",
+                0.0,
+                momentum_tol,
+            ),
+            temperature: None,
+        }
+    }
+
+    /// Add a temperature watchdog: the rolling mean over `window` steps
+    /// must stay within `[t_lo, t_hi]` kelvin.
+    pub fn with_temperature_band(mut self, window: usize, t_lo: f64, t_hi: f64) -> Self {
+        self.temperature = Some(mdm_profile::watchdog::RollingMeanMonitor::new(
+            "temperature", window, t_lo, t_hi,
+        ));
+        self
+    }
+
+    /// Check one completed step; returns every violation it triggered
+    /// (empty for a healthy step).
+    pub fn check(
+        &mut self,
+        system: &System,
+        record: &crate::integrate::StepRecord,
+    ) -> Vec<mdm_profile::watchdog::Violation> {
+        let mut violations = Vec::new();
+        violations.extend(self.energy.check(record.step, record.total));
+        violations.extend(
+            self.momentum
+                .check(record.step, system.total_momentum().norm()),
+        );
+        if let Some(t) = &mut self.temperature {
+            violations.extend(t.check(record.step, record.temperature));
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +471,69 @@ mod tests {
         let r = ff.compute(&s);
         let p = pressure_gpa(&s, r.virial);
         assert!(p.abs() < 2.0, "pressure {p} GPa");
+    }
+
+    fn watchdog_sim(t: f64, dt: f64) -> crate::integrate::Simulation<crate::forcefield::EwaldTosiFumi> {
+        use crate::velocities::maxwell_boltzmann;
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, t, 7);
+        let ff = crate::forcefield::EwaldTosiFumi::nacl_default(s.simbox().l());
+        crate::integrate::Simulation::new(s, ff, dt)
+    }
+
+    #[test]
+    fn healthy_nve_run_triggers_no_watchdogs() {
+        let mut sim = watchdog_sim(300.0, 1.0);
+        // Loose-but-physical thresholds: 1e-3 relative energy, tiny
+        // momentum, a generous temperature band around equipartition
+        // (half the initial T after the crystal absorbs kinetic energy).
+        let mut dogs = PhysicsWatchdogs::nve(1e-3, 1e-6).with_temperature_band(5, 50.0, 400.0);
+        for _ in 0..20 {
+            let record = sim.step();
+            let violations = dogs.check(sim.system(), &record);
+            assert!(violations.is_empty(), "step {}: {violations:?}", record.step);
+        }
+    }
+
+    #[test]
+    fn oversized_timestep_fires_energy_watchdog_within_k_steps() {
+        // Δt = 40 fs is 20x the paper's 2 fs and past the Verlet
+        // stability limit for this stiff ionic crystal (ω·Δt > 2 for
+        // the ~200 fs optical-phonon period): the energy explodes by
+        // ~14 orders of magnitude within a handful of steps. The
+        // energy-drift watchdog must catch it quickly. (25 fs is NOT
+        // enough — the integrator is still marginally stable there.)
+        let mut sim = watchdog_sim(300.0, 40.0);
+        let mut dogs = PhysicsWatchdogs::nve(1e-3, 1e9);
+        let k = 30;
+        let mut fired_at = None;
+        for _ in 0..k {
+            let record = sim.step();
+            let violations = dogs.check(sim.system(), &record);
+            if let Some(v) = violations.iter().find(|v| v.monitor == "energy_drift") {
+                assert!(v.value > 1e-3);
+                assert!(!v.message.is_empty());
+                fired_at = Some(record.step);
+                break;
+            }
+        }
+        let step = fired_at.expect("energy-drift watchdog never fired within the step budget");
+        assert!(step <= k as u64);
+    }
+
+    #[test]
+    fn runaway_temperature_fires_rolling_band_watchdog() {
+        let mut sim = watchdog_sim(300.0, 40.0);
+        // Energy/momentum effectively disabled; band far below the
+        // heating the unstable timestep produces (T reaches ~1e4 K by
+        // step 3 and keeps climbing).
+        let mut dogs = PhysicsWatchdogs::nve(1e30, 1e30).with_temperature_band(3, 0.0, 2_000.0);
+        let fired = (0..30).any(|_| {
+            let record = sim.step();
+            dogs.check(sim.system(), &record)
+                .iter()
+                .any(|v| v.monitor == "temperature")
+        });
+        assert!(fired, "temperature watchdog never fired");
     }
 }

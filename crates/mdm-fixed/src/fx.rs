@@ -114,6 +114,20 @@ impl<const WIDTH: u32, const FRAC: u32> Fx<WIDTH, FRAC> {
         }
     }
 
+    /// Whether [`Self::from_f64_saturating`] would clamp `value` — the
+    /// hook for numeric-health counters: saturation is silent at the
+    /// datapath level (that is the hardware behaviour), but telemetry
+    /// wants to know it happened. Non-finite inputs count as
+    /// saturating.
+    #[inline]
+    pub fn saturates(value: f64) -> bool {
+        if !value.is_finite() {
+            return true;
+        }
+        let scaled = (value * (1i64 << FRAC) as f64).round();
+        scaled > Self::max_value().raw as f64 || scaled < Self::min_value().raw as f64
+    }
+
     /// Exact conversion back to `f64` (always exact: `WIDTH <= 63 <= 53`?
     /// No — values wider than 53 bits may round, but the default 32-bit
     /// datapath converts exactly).
@@ -313,6 +327,26 @@ mod tests {
         assert_eq!(Q30::from_f64_saturating(-100.0), Q30::min_value());
         // but wrapping conversion wraps
         assert_ne!(Q30::from_f64(100.0), Q30::max_value());
+    }
+
+    #[test]
+    fn saturates_predicts_clamping() {
+        // In-range values do not saturate.
+        assert!(!Q30::saturates(0.0));
+        assert!(!Q30::saturates(1.5));
+        assert!(!Q30::saturates(-2.0)); // exactly min_value
+        assert!(!Q30::saturates(Q30::max_value().to_f64()));
+        // Out-of-range and non-finite values do.
+        assert!(Q30::saturates(2.0)); // one ulp past max
+        assert!(Q30::saturates(100.0));
+        assert!(Q30::saturates(-2.001));
+        assert!(Q30::saturates(f64::INFINITY));
+        assert!(Q30::saturates(f64::NAN));
+        // Agreement with the conversion itself at the boundary.
+        for v in [1.999999999, 2.0, -2.0, -2.0000001] {
+            let clamped = Q30::from_f64_saturating(v) != Q30::from_f64(v);
+            assert_eq!(Q30::saturates(v), clamped, "{v}");
+        }
     }
 
     #[test]

@@ -54,11 +54,23 @@ pub struct FunctionTable {
     coeffs: Vec<[f32; POLY_COEFFS]>,
     /// Human-readable label (shows up in diagnostics / topology dumps).
     name: String,
+    /// Worst per-segment fit residual observed at generation time (see
+    /// [`FunctionTable::fit_residual_max`]).
+    fit_residual_max: f64,
 }
 
 impl FunctionTable {
     /// Generate a table for `g` over `seg` — the paper's table-building
     /// utility. `g` is sampled at five Chebyshev points per segment.
+    ///
+    /// As a numeric-health check, each segment's stored (f32) quartic
+    /// is re-evaluated at the midpoints between the fit nodes and
+    /// compared against `g`; the worst residual (relative to the
+    /// segment's own value scale) is kept on the table and published to
+    /// the telemetry registry as the `funceval_fit_residual_p12_max`
+    /// counter (units of 10⁻¹²). A quietly mis-segmented or
+    /// under-resolved kernel shows up there instead of only in force
+    /// errors downstream.
     pub fn generate<F>(name: &str, seg: Segmentation, g: F) -> Result<Self, TableBuildError>
     where
         F: Fn(f64) -> f64,
@@ -66,6 +78,7 @@ impl FunctionTable {
         let nodes = chebyshev_nodes5();
         let count = seg.segment_count();
         let mut coeffs = Vec::with_capacity(count);
+        let mut fit_residual_max = 0.0f64;
         for index in 0..count {
             let lo = seg.segment_lo(index);
             let hi = seg.segment_hi(index);
@@ -88,13 +101,44 @@ impl FunctionTable {
                 }
                 row[k] = as32;
             }
+            // Residual probe between the fit nodes, evaluated with the
+            // stored f32 row exactly as the hardware Horner datapath
+            // will, scaled by the segment's own value magnitude.
+            let scale = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if scale > 0.0 {
+                for k in 0..4 {
+                    let t = 0.5 * (nodes[k] + nodes[k + 1]);
+                    let y = g(lo + t * width);
+                    if !y.is_finite() {
+                        return Err(TableBuildError::NonFiniteSample {
+                            segment: index,
+                            x: lo + t * width,
+                        });
+                    }
+                    let t32 = t as f32;
+                    let horner =
+                        ((((row[4] * t32) + row[3]) * t32 + row[2]) * t32 + row[1]) * t32 + row[0];
+                    fit_residual_max = fit_residual_max.max((horner as f64 - y).abs() / scale);
+                }
+            }
             coeffs.push(row);
         }
+        let residual_p12 = (fit_residual_max * 1e12).round().min(u64::MAX as f64) as u64;
+        mdm_profile::counter_max("funceval_fit_residual_p12_max", residual_p12);
         Ok(Self {
             seg,
             coeffs,
             name: name.to_owned(),
+            fit_residual_max,
         })
+    }
+
+    /// The worst fit residual measured at generation time: max over
+    /// segments of `|quartic(t) − g(x)| / max_segment|g|`, probed at
+    /// the midpoints between the Chebyshev fit nodes with the f32
+    /// coefficient row the hardware actually stores.
+    pub fn fit_residual_max(&self) -> f64 {
+        self.fit_residual_max
     }
 
     /// The segmentation this table was built for.
@@ -176,6 +220,32 @@ mod tests {
         // measured absolutely against the function's natural scale.
         let err = t.measured_max_rel_error(|x| 3.0 * x - 1.0, 0.07, 15.0, 5_000, 1.0);
         assert!(err < 1e-5, "err = {err}");
+    }
+
+    #[test]
+    fn fit_residual_tracks_approximation_quality() {
+        // A quartic fits a line exactly: residual at f32 rounding level.
+        let seg = Segmentation::new(-4, 4, 2);
+        let line = FunctionTable::generate("lin", seg, |x| 3.0 * x - 1.0).unwrap();
+        assert!(
+            line.fit_residual_max() < 1e-6,
+            "line residual {}",
+            line.fit_residual_max()
+        );
+        // A hard kernel on a coarse segmentation leaves a visibly
+        // larger residual — the counter's whole purpose.
+        let coarse = Segmentation::new(-2, 4, 1);
+        let rough = FunctionTable::generate("rough", coarse, |x| (-3.0 * x).exp() * x.sin())
+            .unwrap();
+        assert!(
+            rough.fit_residual_max() > line.fit_residual_max(),
+            "rough {} vs line {}",
+            rough.fit_residual_max(),
+            line.fit_residual_max()
+        );
+        // And it lands in the telemetry registry as a `_max` counter.
+        let profile = mdm_profile::snapshot();
+        assert!(profile.counters.contains_key("funceval_fit_residual_p12_max"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`domain`] — the 16-domain decomposition of §4 with halo exchange;
 //! * [`parallel`] — the §4 parallel program: 16 real-space processes +
 //!   8 wavenumber processes as threads over [`mpi`];
+//! * [`telemetry`] — the instrumented run loop: per-step flight
+//!   recording (JSONL), physics watchdogs, run manifests;
 //! * [`perfmodel`] — the analytic performance model that regenerates
 //!   Tables 4 and 5 (α optimisation, flop accounting, component times,
 //!   calculation vs *effective* speed).
@@ -28,6 +30,7 @@ pub mod machines;
 pub mod mpi;
 pub mod parallel;
 pub mod perfmodel;
+pub mod telemetry;
 pub mod topology;
 
 pub use driver::MdmForceField;

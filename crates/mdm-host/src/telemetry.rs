@@ -1,0 +1,219 @@
+//! Run telemetry: the glue between the MD driver loop and the
+//! observability stack in `mdm-profile`.
+//!
+//! [`run_recorded`] is the instrumented twin of
+//! [`Simulation::run`]: it advances the simulation step by step, and
+//! for each step drains the profiling registry into a
+//! [`StepEvent`] (phase durations + hardware/numeric counters), stamps
+//! the physical observables from the [`StepRecord`], feeds the step
+//! through the [`PhysicsWatchdogs`], and appends the event to a
+//! [`FlightRecorder`] JSONL stream. The per-step profiles are merged
+//! and returned so a caller that also wants an aggregate
+//! [`mdm_profile::report::StepReport`] (e.g. `profile_step`) does not
+//! lose anything by recording.
+//!
+//! [`Simulation::run`]: mdm_core::integrate::Simulation::run
+
+use mdm_core::forcefield::ForceField;
+use mdm_core::integrate::{Simulation, StepRecord};
+use mdm_core::observables::PhysicsWatchdogs;
+use mdm_profile::events::{FlightRecorder, RunManifest, StepEvent};
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::driver::MdmForceField;
+
+/// Build the flight-recorder manifest for a run driven by the emulated
+/// MDM force field: the Ewald parameters land in `params` under
+/// `alpha`, `r_cut`, `n_max` (plus the accuracy pair `s_r`/`s_k` for
+/// the box side `l`).
+pub fn mdm_manifest(
+    label: &str,
+    command: &str,
+    sim: &Simulation<MdmForceField>,
+    seed: u64,
+) -> RunManifest {
+    let params = sim.force_field().params();
+    let l = sim.system().simbox().l();
+    let (s_r, s_k) = params.accuracy_parameters(l);
+    RunManifest {
+        label: label.to_string(),
+        command: command.to_string(),
+        n_particles: sim.system().len() as u64,
+        dt_fs: sim.dt(),
+        forcefield: "MDM emulated Ewald (MDGRAPE-2 real + WINE-2 wave + host)".to_string(),
+        seed,
+        params: [
+            ("alpha".to_string(), params.alpha),
+            ("r_cut".to_string(), params.r_cut),
+            ("n_max".to_string(), params.n_max),
+            ("box_l".to_string(), l),
+            ("s_r".to_string(), s_r),
+            ("s_k".to_string(), s_k),
+        ]
+        .into_iter()
+        .collect(),
+    }
+}
+
+/// What an instrumented run leaves behind in memory (the JSONL stream
+/// went to the recorder's sink).
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// One thermodynamic record per step, as [`Simulation::run`] would
+    /// have returned.
+    ///
+    /// [`Simulation::run`]: mdm_core::integrate::Simulation::run
+    pub records: Vec<StepRecord>,
+    /// All per-step profiles merged (span times summed, `_max`
+    /// counters maxed) — feed to `StepReport::from_profile` for an
+    /// aggregate view.
+    pub profile: mdm_profile::Profile,
+    /// Total watchdog violations across the run.
+    pub violations: u64,
+}
+
+/// Advance `steps` steps, writing one flight-recorder line per step.
+///
+/// Per step this drains the global profiling registry (`take`), so the
+/// phase durations and counters on each event belong to that step
+/// alone. Any profile accumulated *before* the call is folded into the
+/// first step's event; callers that care should `mdm_profile::reset()`
+/// first.
+///
+/// `watchdogs` is optional; when present, each step's violations are
+/// attached to its event (and counted in the returned
+/// [`RecordedRun::violations`]).
+pub fn run_recorded<F: ForceField, W: Write>(
+    sim: &mut Simulation<F>,
+    steps: usize,
+    recorder: &mut FlightRecorder<W>,
+    mut watchdogs: Option<&mut PhysicsWatchdogs>,
+) -> io::Result<RecordedRun> {
+    let mut records = Vec::with_capacity(steps);
+    let mut merged = mdm_profile::Profile::default();
+    let mut violations = 0u64;
+    for _ in 0..steps {
+        let wall_start = Instant::now();
+        let record = sim.step();
+        let wall = wall_start.elapsed().as_secs_f64();
+        let profile = mdm_profile::take();
+
+        let mut event = StepEvent::from_profile(record.step, wall, &profile);
+        event.observables.extend([
+            ("time_fs".to_string(), record.time),
+            ("temperature_k".to_string(), record.temperature),
+            ("kinetic_ev".to_string(), record.kinetic),
+            ("potential_ev".to_string(), record.potential),
+            ("total_ev".to_string(), record.total),
+        ]);
+        if let Some(dogs) = watchdogs.as_deref_mut() {
+            event.violations = dogs.check(sim.system(), &record);
+            violations += event.violations.len() as u64;
+        }
+        recorder.record(&event)?;
+
+        merged.merge(&profile);
+        records.push(record);
+    }
+    Ok(RecordedRun {
+        records,
+        profile: merged,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_core::forcefield::EwaldTosiFumi;
+    use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+    use mdm_core::velocities::maxwell_boltzmann;
+    use mdm_profile::events::parse_jsonl;
+
+    fn software_sim(dt: f64) -> Simulation<EwaldTosiFumi> {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut s, 300.0, 11);
+        let ff = EwaldTosiFumi::nacl_default(s.simbox().l());
+        Simulation::new(s, ff, dt)
+    }
+
+    fn software_manifest(sim: &Simulation<EwaldTosiFumi>) -> RunManifest {
+        RunManifest {
+            label: "test-nacl".into(),
+            command: "cargo test".into(),
+            n_particles: sim.system().len() as u64,
+            dt_fs: sim.dt(),
+            forcefield: "software Ewald (Tosi–Fumi)".into(),
+            seed: 11,
+            params: Default::default(),
+        }
+    }
+
+    #[test]
+    fn recorded_run_streams_manifest_steps_and_observables() {
+        let mut sim = software_sim(1.0);
+        let manifest = software_manifest(&sim);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        mdm_profile::reset();
+        let run = run_recorded(&mut sim, 4, &mut recorder, None).unwrap();
+        assert_eq!(run.records.len(), 4);
+        assert_eq!(run.violations, 0);
+        // The merged profile saw the integrator spans of every step.
+        assert!(run.profile.spans.contains_key("integrate"));
+
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (back, steps) = parse_jsonl(&text).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(steps.len(), 4);
+        for (k, event) in steps.iter().enumerate() {
+            assert_eq!(event.step, k as u64 + 1);
+            assert!(event.observables.contains_key("temperature_k"));
+            assert!(event.observables.contains_key("total_ev"));
+            assert!(event.wall_seconds > 0.0);
+        }
+        // Energy is actually conserved step to step in the stream.
+        let e0 = steps[0].observables["total_ev"];
+        for event in &steps {
+            assert!(((event.observables["total_ev"] - e0) / e0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn watchdog_violations_land_on_the_offending_step() {
+        // Unstable timestep (see mdm-core observables tests): the
+        // energy-drift violations must appear in the JSONL stream.
+        let mut sim = software_sim(40.0);
+        let manifest = software_manifest(&sim);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        let mut dogs = PhysicsWatchdogs::nve(1e-3, 1e9);
+        mdm_profile::reset();
+        let run = run_recorded(&mut sim, 10, &mut recorder, Some(&mut dogs)).unwrap();
+        assert!(run.violations > 0, "unstable run must trip the watchdog");
+
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        let flagged: Vec<_> = steps.iter().filter(|e| !e.violations.is_empty()).collect();
+        assert!(!flagged.is_empty());
+        assert!(flagged[0]
+            .violations
+            .iter()
+            .any(|v| v.monitor == "energy_drift"));
+    }
+
+    #[test]
+    fn mdm_manifest_carries_the_ewald_parameters() {
+        let s = rocksalt_nacl(2, NACL_LATTICE_A);
+        let l = s.simbox().l();
+        let ff = MdmForceField::nacl_default(l).unwrap();
+        let sim = Simulation::new(s, ff, 2.0);
+        let manifest = mdm_manifest("nacl-64", "test", &sim, 7);
+        assert_eq!(manifest.n_particles, 64);
+        assert!((manifest.dt_fs - 2.0).abs() < 1e-12);
+        let alpha = sim.force_field().params().alpha;
+        assert!((manifest.params["alpha"] - alpha).abs() < 1e-12);
+        assert!(manifest.params.contains_key("r_cut"));
+        assert!(manifest.params.contains_key("n_max"));
+        assert!(manifest.params["s_r"] > 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Benchmark comparison: diff a freshly measured [`BenchFile`] against
+//! the committed baseline, phase by phase, with relative tolerances.
+//!
+//! This is the logic behind `mdm-bench`'s `bench_compare` binary — the
+//! repo's perf-regression gate. A *regression* is a phase (or step
+//! total) that got **slower** than baseline by more than the relative
+//! tolerance; speedups are reported but never fail. Phases whose
+//! absolute time is below a noise floor on both sides are skipped:
+//! a 60 % swing on a 0.2 ms `comm` phase is scheduler noise, not a
+//! regression.
+
+use crate::report::{BenchFile, StepReport};
+use std::fmt::Write as _;
+
+/// How one row compares against baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Within tolerance (or below the noise floor).
+    Ok,
+    /// Slower than baseline beyond tolerance.
+    Regressed,
+    /// Faster than baseline beyond tolerance (informational).
+    Improved,
+}
+
+/// One compared phase (or total) row.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Report label (system size), e.g. `"nacl-4096"`.
+    pub label: String,
+    /// Phase name, or `"total"` for the whole-step row.
+    pub phase: String,
+    /// Baseline seconds per step.
+    pub baseline_seconds: f64,
+    /// Freshly measured seconds per step.
+    pub current_seconds: f64,
+    /// The row's verdict under the comparison's tolerance.
+    pub status: RowStatus,
+}
+
+impl CompareRow {
+    /// Relative change versus baseline (+0.25 = 25 % slower).
+    pub fn rel_change(&self) -> f64 {
+        if self.baseline_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.current_seconds / self.baseline_seconds - 1.0
+    }
+}
+
+/// The result of comparing two bench files.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Relative tolerance regressions must exceed.
+    pub tolerance: f64,
+    /// Noise floor: rows where both sides are below this many seconds
+    /// are always `Ok`.
+    pub min_seconds: f64,
+    /// Every compared row, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Baseline labels (or `label/phase` pairs) the current run did not
+    /// measure at all — these fail the gate, since a silently dropped
+    /// size would otherwise pass.
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// Compare `current` against `baseline`. Rows are matched by
+    /// report label and phase name; each baseline report contributes a
+    /// `"total"` row plus one row per phase.
+    pub fn compare(
+        baseline: &BenchFile,
+        current: &BenchFile,
+        tolerance: f64,
+        min_seconds: f64,
+    ) -> Self {
+        assert!(tolerance >= 0.0);
+        let mut rows = Vec::new();
+        let mut missing = Vec::new();
+        for base_report in &baseline.reports {
+            let Some(cur_report) = current
+                .reports
+                .iter()
+                .find(|r| r.label == base_report.label)
+            else {
+                missing.push(base_report.label.clone());
+                continue;
+            };
+            rows.push(Self::row(
+                base_report,
+                "total",
+                base_report.total_seconds,
+                Some(cur_report.total_seconds),
+                tolerance,
+                min_seconds,
+                &mut missing,
+            ));
+            for base_phase in &base_report.phases {
+                let cur = cur_report
+                    .phases
+                    .iter()
+                    .find(|p| p.name == base_phase.name)
+                    .map(|p| p.measured_seconds);
+                rows.push(Self::row(
+                    base_report,
+                    &base_phase.name,
+                    base_phase.measured_seconds,
+                    cur,
+                    tolerance,
+                    min_seconds,
+                    &mut missing,
+                ));
+            }
+        }
+        let rows = rows.into_iter().flatten().collect();
+        Self {
+            tolerance,
+            min_seconds,
+            rows,
+            missing,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn row(
+        base_report: &StepReport,
+        phase: &str,
+        baseline_seconds: f64,
+        current_seconds: Option<f64>,
+        tolerance: f64,
+        min_seconds: f64,
+        missing: &mut Vec<String>,
+    ) -> Option<CompareRow> {
+        let Some(current_seconds) = current_seconds else {
+            missing.push(format!("{}/{phase}", base_report.label));
+            return None;
+        };
+        let noise = baseline_seconds < min_seconds && current_seconds < min_seconds;
+        let rel = if baseline_seconds > 0.0 {
+            current_seconds / baseline_seconds - 1.0
+        } else {
+            0.0
+        };
+        let status = if noise || rel.abs() <= tolerance {
+            RowStatus::Ok
+        } else if rel > 0.0 {
+            RowStatus::Regressed
+        } else {
+            RowStatus::Improved
+        };
+        Some(CompareRow {
+            label: base_report.label.clone(),
+            phase: phase.to_string(),
+            baseline_seconds,
+            current_seconds,
+            status,
+        })
+    }
+
+    /// The rows that regressed.
+    pub fn regressions(&self) -> Vec<&CompareRow> {
+        self.rows
+            .iter()
+            .filter(|row| row.status == RowStatus::Regressed)
+            .collect()
+    }
+
+    /// True when nothing regressed and nothing went missing — the gate
+    /// passes.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+
+    /// Render the fixed-width comparison table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:<8} {:>14} {:>14} {:>9}  status",
+            "label", "phase", "baseline s", "current s", "change"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(68));
+        for row in &self.rows {
+            let status = match row.status {
+                RowStatus::Ok => "ok",
+                RowStatus::Regressed => "REGRESSED",
+                RowStatus::Improved => "improved",
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<8} {:>14.6} {:>14.6} {:>+8.1}%  {status}",
+                row.label,
+                row.phase,
+                row.baseline_seconds,
+                row.current_seconds,
+                row.rel_change() * 100.0,
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "{name:<21} {:>14} {:>14} {:>9}  MISSING", "-", "-", "-");
+        }
+        let _ = writeln!(
+            out,
+            "tolerance ±{:.0}% (noise floor {:.1} ms): {} regressed, {} missing",
+            self.tolerance * 100.0,
+            self.min_seconds * 1e3,
+            self.regressions().len(),
+            self.missing.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PhaseReport;
+    use std::collections::BTreeMap;
+
+    fn report(label: &str, total: f64, phases: &[(&str, f64)]) -> StepReport {
+        StepReport {
+            label: label.into(),
+            n_particles: 512,
+            steps: 2,
+            total_seconds: total,
+            phases: phases
+                .iter()
+                .map(|&(name, seconds)| PhaseReport {
+                    name: name.into(),
+                    measured_seconds: seconds,
+                    calls: 2,
+                    modeled_seconds: None,
+                })
+                .collect(),
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn bench(reports: Vec<StepReport>) -> BenchFile {
+        BenchFile {
+            command: "profile_step --json".into(),
+            version: 1,
+            reports,
+        }
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let base = bench(vec![report(
+            "nacl-512",
+            0.05,
+            &[("real", 0.03), ("wave", 0.017)],
+        )]);
+        let cmp = CompareReport::compare(&base, &base.clone(), 0.2, 1e-3);
+        assert!(cmp.passed());
+        assert_eq!(cmp.rows.len(), 3, "total + 2 phases");
+        assert!(cmp.rows.iter().all(|r| r.status == RowStatus::Ok));
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_regresses() {
+        let base = bench(vec![report("nacl-512", 0.05, &[("real", 0.030)])]);
+        let cur = bench(vec![report("nacl-512", 0.08, &[("real", 0.060)])]);
+        let cmp = CompareReport::compare(&base, &cur, 0.5, 1e-3);
+        assert!(!cmp.passed());
+        let regressed: Vec<&str> = cmp
+            .regressions()
+            .iter()
+            .map(|r| r.phase.as_str())
+            .collect();
+        // total is 60 % slower (regressed); real is 100 % slower.
+        assert_eq!(regressed, vec!["total", "real"]);
+        assert!(cmp.render_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedup_never_fails() {
+        let base = bench(vec![report("nacl-512", 0.05, &[("real", 0.030)])]);
+        let cur = bench(vec![report("nacl-512", 0.02, &[("real", 0.010)])]);
+        let cmp = CompareReport::compare(&base, &cur, 0.2, 1e-3);
+        assert!(cmp.passed());
+        assert!(cmp
+            .rows
+            .iter()
+            .all(|r| r.status == RowStatus::Improved));
+    }
+
+    #[test]
+    fn sub_noise_floor_rows_are_ok() {
+        // 0.2 ms comm doubling to 0.4 ms: under the 1 ms floor → ok.
+        let base = bench(vec![report("nacl-512", 0.05, &[("comm", 2e-4)])]);
+        let cur = bench(vec![report("nacl-512", 0.05, &[("comm", 4e-4)])]);
+        let cmp = CompareReport::compare(&base, &cur, 0.2, 1e-3);
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn missing_label_or_phase_fails() {
+        let base = bench(vec![
+            report("nacl-512", 0.05, &[("real", 0.03)]),
+            report("nacl-4096", 0.9, &[("real", 0.6)]),
+        ]);
+        let only_first = bench(vec![report("nacl-512", 0.05, &[("wave", 0.02)])]);
+        let cmp = CompareReport::compare(&base, &only_first, 0.5, 1e-3);
+        assert!(!cmp.passed());
+        assert!(cmp.missing.contains(&"nacl-4096".to_string()));
+        assert!(cmp.missing.contains(&"nacl-512/real".to_string()));
+        assert!(cmp.render_table().contains("MISSING"));
+    }
+
+    #[test]
+    fn rel_change_sign_convention() {
+        let row = CompareRow {
+            label: "x".into(),
+            phase: "real".into(),
+            baseline_seconds: 0.04,
+            current_seconds: 0.05,
+            status: RowStatus::Ok,
+        };
+        assert!((row.rel_change() - 0.25).abs() < 1e-12);
+    }
+}

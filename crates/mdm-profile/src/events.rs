@@ -1,0 +1,402 @@
+//! The flight recorder: a per-step JSONL event stream.
+//!
+//! A recorded run is one text file: the first line is a
+//! [`RunManifest`] (`"type": "manifest"`) pinning down what was run —
+//! label, N, timestep, force-field description, seed, and the numeric
+//! parameters (α, r_cut, cell counts) that the paper's Table 4
+//! decomposition depends on. Every following line is a [`StepEvent`]
+//! (`"type": "step"`): wall-clock phase durations, hardware/numeric
+//! counters, physical observables, and any watchdog [`Violation`]s for
+//! that step. One line per step keeps the stream appendable, truncation-
+//! tolerant (a crash loses at most the current line), and trivially
+//! greppable/`jq`-able.
+//!
+//! [`parse_jsonl`] reads the format back for analysis and tests.
+
+use crate::json::{obj, Value};
+use crate::watchdog::Violation;
+use crate::Profile;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Format version written in the manifest line.
+pub const FLIGHT_RECORDER_VERSION: u64 = 1;
+
+/// The run-level header: everything needed to interpret (or reproduce)
+/// the step stream that follows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Short run label (e.g. `"nacl-4096"`).
+    pub label: String,
+    /// The command line (or API call) that produced the run.
+    pub command: String,
+    /// Particle count.
+    pub n_particles: u64,
+    /// Integration timestep in femtoseconds.
+    pub dt_fs: f64,
+    /// Human-readable force-field description.
+    pub forcefield: String,
+    /// RNG seed used for initial velocities.
+    pub seed: u64,
+    /// Named numeric parameters: Ewald α, r_cut, cell counts, n_max, …
+    pub params: BTreeMap<String, f64>,
+}
+
+impl RunManifest {
+    /// Serialize as one manifest line value.
+    pub fn to_json(&self) -> Value {
+        let params = Value::Obj(
+            self.params
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        obj([
+            ("type", Value::Str("manifest".into())),
+            ("version", Value::Num(FLIGHT_RECORDER_VERSION as f64)),
+            ("label", Value::Str(self.label.clone())),
+            ("command", Value::Str(self.command.clone())),
+            ("n_particles", Value::Num(self.n_particles as f64)),
+            ("dt_fs", Value::Num(self.dt_fs)),
+            ("forcefield", Value::Str(self.forcefield.clone())),
+            ("seed", Value::Num(self.seed as f64)),
+            ("params", params),
+        ])
+    }
+
+    /// Parse a manifest line written by [`RunManifest::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.get("type").and_then(Value::as_str) != Some("manifest") {
+            return Err("not a manifest line".into());
+        }
+        let version = value
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("manifest missing `version`")?;
+        if version != FLIGHT_RECORDER_VERSION {
+            return Err(format!("unsupported flight-recorder version {version}"));
+        }
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest missing string `{key}`"))
+        };
+        let mut params = BTreeMap::new();
+        if let Some(Value::Obj(map)) = value.get("params") {
+            for (k, v) in map {
+                params.insert(
+                    k.clone(),
+                    v.as_f64().ok_or_else(|| format!("param `{k}` not a number"))?,
+                );
+            }
+        }
+        Ok(Self {
+            label: str_field("label")?,
+            command: str_field("command")?,
+            n_particles: value
+                .get("n_particles")
+                .and_then(Value::as_u64)
+                .ok_or("manifest missing `n_particles`")?,
+            dt_fs: value
+                .get("dt_fs")
+                .and_then(Value::as_f64)
+                .ok_or("manifest missing `dt_fs`")?,
+            forcefield: str_field("forcefield")?,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or("manifest missing `seed`")?,
+            params,
+        })
+    }
+}
+
+/// One step's telemetry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepEvent {
+    /// Step index.
+    pub step: u64,
+    /// Wall-clock seconds for the whole step.
+    pub wall_seconds: f64,
+    /// Top-level phase name → seconds (the Table 4 decomposition:
+    /// `real`, `wave`, `comm`, `host`).
+    pub phases: BTreeMap<String, f64>,
+    /// Counter name → value (hardware op counts, numeric-health
+    /// counters like Q30 saturations).
+    pub counters: BTreeMap<String, u64>,
+    /// Observable name → value (temperature, energies, …).
+    pub observables: BTreeMap<String, f64>,
+    /// Watchdog violations attached to this step (usually empty).
+    pub violations: Vec<Violation>,
+}
+
+impl StepEvent {
+    /// Build an event from a drained per-step [`Profile`]: top-level
+    /// span paths (no dot) become phases, all counters are copied.
+    pub fn from_profile(step: u64, wall_seconds: f64, profile: &Profile) -> Self {
+        let phases = profile
+            .spans
+            .iter()
+            .filter(|(path, _)| !path.contains('.'))
+            .map(|(path, stat)| (path.clone(), stat.total.as_secs_f64()))
+            .collect();
+        let counters = profile
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), *value))
+            .collect();
+        Self {
+            step,
+            wall_seconds,
+            phases,
+            counters,
+            observables: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Serialize as one step line value.
+    pub fn to_json(&self) -> Value {
+        let num_map = |map: &BTreeMap<String, f64>| {
+            Value::Obj(map.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect())
+        };
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                .collect(),
+        );
+        let violations = Value::Arr(self.violations.iter().map(Violation::to_json).collect());
+        obj([
+            ("type", Value::Str("step".into())),
+            ("step", Value::Num(self.step as f64)),
+            ("wall_seconds", Value::Num(self.wall_seconds)),
+            ("phases", num_map(&self.phases)),
+            ("counters", counters),
+            ("observables", num_map(&self.observables)),
+            ("violations", violations),
+        ])
+    }
+
+    /// Parse a step line written by [`StepEvent::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        if value.get("type").and_then(Value::as_str) != Some("step") {
+            return Err("not a step line".into());
+        }
+        let num_map = |key: &str| -> Result<BTreeMap<String, f64>, String> {
+            match value.get(key) {
+                Some(Value::Obj(map)) => map
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|x| (k.clone(), x))
+                            .ok_or_else(|| format!("`{key}.{k}` not a number"))
+                    })
+                    .collect(),
+                None => Ok(BTreeMap::new()),
+                _ => Err(format!("`{key}` must be an object")),
+            }
+        };
+        let counters = match value.get("counters") {
+            Some(Value::Obj(map)) => map
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or_else(|| format!("counter `{k}` not an integer"))
+                })
+                .collect::<Result<_, _>>()?,
+            None => BTreeMap::new(),
+            _ => return Err("`counters` must be an object".into()),
+        };
+        let violations = match value.get("violations") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(Violation::from_json)
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+            _ => return Err("`violations` must be an array".into()),
+        };
+        Ok(Self {
+            step: value
+                .get("step")
+                .and_then(Value::as_u64)
+                .ok_or("step line missing `step`")?,
+            wall_seconds: value
+                .get("wall_seconds")
+                .and_then(Value::as_f64)
+                .ok_or("step line missing `wall_seconds`")?,
+            phases: num_map("phases")?,
+            counters,
+            observables: num_map("observables")?,
+            violations,
+        })
+    }
+}
+
+/// Streams a manifest line followed by step lines into any writer.
+///
+/// Each line is flushed as written, so a crashed run still leaves a
+/// readable (truncated) recording behind.
+pub struct FlightRecorder<W: Write> {
+    sink: W,
+    steps_recorded: u64,
+}
+
+impl<W: Write> FlightRecorder<W> {
+    /// Open a recorder by writing the manifest line.
+    pub fn new(mut sink: W, manifest: &RunManifest) -> io::Result<Self> {
+        writeln!(sink, "{}", manifest.to_json().to_compact())?;
+        sink.flush()?;
+        Ok(Self {
+            sink,
+            steps_recorded: 0,
+        })
+    }
+
+    /// Append one step line.
+    pub fn record(&mut self, event: &StepEvent) -> io::Result<()> {
+        writeln!(self.sink, "{}", event.to_json().to_compact())?;
+        self.sink.flush()?;
+        self.steps_recorded += 1;
+        Ok(())
+    }
+
+    /// Step lines written so far.
+    pub fn steps_recorded(&self) -> u64 {
+        self.steps_recorded
+    }
+
+    /// Unwrap the sink (for in-memory recordings in tests).
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Parse a whole recording: the manifest plus every step line, in
+/// order. Blank lines are ignored.
+pub fn parse_jsonl(text: &str) -> Result<(RunManifest, Vec<StepEvent>), String> {
+    let mut lines = text.lines().filter(|line| !line.trim().is_empty());
+    let first = lines.next().ok_or("empty recording")?;
+    let manifest_value =
+        Value::parse(first).map_err(|e| format!("manifest line: {e}"))?;
+    let manifest = RunManifest::from_json(&manifest_value)?;
+    let mut steps = Vec::new();
+    for (index, line) in lines.enumerate() {
+        let value = Value::parse(line).map_err(|e| format!("line {}: {e}", index + 2))?;
+        steps.push(StepEvent::from_json(&value).map_err(|e| format!("line {}: {e}", index + 2))?);
+    }
+    Ok((manifest, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_manifest() -> RunManifest {
+        RunManifest {
+            label: "nacl-512".into(),
+            command: "profile_step --record out.jsonl".into(),
+            n_particles: 512,
+            dt_fs: 2.0,
+            forcefield: "MDM emulated Ewald (MDGRAPE-2 + WINE-2)".into(),
+            seed: 2004,
+            params: [
+                ("alpha".to_string(), 0.2743),
+                ("r_cut".to_string(), 10.16),
+                ("cells".to_string(), 4.0),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    fn sample_event(step: u64) -> StepEvent {
+        StepEvent {
+            step,
+            wall_seconds: 0.0513,
+            phases: [
+                ("real".to_string(), 0.031),
+                ("wave".to_string(), 0.017),
+                ("comm".to_string(), 0.002),
+                ("host".to_string(), 0.0013),
+            ]
+            .into_iter()
+            .collect(),
+            counters: [
+                ("mdg_pair_ops".to_string(), 1_234_567),
+                ("wine_q30_saturations".to_string(), 0),
+            ]
+            .into_iter()
+            .collect(),
+            observables: [
+                ("temperature_k".to_string(), 1074.2),
+                ("total_ev".to_string(), -3501.7),
+            ]
+            .into_iter()
+            .collect(),
+            violations: vec![Violation {
+                monitor: "energy_drift".into(),
+                step,
+                value: 2e-3,
+                threshold: 1e-3,
+                message: "drift \"high\"\nsecond line".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn recording_round_trips() {
+        let manifest = sample_manifest();
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        recorder.record(&sample_event(0)).unwrap();
+        recorder.record(&sample_event(1)).unwrap();
+        assert_eq!(recorder.steps_recorded(), 2);
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3, "manifest + 2 steps:\n{text}");
+
+        let (back_manifest, back_steps) = parse_jsonl(&text).unwrap();
+        assert_eq!(back_manifest, manifest);
+        assert_eq!(back_steps, vec![sample_event(0), sample_event(1)]);
+    }
+
+    #[test]
+    fn embedded_newlines_and_quotes_stay_on_one_line() {
+        // The violation message contains a quote and a newline; JSONL
+        // framing requires them escaped, never raw.
+        let line = sample_event(7).to_json().to_compact();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\\n"));
+        assert!(line.contains("\\\"high\\\""));
+    }
+
+    #[test]
+    fn from_profile_extracts_top_level_phases_and_counters() {
+        let mut profile = Profile::default();
+        for (path, ms) in [("real", 31), ("real.mdg_pass", 30), ("wave", 17)] {
+            profile.spans.insert(
+                path.to_string(),
+                crate::SpanStat {
+                    calls: 1,
+                    total: Duration::from_millis(ms),
+                },
+            );
+        }
+        profile.counters.insert("mdg_pair_ops".into(), 99);
+        let event = StepEvent::from_profile(5, 0.05, &profile);
+        assert_eq!(event.step, 5);
+        assert_eq!(event.phases.len(), 2, "nested spans are not phases");
+        assert!((event.phases["real"] - 0.031).abs() < 1e-12);
+        assert_eq!(event.counters["mdg_pair_ops"], 99);
+    }
+
+    #[test]
+    fn parse_rejects_missing_manifest() {
+        let step_line = sample_event(0).to_json().to_compact();
+        assert!(parse_jsonl(&step_line).is_err());
+        assert!(parse_jsonl("").is_err());
+    }
+}

@@ -78,6 +78,54 @@ impl Value {
         out
     }
 
+    /// Serialize to a single line with no whitespace (for JSONL, where
+    /// one value per line is the framing).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(x) => {
+                assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -423,6 +471,21 @@ mod tests {
         let doc = Value::Str("line\nbreak \"quoted\" back\\slash ünïcode \u{1}".into());
         let back = Value::parse(&doc.to_pretty()).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = obj([
+            ("step", Value::Num(3.0)),
+            ("label", Value::Str("nacl\n\"512\"".into())),
+            ("phases", Value::Arr(vec![Value::Num(0.5), Value::Null])),
+            ("empty_obj", Value::Obj(BTreeMap::new())),
+            ("empty_arr", Value::Arr(Vec::new())),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "JSONL framing forbids raw newlines: {line}");
+        assert!(!line.contains(": "), "compact form has no decorative spaces");
+        assert_eq!(Value::parse(&line).unwrap(), doc);
     }
 
     #[test]

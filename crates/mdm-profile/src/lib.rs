@@ -17,18 +17,32 @@
 //!   per sample), so spans recorded on the simulated-MPI worker threads
 //!   of `mdm-host::mpi` aggregate into the same profile.
 //! * [`counter`] accumulates named integer totals (pairs visited, waves
-//!   processed, …) next to the timings.
+//!   processed, …) next to the timings; [`counter_max`] keeps a running
+//!   maximum instead (names ending in `_max` merge by maximum too, so
+//!   high-water marks survive [`Profile::merge`]).
 //! * [`take`] drains the registry into a [`Profile`] snapshot;
 //!   [`report::StepReport`] turns a profile plus modeled seconds into
 //!   the serializable per-step record.
+//! * An optional **timeline** ([`timeline_start`]/[`timeline_stop`])
+//!   additionally records every span occurrence with its wall-clock
+//!   placement, feeding the Chrome-trace exporter in [`trace`].
+//!
+//! The run-telemetry layer builds on these primitives: [`events`] is
+//! the per-step JSONL flight recorder, [`watchdog`] holds the generic
+//! threshold monitors, and [`compare`] diffs two benchmark files for
+//! the perf-regression gate.
 //!
 //! Everything is `std`-only: monotonic [`Instant`] clocks, no external
 //! dependencies, no feature gates. Overhead is one `Instant::now` pair
 //! plus one short critical section per span, intended for *phase*-level
 //! scopes (per step), not per-pair inner loops.
 
+pub mod compare;
+pub mod events;
 pub mod json;
 pub mod report;
+pub mod trace;
+pub mod watchdog;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -97,7 +111,10 @@ impl Profile {
         paths
     }
 
-    /// Merge another profile into this one (summing stats).
+    /// Merge another profile into this one. Span stats and ordinary
+    /// counters sum; counters named `…_max` (high-water marks written
+    /// via [`counter_max`]) merge by maximum instead, so e.g. a peak
+    /// cell occupancy survives aggregation across steps.
     pub fn merge(&mut self, other: &Profile) {
         for (path, stat) in &other.spans {
             let entry = self.spans.entry(path.clone()).or_default();
@@ -105,7 +122,12 @@ impl Profile {
             entry.total += stat.total;
         }
         for (name, value) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += value;
+            let entry = self.counters.entry(name.clone()).or_insert(0);
+            if name.ends_with("_max") {
+                *entry = (*entry).max(*value);
+            } else {
+                *entry += value;
+            }
         }
     }
 }
@@ -128,18 +150,33 @@ fn with_registry<R>(f: impl FnOnce(&mut Profile) -> R) -> R {
 }
 
 /// RAII guard: records the elapsed time under the span's path on drop.
+///
+/// Drop is *rebalancing*: the guard remembers the stack depth it was
+/// opened at and truncates back to it, so a panic unwinding through
+/// nested spans (or a leaked inner guard) cannot leave stale names on
+/// the thread-local stack and corrupt every later path on that thread.
 #[must_use = "a span measures until dropped — bind it with `let _span = …`"]
 pub struct SpanGuard {
     path: String,
     start: Instant,
+    /// Stack depth *before* this span's name was pushed.
+    depth: usize,
+    /// Span paths are built from a thread-local stack, so a guard must
+    /// be dropped on the thread that opened it.
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
         STACK.with(|stack| {
-            stack.borrow_mut().pop();
+            // Truncate, don't pop: rebalances even when inner guards
+            // were leaked or the stack was disturbed by a panic.
+            stack.borrow_mut().truncate(self.depth);
         });
+        if TIMELINE_ENABLED.load(Ordering::Relaxed) {
+            record_timeline_event(&self.path, self.start, elapsed);
+        }
         with_registry(|profile| {
             let stat = profile.spans.entry(std::mem::take(&mut self.path)).or_default();
             stat.calls += 1;
@@ -156,8 +193,9 @@ pub fn span(name: &'static str) -> SpanGuard {
         !name.contains('.'),
         "span names must be single segments; nesting builds the path"
     );
-    let path = STACK.with(|stack| {
+    let (path, depth) = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
+        let depth = stack.len();
         let path = match stack.last() {
             // Reconstruct the parent path from the stack.
             Some(_) => {
@@ -169,11 +207,13 @@ pub fn span(name: &'static str) -> SpanGuard {
             None => name.to_string(),
         };
         stack.push(name);
-        path
+        (path, depth)
     });
     SpanGuard {
         path,
         start: Instant::now(),
+        depth,
+        _not_send: std::marker::PhantomData,
     }
 }
 
@@ -181,6 +221,20 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub fn counter(name: &'static str, value: u64) {
     with_registry(|profile| {
         *profile.counters.entry(name.to_string()).or_insert(0) += value;
+    });
+}
+
+/// Raise the named counter to at least `value` (a high-water mark).
+/// By convention the name should end in `_max`, which makes
+/// [`Profile::merge`] keep the maximum instead of summing.
+pub fn counter_max(name: &'static str, value: u64) {
+    debug_assert!(
+        name.ends_with("_max"),
+        "high-water counters should end in `_max` so merge keeps the maximum"
+    );
+    with_registry(|profile| {
+        let entry = profile.counters.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(value);
     });
 }
 
@@ -198,6 +252,92 @@ pub fn reset() {
 /// Copy the registry without clearing it.
 pub fn snapshot() -> Profile {
     with_registry(|profile| profile.clone())
+}
+
+// ---------------------------------------------------------------------
+// Timeline: optional per-occurrence span recording for trace export.
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One completed span occurrence, placed on the wall clock relative to
+/// the [`timeline_start`] call that enabled recording.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Dot-joined span path (same key as [`Profile::spans`]).
+    pub path: String,
+    /// Microseconds from timeline start to span entry.
+    pub start_us: f64,
+    /// Span duration in microseconds.
+    pub dur_us: f64,
+    /// Small per-process ordinal of the recording thread (0, 1, …).
+    pub thread: u64,
+}
+
+/// The events captured between [`timeline_start`] and [`timeline_stop`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Completed span occurrences, in drop order.
+    pub events: Vec<TimelineEvent>,
+}
+
+struct TimelineState {
+    epoch: Instant,
+    events: Vec<TimelineEvent>,
+}
+
+/// Cheap gate checked on every span drop; the mutex is only touched
+/// while a timeline is actually recording.
+static TIMELINE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TIMELINE: Mutex<Option<TimelineState>> = Mutex::new(None);
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Stable small integer naming this thread in timeline events.
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Begin recording a timeline: every span that *ends* from now on is
+/// captured with its wall-clock placement. Any previous unfinished
+/// timeline is discarded. Recording costs one mutex lock per span end,
+/// so keep it off (the default) outside trace-export runs.
+pub fn timeline_start() {
+    let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(TimelineState {
+        epoch: Instant::now(),
+        events: Vec::new(),
+    });
+    drop(guard);
+    TIMELINE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop recording and return the captured [`Timeline`] (empty if
+/// [`timeline_start`] was never called).
+pub fn timeline_stop() -> Timeline {
+    TIMELINE_ENABLED.store(false, Ordering::Relaxed);
+    let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    match guard.take() {
+        Some(state) => Timeline {
+            events: state.events,
+        },
+        None => Timeline::default(),
+    }
+}
+
+fn record_timeline_event(path: &str, start: Instant, elapsed: Duration) {
+    let thread = THREAD_ORDINAL.with(|ordinal| *ordinal);
+    let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(state) = guard.as_mut() {
+        // `saturating_duration_since` guards spans opened before the
+        // timeline was enabled (they clamp to start at 0).
+        let start_us = start.saturating_duration_since(state.epoch).as_secs_f64() * 1e6;
+        state.events.push(TimelineEvent {
+            path: path.to_string(),
+            start_us,
+            dur_us: elapsed.as_secs_f64() * 1e6,
+            thread,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +441,100 @@ mod tests {
         assert_eq!(profile.subtree_seconds("t5"), 3.0);
         assert_eq!(profile.seconds("t5"), 1.0);
         assert_eq!(profile.seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn panic_inside_span_leaves_stack_balanced() {
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("t7_outer");
+            let _inner = span("t7_inner");
+            panic!("boom inside nested spans");
+        });
+        assert!(result.is_err());
+        // The unwound guards must have fully rebalanced the stack: a
+        // fresh span on this thread gets a clean top-level path.
+        {
+            let _after = span("t7_after");
+        }
+        let profile = snapshot();
+        assert!(profile.spans.contains_key("t7_after"));
+        assert!(
+            !profile.spans.keys().any(|k| k.contains("t7_outer.t7_after")),
+            "stale stack entries leaked into later paths: {:?}",
+            profile.sorted_paths()
+        );
+    }
+
+    #[test]
+    fn leaked_inner_guard_rebalances_on_outer_drop() {
+        {
+            let _outer = span("t8_outer");
+            std::mem::forget(span("t8_leaked"));
+            // Outer drop truncates past the leaked name.
+        }
+        {
+            let _after = span("t8_after");
+        }
+        let profile = snapshot();
+        assert!(profile.spans.contains_key("t8_after"));
+        assert!(
+            !profile.spans.keys().any(|k| k.starts_with("t8_outer.t8_leaked.")),
+            "leaked guard polluted later paths: {:?}",
+            profile.sorted_paths()
+        );
+    }
+
+    #[test]
+    fn counter_max_keeps_high_water_mark() {
+        counter_max("t9_occupancy_max", 10);
+        counter_max("t9_occupancy_max", 42);
+        counter_max("t9_occupancy_max", 17);
+        assert_eq!(snapshot().counters["t9_occupancy_max"], 42);
+    }
+
+    #[test]
+    fn merge_maxes_max_suffixed_counters() {
+        let mut a = Profile::default();
+        a.counters.insert("t10_sum".into(), 5);
+        a.counters.insert("t10_peak_max".into(), 9);
+        let mut b = Profile::default();
+        b.counters.insert("t10_sum".into(), 7);
+        b.counters.insert("t10_peak_max".into(), 4);
+        a.merge(&b);
+        assert_eq!(a.counters["t10_sum"], 12);
+        assert_eq!(a.counters["t10_peak_max"], 9);
+    }
+
+    #[test]
+    fn timeline_records_span_occurrences() {
+        // Single test exercising the global timeline (other timeline
+        // users build `Timeline` values directly), so concurrent tests
+        // can only *add* events, which the filter below ignores.
+        timeline_start();
+        {
+            let _outer = span("t11_outer");
+            spin(Duration::from_millis(1));
+            let _inner = span("t11_inner");
+            spin(Duration::from_millis(1));
+        }
+        let timeline = timeline_stop();
+        let mine: Vec<&TimelineEvent> = timeline
+            .events
+            .iter()
+            .filter(|e| e.path.starts_with("t11_"))
+            .collect();
+        assert_eq!(mine.len(), 2, "events: {:?}", timeline.events);
+        let inner = mine.iter().find(|e| e.path == "t11_outer.t11_inner").unwrap();
+        let outer = mine.iter().find(|e| e.path == "t11_outer").unwrap();
+        // Inner nests within outer on the wall clock.
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.dur_us <= outer.dur_us);
+        assert!(outer.dur_us >= 2_000.0, "outer dur {}", outer.dur_us);
+        // Disabled again: later spans are not recorded.
+        {
+            let _late = span("t11_late");
+        }
+        assert!(timeline_stop().events.is_empty());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Chrome trace-event export: turn a recorded [`Timeline`] into a
+//! `trace.json` that Perfetto / `chrome://tracing` loads directly.
+//!
+//! Each span occurrence becomes one complete event (`"ph": "X"`) with
+//! microsecond `ts`/`dur`. Events are routed onto one *process track
+//! per emulated device* — MDGRAPE-2 (real-space), WINE-2 (wavenumber),
+//! the communication paths, and the host — so the paper's Table 4
+//! identity `t_step = max(t_wine, t_mdg) + t_comm + t_host` is visible
+//! as an actual timeline: the real- and wave-space tracks run side by
+//! side, and whichever is longer sets the step's critical path.
+//!
+//! The routing key is the top-level segment of the span path, i.e. the
+//! [`crate::phase`] constants the driver already uses.
+
+use crate::json::{obj, Value};
+use crate::{phase, Timeline};
+use std::collections::BTreeMap;
+
+/// The process-track id and display name for a span path, keyed by its
+/// top-level segment. Unknown segments land on the host track (the
+/// host is where un-phased work runs).
+pub fn device_track(path: &str) -> (u64, &'static str) {
+    let top = path.split('.').next().unwrap_or(path);
+    match top {
+        t if t == phase::REAL => (1, "MDGRAPE-2 (real-space)"),
+        t if t == phase::WAVE => (2, "WINE-2 (wavenumber)"),
+        t if t == phase::COMM => (3, "comm (bus/halo)"),
+        _ => (4, "host"),
+    }
+}
+
+/// Convert a timeline into a Chrome trace-event document.
+///
+/// The result serializes with [`Value::to_pretty`] or
+/// [`Value::to_compact`]; both load in Perfetto.
+pub fn chrome_trace(timeline: &Timeline) -> Value {
+    let mut events = Vec::new();
+
+    // Name the process tracks first (metadata events, `"ph": "M"`),
+    // one per device that actually appears.
+    let mut tracks: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for event in &timeline.events {
+        let (pid, name) = device_track(&event.path);
+        tracks.insert(pid, name);
+    }
+    for (pid, name) in &tracks {
+        events.push(obj([
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::Num(*pid as f64)),
+            ("tid", Value::Num(0.0)),
+            (
+                "args",
+                obj([("name", Value::Str((*name).to_string()))]),
+            ),
+        ]));
+    }
+
+    for event in &timeline.events {
+        let (pid, _) = device_track(&event.path);
+        let cat = event.path.split('.').next().unwrap_or(&event.path);
+        events.push(obj([
+            ("name", Value::Str(event.path.clone())),
+            ("cat", Value::Str(cat.to_string())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::Num(event.start_us)),
+            ("dur", Value::Num(event.dur_us)),
+            ("pid", Value::Num(pid as f64)),
+            ("tid", Value::Num(event.thread as f64)),
+        ]));
+    }
+
+    obj([
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimelineEvent;
+
+    fn sample_timeline() -> Timeline {
+        let event = |path: &str, start_us: f64, dur_us: f64| TimelineEvent {
+            path: path.to_string(),
+            start_us,
+            dur_us,
+            thread: 0,
+        };
+        Timeline {
+            events: vec![
+                event("real.mdg_pass.pipelines", 10.0, 800.0),
+                event("real.mdg_pass", 5.0, 900.0),
+                event("real", 0.0, 1000.0),
+                event("wave.dft", 0.0, 400.0),
+                event("wave", 0.0, 700.0),
+                event("comm.upload", 1000.0, 50.0),
+                event("host", 1050.0, 120.5),
+                event("jstore_build", 1171.0, 30.0), // un-phased → host
+            ],
+        }
+    }
+
+    #[test]
+    fn device_track_routing() {
+        assert_eq!(device_track("real.mdg_pass").0, 1);
+        assert_eq!(device_track("wave").0, 2);
+        assert_eq!(device_track("comm.upload").0, 3);
+        assert_eq!(device_track("host.selfenergy").0, 4);
+        assert_eq!(device_track("jstore_build").0, 4, "unknown → host");
+    }
+
+    #[test]
+    fn perfetto_schema_smoke() {
+        // The fields Perfetto requires on complete events: every "X"
+        // event must carry name, ph, ts, dur, pid, tid; ts/dur must be
+        // finite numbers.
+        let doc = chrome_trace(&sample_timeline());
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("top-level traceEvents array");
+        assert!(!events.is_empty());
+        let mut complete = 0;
+        let mut pids = std::collections::BTreeSet::new();
+        for event in events {
+            let ph = event.get("ph").and_then(Value::as_str).expect("ph");
+            match ph {
+                "X" => {
+                    complete += 1;
+                    assert!(event.get("name").and_then(Value::as_str).is_some());
+                    for key in ["ts", "dur", "pid", "tid"] {
+                        let x = event
+                            .get(key)
+                            .and_then(Value::as_f64)
+                            .unwrap_or_else(|| panic!("missing {key}: {event:?}"));
+                        assert!(x.is_finite());
+                    }
+                    pids.insert(event.get("pid").and_then(Value::as_u64).unwrap());
+                }
+                "M" => {
+                    assert_eq!(
+                        event.get("name").and_then(Value::as_str),
+                        Some("process_name")
+                    );
+                    assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(complete, sample_timeline().events.len());
+        // All four device tracks are present for this timeline.
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_round_trips_through_parser() {
+        let doc = chrome_trace(&sample_timeline());
+        let compact = doc.to_compact();
+        assert_eq!(Value::parse(&compact).unwrap(), doc);
+        let pretty = doc.to_pretty();
+        assert_eq!(Value::parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn metadata_names_every_used_track() {
+        let doc = chrome_trace(&sample_timeline());
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let named: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Value::as_u64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            named,
+            vec![
+                (1, "MDGRAPE-2 (real-space)"),
+                (2, "WINE-2 (wavenumber)"),
+                (3, "comm (bus/halo)"),
+                (4, "host"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Threshold monitors for run telemetry.
+//!
+//! A long MD run can go numerically bad long before it crashes: total
+//! energy drifts, net momentum appears out of rounding, the thermostat
+//! loses the temperature. These monitors watch one scalar each and turn
+//! a threshold crossing into an explicit [`Violation`] record that the
+//! flight recorder ([`crate::events`]) attaches to the offending step —
+//! instead of the failure staying silent until the trajectory is junk.
+//!
+//! The monitors are deliberately generic (plain `f64` in, `Violation`
+//! out); the physics-specific composition — which scalar feeds which
+//! monitor with which tolerance — lives with the observables in
+//! `mdm-core`.
+
+use crate::json::{obj, Value};
+
+/// One threshold crossing: which monitor fired, on which step, with
+/// what value against what threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Name of the monitor that fired (e.g. `"energy_drift"`).
+    pub monitor: String,
+    /// Step index the offending sample belongs to.
+    pub step: u64,
+    /// The offending value (in the monitor's own units — a relative
+    /// drift, a momentum magnitude, a rolling-mean temperature).
+    pub value: f64,
+    /// The threshold that was crossed.
+    pub threshold: f64,
+    /// Human-readable one-liner for logs and tables.
+    pub message: String,
+}
+
+impl Violation {
+    /// Serialize for a flight-recorder event.
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("monitor", Value::Str(self.monitor.clone())),
+            ("step", Value::Num(self.step as f64)),
+            ("value", Value::Num(self.value)),
+            ("threshold", Value::Num(self.threshold)),
+            ("message", Value::Str(self.message.clone())),
+        ])
+    }
+
+    /// Parse a violation written by [`Violation::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("violation missing `{key}`"))
+        };
+        Ok(Self {
+            monitor: field("monitor")?
+                .as_str()
+                .ok_or("`monitor` must be a string")?
+                .to_string(),
+            step: field("step")?.as_u64().ok_or("`step` must be an integer")?,
+            value: field("value")?.as_f64().ok_or("`value` must be a number")?,
+            threshold: field("threshold")?
+                .as_f64()
+                .ok_or("`threshold` must be a number")?,
+            message: field("message")?
+                .as_str()
+                .ok_or("`message` must be a string")?
+                .to_string(),
+        })
+    }
+}
+
+/// Relative drift against a reference captured from the first sample:
+/// fires when `|(x − x₀)/x₀| > threshold`. The classic NVE check is
+/// total energy against its value on step 0.
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    name: String,
+    threshold: f64,
+    reference: Option<f64>,
+}
+
+impl DriftMonitor {
+    /// A monitor named `name` firing past relative drift `threshold`.
+    pub fn new(name: impl Into<String>, threshold: f64) -> Self {
+        assert!(threshold > 0.0);
+        Self {
+            name: name.into(),
+            threshold,
+            reference: None,
+        }
+    }
+
+    /// The reference value (the first sample seen), once captured.
+    pub fn reference(&self) -> Option<f64> {
+        self.reference
+    }
+
+    /// Feed one sample; returns the violation if drift exceeds the
+    /// threshold. The first sample becomes the reference and never
+    /// fires. A non-finite sample always fires: `NaN > threshold` is
+    /// false, so without the explicit check a blown-up trajectory that
+    /// reaches NaN would sail past the monitor silently.
+    pub fn check(&mut self, step: u64, value: f64) -> Option<Violation> {
+        if !value.is_finite() {
+            return Some(Violation {
+                monitor: self.name.clone(),
+                step,
+                value,
+                threshold: self.threshold,
+                message: format!("{}: non-finite sample {value}", self.name),
+            });
+        }
+        let reference = *self.reference.get_or_insert(value);
+        // Guard a zero reference (relative drift is then meaningless;
+        // fall back to absolute).
+        let scale = reference.abs().max(f64::MIN_POSITIVE);
+        let drift = ((value - reference) / scale).abs();
+        (drift > self.threshold).then(|| Violation {
+            monitor: self.name.clone(),
+            step,
+            value: drift,
+            threshold: self.threshold,
+            message: format!(
+                "{}: relative drift {:.3e} exceeds {:.3e} (reference {:.6e}, current {:.6e})",
+                self.name, drift, self.threshold, reference, value
+            ),
+        })
+    }
+}
+
+/// A plain band check: fires when the sample leaves `[lo, hi]`.
+#[derive(Clone, Debug)]
+pub struct BoundMonitor {
+    name: String,
+    lo: f64,
+    hi: f64,
+}
+
+impl BoundMonitor {
+    /// A monitor named `name` requiring samples in `[lo, hi]`.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi);
+        Self {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Feed one sample; returns the violation if it is out of band.
+    pub fn check(&self, step: u64, value: f64) -> Option<Violation> {
+        if value >= self.lo && value <= self.hi {
+            return None;
+        }
+        let threshold = if value < self.lo { self.lo } else { self.hi };
+        Some(Violation {
+            monitor: self.name.clone(),
+            step,
+            value,
+            threshold,
+            message: format!(
+                "{}: {:.6e} outside [{:.6e}, {:.6e}]",
+                self.name, value, self.lo, self.hi
+            ),
+        })
+    }
+}
+
+/// A band check on a rolling mean: individual samples may fluctuate
+/// (instantaneous temperature does, by design), so the monitor only
+/// fires once a full window's average leaves `[lo, hi]`.
+#[derive(Clone, Debug)]
+pub struct RollingMeanMonitor {
+    name: String,
+    window: usize,
+    lo: f64,
+    hi: f64,
+    samples: std::collections::VecDeque<f64>,
+    sum: f64,
+}
+
+impl RollingMeanMonitor {
+    /// A monitor over a rolling window of `window` samples.
+    pub fn new(name: impl Into<String>, window: usize, lo: f64, hi: f64) -> Self {
+        assert!(window > 0);
+        assert!(lo <= hi);
+        Self {
+            name: name.into(),
+            window,
+            lo,
+            hi,
+            samples: std::collections::VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+
+    /// The current rolling mean (None until the window fills).
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples.len() == self.window).then(|| self.sum / self.window as f64)
+    }
+
+    /// Feed one sample; returns the violation if the (full) window's
+    /// mean is out of band.
+    pub fn check(&mut self, step: u64, value: f64) -> Option<Violation> {
+        self.samples.push_back(value);
+        self.sum += value;
+        if self.samples.len() > self.window {
+            self.sum -= self.samples.pop_front().expect("non-empty window");
+        }
+        let mean = self.mean()?;
+        if mean >= self.lo && mean <= self.hi {
+            return None;
+        }
+        let threshold = if mean < self.lo { self.lo } else { self.hi };
+        Some(Violation {
+            monitor: self.name.clone(),
+            step,
+            value: mean,
+            threshold,
+            message: format!(
+                "{}: rolling mean {:.6e} over {} samples outside [{:.6e}, {:.6e}]",
+                self.name, mean, self.window, self.lo, self.hi
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_monitor_fires_past_threshold_only() {
+        let mut monitor = DriftMonitor::new("energy_drift", 1e-3);
+        assert!(monitor.check(0, 100.0).is_none(), "first sample is the reference");
+        assert!(monitor.check(1, 100.05).is_none(), "5e-4 drift is in budget");
+        let violation = monitor.check(2, 100.2).expect("2e-3 drift fires");
+        assert_eq!(violation.monitor, "energy_drift");
+        assert_eq!(violation.step, 2);
+        assert!((violation.value - 2e-3).abs() < 1e-9);
+        assert_eq!(monitor.reference(), Some(100.0));
+    }
+
+    #[test]
+    fn drift_monitor_handles_negative_reference() {
+        // NaCl total energy is a large negative number.
+        let mut monitor = DriftMonitor::new("energy_drift", 1e-4);
+        assert!(monitor.check(0, -3500.0).is_none());
+        assert!(monitor.check(1, -3500.1).is_none());
+        assert!(monitor.check(5, -3501.0).is_some());
+    }
+
+    #[test]
+    fn drift_monitor_fires_on_non_finite_sample() {
+        let mut monitor = DriftMonitor::new("energy_drift", 1e-3);
+        assert!(monitor.check(0, 100.0).is_none());
+        let violation = monitor.check(1, f64::NAN).expect("NaN must fire");
+        assert!(violation.value.is_nan());
+        assert!(monitor.check(2, f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn bound_monitor_checks_band() {
+        let monitor = BoundMonitor::new("momentum", 0.0, 1e-8);
+        assert!(monitor.check(0, 5e-9).is_none());
+        let violation = monitor.check(3, 2e-8).unwrap();
+        assert_eq!(violation.threshold, 1e-8);
+        assert!(BoundMonitor::new("x", -1.0, 1.0).check(0, -2.0).is_some());
+    }
+
+    #[test]
+    fn rolling_mean_waits_for_full_window() {
+        let mut monitor = RollingMeanMonitor::new("temperature", 3, 900.0, 1200.0);
+        // Out-of-band samples do not fire until the window fills.
+        assert!(monitor.check(0, 2000.0).is_none());
+        assert!(monitor.check(1, 2000.0).is_none());
+        let violation = monitor.check(2, 2000.0).expect("full window out of band");
+        assert_eq!(violation.value, 2000.0);
+        // A recovering mean stops firing.
+        assert!(monitor.check(3, 100.0).is_none_or(|v| v.value < 2000.0));
+        let mut ok = RollingMeanMonitor::new("temperature", 2, 900.0, 1200.0);
+        assert!(ok.check(0, 1000.0).is_none());
+        assert!(ok.check(1, 1100.0).is_none());
+        assert_eq!(ok.mean(), Some(1050.0));
+    }
+
+    #[test]
+    fn violation_round_trips_through_json() {
+        let violation = Violation {
+            monitor: "energy_drift".into(),
+            step: 42,
+            value: 3.5e-3,
+            threshold: 1e-3,
+            message: "energy_drift: relative drift 3.500e-3 exceeds 1.000e-3".into(),
+        };
+        let back = Violation::from_json(&violation.to_json()).unwrap();
+        assert_eq!(back, violation);
+        assert!(Violation::from_json(&Value::Null).is_err());
+    }
+}

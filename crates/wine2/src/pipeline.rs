@@ -36,7 +36,16 @@ pub struct WineParticle {
 impl WineParticle {
     /// Quantise a fractional position (components in `[0,1)`) and a
     /// pre-scaled charge.
+    ///
+    /// A charge outside the Q30 range clamps (hardware saturation) and
+    /// bumps the `wine_q30_saturations` telemetry counter: the host
+    /// library normalises charges by `q_scale = max|q|` before calling
+    /// this, so any saturation here means that scaling contract was
+    /// broken and force errors are no longer bounded by quantisation.
     pub fn quantize(frac: [f64; 3], q_scaled: f64) -> Self {
+        if Q30::saturates(q_scaled) {
+            mdm_profile::counter("wine_q30_saturations", 1);
+        }
         Self {
             s: [
                 Phase32::from_turns(frac[0]),
@@ -302,7 +311,33 @@ mod tests {
 
     #[test]
     fn quantized_charge_saturates_not_wraps() {
+        let _lock = crate::SATURATION_COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let p = WineParticle::quantize([0.0, 0.0, 0.0], 5.0);
         assert_eq!(p.q, Q30::max_value());
+    }
+
+    #[test]
+    fn overdriven_charges_bump_saturation_counter() {
+        // Deliberately break the host's `q/q_scale ∈ [-1, 1]` contract:
+        // every out-of-range charge must surface in the telemetry
+        // counter, not just clamp silently.
+        let _lock = crate::SATURATION_COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let _ = mdm_profile::take();
+        let hot = WineParticle::quantize([0.1, 0.2, 0.3], 5.0);
+        let cold = WineParticle::quantize([0.4, 0.5, 0.6], -3.0);
+        let fine = WineParticle::quantize([0.7, 0.8, 0.9], 0.99);
+        assert_eq!(hot.q, Q30::max_value());
+        assert_eq!(cold.q, Q30::min_value());
+        assert_eq!(fine.q, Q30::from_f64_saturating(0.99));
+        let profile = mdm_profile::take();
+        assert_eq!(
+            profile.counters.get("wine_q30_saturations"),
+            Some(&2),
+            "exactly the two overdriven charges count"
+        );
     }
 }

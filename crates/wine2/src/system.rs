@@ -171,14 +171,22 @@ impl Wine2System {
             coeffs.push((u, v, k.n));
         }
         c_scale = c_scale.max(1e-300);
+        let mut coeff_saturations = 0u64;
         let idft_waves: Vec<IdftWave> = coeffs
             .iter()
-            .map(|&(u, v, n)| IdftWave {
-                n,
-                u: Q30::from_f64_saturating(u / c_scale),
-                v: Q30::from_f64_saturating(v / c_scale),
+            .map(|&(u, v, n)| {
+                coeff_saturations += u64::from(Q30::saturates(u / c_scale))
+                    + u64::from(Q30::saturates(v / c_scale));
+                IdftWave {
+                    n,
+                    u: Q30::from_f64_saturating(u / c_scale),
+                    v: Q30::from_f64_saturating(v / c_scale),
+                }
             })
             .collect();
+        if coeff_saturations > 0 {
+            mdm_profile::counter("wine_q30_saturations", coeff_saturations);
+        }
 
         // --- IDFT phase (per-cluster disjoint particles). ---
         let idft_span = mdm_profile::span("idft");
@@ -349,5 +357,27 @@ mod tests {
     fn config_chip_counts() {
         assert_eq!(Wine2Config::default().chips(), 2240);
         assert_eq!(Wine2Config { clusters: 24 }.chips(), 2688); // future MDM
+    }
+
+    #[test]
+    fn standard_nacl_run_has_zero_q30_saturations() {
+        // The host normalises charges by `q_scale = max|q|` and
+        // coefficients by `c_scale`, so a standard NaCl evaluation must
+        // never saturate the Q30 datapath inputs.
+        let _lock = crate::SATURATION_COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let _ = mdm_profile::take();
+        let s = perturbed_crystal();
+        let mut wine = Wine2System::new(Wine2Config { clusters: 2 });
+        wine.compute_wavepart(s.simbox(), s.positions(), s.charges(), 7.0, 8.0)
+            .unwrap();
+        let profile = mdm_profile::take();
+        assert_eq!(
+            profile.counters.get("wine_q30_saturations"),
+            None,
+            "saturation events in a normalised run: {:?}",
+            profile.counters
+        );
     }
 }
