@@ -11,7 +11,10 @@
 //! tolerant (a crash loses at most the current line), and trivially
 //! greppable/`jq`-able.
 //!
-//! [`parse_jsonl`] reads the format back for analysis and tests.
+//! [`parse_jsonl`] reads a single-run recording back for analysis and
+//! tests; [`parse_jsonl_multi`] reads files that several recordings
+//! were appended to (one run per size in `profile_step --record`),
+//! splitting on the manifest lines.
 
 use crate::json::{obj, Value};
 use crate::watchdog::Violation;
@@ -48,18 +51,20 @@ impl RunManifest {
         let params = Value::Obj(
             self.params
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .map(|(k, v)| (k.clone(), Value::from_f64(*v)))
                 .collect(),
         );
         obj([
             ("type", Value::Str("manifest".into())),
-            ("version", Value::Num(FLIGHT_RECORDER_VERSION as f64)),
+            ("version", Value::from_u64(FLIGHT_RECORDER_VERSION)),
             ("label", Value::Str(self.label.clone())),
             ("command", Value::Str(self.command.clone())),
-            ("n_particles", Value::Num(self.n_particles as f64)),
-            ("dt_fs", Value::Num(self.dt_fs)),
+            ("n_particles", Value::from_u64(self.n_particles)),
+            ("dt_fs", Value::from_f64(self.dt_fs)),
             ("forcefield", Value::Str(self.forcefield.clone())),
-            ("seed", Value::Num(self.seed as f64)),
+            // `from_u64`: a full-range 64-bit seed must survive the
+            // f64-backed number representation exactly.
+            ("seed", Value::from_u64(self.seed)),
             ("params", params),
         ])
     }
@@ -159,20 +164,23 @@ impl StepEvent {
 
     /// Serialize as one step line value.
     pub fn to_json(&self) -> Value {
+        // `from_f64`/`from_u64`: observables from a diverging run can
+        // be NaN/inf and counters can exceed 2⁵³; both must be
+        // *recorded*, never panic the serializer or lose precision.
         let num_map = |map: &BTreeMap<String, f64>| {
-            Value::Obj(map.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect())
+            Value::Obj(map.iter().map(|(k, v)| (k.clone(), Value::from_f64(*v))).collect())
         };
         let counters = Value::Obj(
             self.counters
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                .map(|(k, v)| (k.clone(), Value::from_u64(*v)))
                 .collect(),
         );
         let violations = Value::Arr(self.violations.iter().map(Violation::to_json).collect());
         obj([
             ("type", Value::Str("step".into())),
-            ("step", Value::Num(self.step as f64)),
-            ("wall_seconds", Value::Num(self.wall_seconds)),
+            ("step", Value::from_u64(self.step)),
+            ("wall_seconds", Value::from_f64(self.wall_seconds)),
             ("phases", num_map(&self.phases)),
             ("counters", counters),
             ("observables", num_map(&self.observables)),
@@ -275,20 +283,58 @@ impl<W: Write> FlightRecorder<W> {
     }
 }
 
-/// Parse a whole recording: the manifest plus every step line, in
-/// order. Blank lines are ignored.
+/// Parse a single-run recording: the manifest plus every step line, in
+/// order. Errors if the stream holds more than one run — use
+/// [`parse_jsonl_multi`] for files that several recordings were
+/// appended to (e.g. a default multi-size `profile_step --record`).
 pub fn parse_jsonl(text: &str) -> Result<(RunManifest, Vec<StepEvent>), String> {
-    let mut lines = text.lines().filter(|line| !line.trim().is_empty());
-    let first = lines.next().ok_or("empty recording")?;
-    let manifest_value =
-        Value::parse(first).map_err(|e| format!("manifest line: {e}"))?;
-    let manifest = RunManifest::from_json(&manifest_value)?;
-    let mut steps = Vec::new();
-    for (index, line) in lines.enumerate() {
-        let value = Value::parse(line).map_err(|e| format!("line {}: {e}", index + 2))?;
-        steps.push(StepEvent::from_json(&value).map_err(|e| format!("line {}: {e}", index + 2))?);
+    let mut runs = parse_jsonl_multi(text)?;
+    if runs.len() != 1 {
+        return Err(format!(
+            "recording contains {} runs; use parse_jsonl_multi",
+            runs.len()
+        ));
     }
-    Ok((manifest, steps))
+    Ok(runs.pop().expect("len checked"))
+}
+
+/// Parse a stream of appended recordings: each manifest line starts a
+/// new `(manifest, steps)` run and the step lines that follow belong
+/// to it. Blank lines are ignored. This is the reader for the file
+/// `profile_step --record` writes when profiling several sizes.
+pub fn parse_jsonl_multi(text: &str) -> Result<Vec<(RunManifest, Vec<StepEvent>)>, String> {
+    let mut runs: Vec<(RunManifest, Vec<StepEvent>)> = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = index + 1;
+        let value = Value::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        match value.get("type").and_then(Value::as_str) {
+            Some("manifest") => {
+                let manifest =
+                    RunManifest::from_json(&value).map_err(|e| format!("line {lineno}: {e}"))?;
+                runs.push((manifest, Vec::new()));
+            }
+            Some("step") => {
+                let event =
+                    StepEvent::from_json(&value).map_err(|e| format!("line {lineno}: {e}"))?;
+                runs.last_mut()
+                    .ok_or_else(|| format!("line {lineno}: step event before any manifest"))?
+                    .1
+                    .push(event);
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown event type {other:?} (expected \"manifest\" or \"step\")"
+                ))
+            }
+        }
+    }
+    if runs.is_empty() {
+        return Err("empty recording".into());
+    }
+    Ok(runs)
 }
 
 #[cfg(test)]
@@ -398,5 +444,61 @@ mod tests {
         let step_line = sample_event(0).to_json().to_compact();
         assert!(parse_jsonl(&step_line).is_err());
         assert!(parse_jsonl("").is_err());
+    }
+
+    #[test]
+    fn appended_runs_split_on_manifest_lines() {
+        // profile_step --record appends one (manifest, steps) run per
+        // size to the same file; the multi parser must read it all back.
+        let mut text = String::new();
+        for (label, steps) in [("nacl-512", 2u64), ("nacl-4096", 3)] {
+            let manifest = RunManifest {
+                label: label.into(),
+                ..sample_manifest()
+            };
+            let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+            for k in 0..steps {
+                recorder.record(&sample_event(k)).unwrap();
+            }
+            text.push_str(&String::from_utf8(recorder.into_inner()).unwrap());
+        }
+
+        let runs = parse_jsonl_multi(&text).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0.label, "nacl-512");
+        assert_eq!(runs[0].1.len(), 2);
+        assert_eq!(runs[1].0.label, "nacl-4096");
+        assert_eq!(runs[1].1.len(), 3);
+        // The single-run parser refuses rather than mis-reading.
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.contains("2 runs"), "{err}");
+    }
+
+    #[test]
+    fn blown_up_run_records_instead_of_panicking() {
+        // A diverged trajectory: NaN observables, a NaN watchdog value,
+        // and a full-range seed/counter. Everything must serialize and
+        // read back — this is the run the recorder exists to document.
+        let manifest = RunManifest {
+            seed: u64::MAX - 1,
+            ..sample_manifest()
+        };
+        let mut event = sample_event(3);
+        event.observables.insert("total_ev".into(), f64::NAN);
+        event.observables.insert("temperature_k".into(), f64::INFINITY);
+        event.counters.insert("mdg_pair_ops".into(), (1 << 53) + 7);
+        event.violations[0].value = f64::NAN;
+
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        recorder.record(&event).unwrap();
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+
+        let (back_manifest, back_steps) = parse_jsonl(&text).unwrap();
+        assert_eq!(back_manifest.seed, u64::MAX - 1);
+        let back = &back_steps[0];
+        assert!(back.observables["total_ev"].is_nan());
+        assert_eq!(back.observables["temperature_k"], f64::INFINITY);
+        assert_eq!(back.counters["mdg_pair_ops"], (1 << 53) + 7);
+        assert!(back.violations[0].value.is_nan());
     }
 }

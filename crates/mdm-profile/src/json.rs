@@ -4,8 +4,14 @@
 //! are unavailable; `BENCH_step.json` round-trips through this module
 //! instead. It supports exactly the JSON this repo emits: objects,
 //! arrays, finite numbers, strings (with `\uXXXX` escapes), booleans
-//! and null. Numbers are carried as `f64`, which is exact for every
-//! integer this repo records (all below 2⁵³).
+//! and null. Numbers are carried as `f64`; values JSON cannot express
+//! exactly get string spellings via the checked constructors
+//! [`Value::from_f64`] (non-finite → `"NaN"`/`"inf"`/`"-inf"`) and
+//! [`Value::from_u64`] (≥ 2⁵³ → decimal string), which the accessors
+//! [`Value::as_f64`]/[`Value::as_u64`] read back. A `Value::Num`
+//! holding a non-finite `f64` directly serializes as `null` rather
+//! than panicking — telemetry must be able to *record* a blown-up run,
+//! not crash on it.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -17,7 +23,8 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (must be finite when written).
+    /// Any JSON number (a non-finite value serializes as `null`;
+    /// build through [`Value::from_f64`] to preserve it instead).
     Num(f64),
     /// A string.
     Str(String),
@@ -27,7 +34,40 @@ pub enum Value {
     Obj(BTreeMap<String, Value>),
 }
 
+/// The largest integer (2⁵³) every smaller non-negative integer of
+/// which is exactly representable as an `f64` JSON number.
+const EXACT_F64_LIMIT: u64 = 1 << 53;
+
 impl Value {
+    /// A number that always survives serialization: finite values
+    /// become [`Value::Num`], non-finite ones the string sentinels
+    /// `"NaN"` / `"inf"` / `"-inf"` that [`Value::as_f64`] reads back.
+    /// Use this (not `Value::Num` directly) for telemetry values that
+    /// may come from a diverging trajectory.
+    pub fn from_f64(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Num(x)
+        } else if x.is_nan() {
+            Value::Str("NaN".into())
+        } else if x > 0.0 {
+            Value::Str("inf".into())
+        } else {
+            Value::Str("-inf".into())
+        }
+    }
+
+    /// An integer that always survives serialization: values below 2⁵³
+    /// become [`Value::Num`] (exact in `f64`), larger ones a decimal
+    /// string that [`Value::as_u64`] reads back. Use for seeds and
+    /// counters that may occupy the full `u64` range.
+    pub fn from_u64(x: u64) -> Value {
+        if x < EXACT_F64_LIMIT {
+            Value::Num(x as f64)
+        } else {
+            Value::Str(x.to_string())
+        }
+    }
+
     /// The value under `key` if this is an object containing it.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
@@ -36,20 +76,29 @@ impl Value {
         }
     }
 
-    /// The number, if this is one.
+    /// The number, if this is one — including the non-finite string
+    /// sentinels written by [`Value::from_f64`].
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(x) => Some(*x),
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
             _ => None,
         }
     }
 
-    /// The number as an integer, if it is one (and in exact-f64 range).
+    /// The number as an integer, if it is one (in exact-f64 range), or
+    /// a decimal string written by [`Value::from_u64`].
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < 9.007199254740992e15 => {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < EXACT_F64_LIMIT as f64 => {
                 Some(*x as u64)
             }
+            Value::Str(s) if s.bytes().all(|b| b.is_ascii_digit()) => s.parse().ok(),
             _ => None,
         }
     }
@@ -93,8 +142,10 @@ impl Value {
                 let _ = write!(out, "{b}");
             }
             Value::Num(x) => {
-                assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
-                if x.fract() == 0.0 && x.abs() < 1e15 {
+                if !x.is_finite() {
+                    // JSON has no NaN/inf; never panic mid-recording.
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
                     let _ = write!(out, "{}", *x as i64);
                 } else {
                     let _ = write!(out, "{x}");
@@ -133,8 +184,10 @@ impl Value {
                 let _ = write!(out, "{b}");
             }
             Value::Num(x) => {
-                assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
-                if x.fract() == 0.0 && x.abs() < 1e15 {
+                if !x.is_finite() {
+                    // JSON has no NaN/inf; never panic mid-recording.
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
                     let _ = write!(out, "{}", *x as i64);
                 } else {
                     // Round-trippable shortest float formatting.
@@ -495,6 +548,39 @@ mod tests {
             assert_eq!(Value::parse(&text).unwrap().as_f64().unwrap(), x, "{text}");
         }
         assert_eq!(Value::Num(32768.0).to_pretty().trim(), "32768");
+    }
+
+    #[test]
+    fn non_finite_num_serializes_as_null_not_panic() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Value::Num(x).to_compact(), "null");
+            assert_eq!(Value::Num(x).to_pretty().trim(), "null");
+        }
+    }
+
+    #[test]
+    fn from_f64_sentinels_round_trip() {
+        for x in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Value::from_f64(x).to_compact();
+            assert_eq!(Value::parse(&text).unwrap().as_f64(), Some(x), "{text}");
+        }
+        let text = Value::from_f64(f64::NAN).to_compact();
+        assert_eq!(text, "\"NaN\"");
+        assert!(Value::parse(&text).unwrap().as_f64().unwrap().is_nan());
+        // Finite values stay plain numbers.
+        assert_eq!(Value::from_f64(1.5), Value::Num(1.5));
+    }
+
+    #[test]
+    fn from_u64_survives_full_range() {
+        for x in [0, 1, (1 << 53) - 1, 1 << 53, u64::MAX] {
+            let text = Value::from_u64(x).to_compact();
+            assert_eq!(Value::parse(&text).unwrap().as_u64(), Some(x), "{text}");
+        }
+        assert_eq!(Value::from_u64(u64::MAX), Value::Str(u64::MAX.to_string()));
+        // Non-numeric strings are not integers.
+        assert_eq!(Value::Str("12x".into()).as_u64(), None);
+        assert_eq!(Value::Str("-3".into()).as_u64(), None);
     }
 
     #[test]

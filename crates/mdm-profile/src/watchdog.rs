@@ -32,13 +32,16 @@ pub struct Violation {
 }
 
 impl Violation {
-    /// Serialize for a flight-recorder event.
+    /// Serialize for a flight-recorder event. `value` goes through
+    /// [`Value::from_f64`] because a non-finite sample is exactly what
+    /// [`DriftMonitor::check`] reports for a blown-up trajectory — the
+    /// recording must capture it, not crash on it.
     pub fn to_json(&self) -> Value {
         obj([
             ("monitor", Value::Str(self.monitor.clone())),
-            ("step", Value::Num(self.step as f64)),
-            ("value", Value::Num(self.value)),
-            ("threshold", Value::Num(self.threshold)),
+            ("step", Value::from_u64(self.step)),
+            ("value", Value::from_f64(self.value)),
+            ("threshold", Value::from_f64(self.threshold)),
             ("message", Value::Str(self.message.clone())),
         ])
     }
@@ -295,5 +298,21 @@ mod tests {
         let back = Violation::from_json(&violation.to_json()).unwrap();
         assert_eq!(back, violation);
         assert!(Violation::from_json(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn non_finite_violation_serializes_and_round_trips() {
+        // The exact record a DriftMonitor emits for a blown-up
+        // trajectory: serializing it must not panic, and the NaN must
+        // survive the trip (as the "NaN" sentinel, not null).
+        let mut monitor = DriftMonitor::new("energy_drift", 1e-3);
+        assert!(monitor.check(0, 100.0).is_none());
+        let violation = monitor.check(1, f64::NAN).expect("NaN must fire");
+        let line = violation.to_json().to_compact();
+        assert!(line.contains("\"NaN\""), "{line}");
+        let back = Violation::from_json(&Value::parse(&line).unwrap()).unwrap();
+        assert!(back.value.is_nan());
+        assert_eq!(back.monitor, violation.monitor);
+        assert_eq!(back.step, 1);
     }
 }

@@ -322,21 +322,31 @@ mod tests {
     fn overdriven_charges_bump_saturation_counter() {
         // Deliberately break the host's `q/q_scale ∈ [-1, 1]` contract:
         // every out-of-range charge must surface in the telemetry
-        // counter, not just clamp silently.
+        // counter, not just clamp silently. The registry is process-
+        // global and other tests run concurrently in this binary, so
+        // assert on a snapshot *delta* rather than draining it (which
+        // would silently discard their span/counter data); the lock
+        // serializes the tests that bump this counter on purpose.
         let _lock = crate::SATURATION_COUNTER_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let _ = mdm_profile::take();
+        let saturations = || {
+            mdm_profile::snapshot()
+                .counters
+                .get("wine_q30_saturations")
+                .copied()
+                .unwrap_or(0)
+        };
+        let before = saturations();
         let hot = WineParticle::quantize([0.1, 0.2, 0.3], 5.0);
         let cold = WineParticle::quantize([0.4, 0.5, 0.6], -3.0);
         let fine = WineParticle::quantize([0.7, 0.8, 0.9], 0.99);
         assert_eq!(hot.q, Q30::max_value());
         assert_eq!(cold.q, Q30::min_value());
         assert_eq!(fine.q, Q30::from_f64_saturating(0.99));
-        let profile = mdm_profile::take();
         assert_eq!(
-            profile.counters.get("wine_q30_saturations"),
-            Some(&2),
+            saturations() - before,
+            2,
             "exactly the two overdriven charges count"
         );
     }

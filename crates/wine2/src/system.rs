@@ -364,20 +364,29 @@ mod tests {
         // The host normalises charges by `q_scale = max|q|` and
         // coefficients by `c_scale`, so a standard NaCl evaluation must
         // never saturate the Q30 datapath inputs.
+        // Snapshot delta, not a drain: `take()` would throw away the
+        // span/counter data of tests running concurrently in this
+        // binary. The lock serializes the tests that bump this counter
+        // on purpose.
         let _lock = crate::SATURATION_COUNTER_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let _ = mdm_profile::take();
+        let saturations = || {
+            mdm_profile::snapshot()
+                .counters
+                .get("wine_q30_saturations")
+                .copied()
+                .unwrap_or(0)
+        };
+        let before = saturations();
         let s = perturbed_crystal();
         let mut wine = Wine2System::new(Wine2Config { clusters: 2 });
         wine.compute_wavepart(s.simbox(), s.positions(), s.charges(), 7.0, 8.0)
             .unwrap();
-        let profile = mdm_profile::take();
         assert_eq!(
-            profile.counters.get("wine_q30_saturations"),
-            None,
-            "saturation events in a normalised run: {:?}",
-            profile.counters
+            saturations() - before,
+            0,
+            "saturation events in a normalised run"
         );
     }
 }
