@@ -95,6 +95,17 @@ fn print_report(report: &StepReport) {
             c("wine_cycles")
         );
     }
+    if !report.gflops.is_empty() {
+        let parts: Vec<String> = report
+            .gflops
+            .iter()
+            .map(|(phase, g)| format!("{phase} {g:.3}"))
+            .collect();
+        println!(
+            "  measured throughput [Gflops, paper flop credits]: {}",
+            parts.join(", ")
+        );
+    }
     println!();
 }
 

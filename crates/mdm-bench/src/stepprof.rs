@@ -89,6 +89,33 @@ fn set_modeled(report: &mut StepReport, sim: &Simulation<MdmForceField>) {
     );
 }
 
+/// Stamp the measured per-phase flop throughput (Gflops) onto the
+/// report: the paper's §2 flop credits (59 per Coulomb pair, 29/35 per
+/// particle–wave) priced against each phase's *measured* wall-clock.
+/// This is the emulator's own "calculation speed" column — tiny next to
+/// the real hardware's, but the same arithmetic.
+fn set_gflops(report: &mut StepReport) {
+    let counter = |r: &StepReport, name: &str| r.counters.get(name).copied().unwrap_or(0) as f64;
+    let phase_total = |r: &StepReport, name: &str| {
+        r.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0.0, |p| p.measured_seconds * r.steps as f64)
+    };
+    let real_seconds = phase_total(report, phase::REAL);
+    if real_seconds > 0.0 {
+        let flops =
+            mdm_core::flops::FLOPS_PER_REAL_PAIR * counter(report, "mdg_coulomb_pair_ops");
+        report.set_gflops(phase::REAL, flops / real_seconds / 1e9);
+    }
+    let wave_seconds = phase_total(report, phase::WAVE);
+    if wave_seconds > 0.0 {
+        let flops = mdm_core::flops::FLOPS_PER_WAVE_DFT * counter(report, "wine_dft_ops")
+            + mdm_core::flops::FLOPS_PER_WAVE_IDFT * counter(report, "wine_idft_ops");
+        report.set_gflops(phase::WAVE, flops / wave_seconds / 1e9);
+    }
+}
+
 /// Run `steps` profiled MD steps at `cells` rocksalt cells per side and
 /// assemble the measured-vs-modeled report.
 pub fn profile_size(cells: usize, steps: u64) -> StepReport {
@@ -110,6 +137,7 @@ pub fn profile_size(cells: usize, steps: u64) -> StepReport {
         &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
     );
     set_modeled(&mut report, &sim);
+    set_gflops(&mut report);
     report
 }
 
@@ -150,6 +178,7 @@ pub fn profile_size_recorded<W: Write>(
         &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
     );
     set_modeled(&mut report, &sim);
+    set_gflops(&mut report);
     Ok(report)
 }
 
@@ -191,6 +220,9 @@ mod tests {
         assert_eq!(report.n_particles, 8 * 27);
         assert_eq!(report.phases.len(), 4);
         assert!(report.phases.iter().any(|p| p.name == "real"));
+        // The paper-flop-credit throughput is derived for both engines.
+        assert!(report.gflops["real"] > 0.0);
+        assert!(report.gflops["wave"] > 0.0);
 
         let text = String::from_utf8(jsonl).unwrap();
         let (manifest, steps) = mdm_profile::events::parse_jsonl(&text).unwrap();

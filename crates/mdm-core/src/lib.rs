@@ -24,6 +24,7 @@
 //!
 //! Units: Å, fs, amu, eV, Kelvin, elementary charges ([`units`]).
 
+pub mod accuracy;
 pub mod boxsim;
 pub mod celllist;
 pub mod direct;

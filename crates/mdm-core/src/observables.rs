@@ -275,6 +275,7 @@ pub struct PhysicsWatchdogs {
     energy: mdm_profile::watchdog::DriftMonitor,
     momentum: mdm_profile::watchdog::BoundMonitor,
     temperature: Option<mdm_profile::watchdog::RollingMeanMonitor>,
+    force_error: Option<mdm_profile::watchdog::BoundMonitor>,
 }
 
 impl PhysicsWatchdogs {
@@ -296,6 +297,7 @@ impl PhysicsWatchdogs {
                 momentum_tol,
             ),
             temperature: None,
+            force_error: None,
         }
     }
 
@@ -304,6 +306,20 @@ impl PhysicsWatchdogs {
     pub fn with_temperature_band(mut self, window: usize, t_lo: f64, t_hi: f64) -> Self {
         self.temperature = Some(mdm_profile::watchdog::RollingMeanMonitor::new(
             "temperature", window, t_lo, t_hi,
+        ));
+        self
+    }
+
+    /// Add a force-error watchdog: the relative RMS force error from
+    /// the [`crate::accuracy::ForceErrorProbe`] must stay at or below
+    /// `rel_tol`. The paper's Figure 5 value is ≈ 10⁻⁴·⁵; the repo's CI
+    /// gate uses 10⁻³ (an order of magnitude of headroom). A NaN
+    /// measurement fires, like every other monitor.
+    pub fn with_force_error_band(mut self, rel_tol: f64) -> Self {
+        self.force_error = Some(mdm_profile::watchdog::BoundMonitor::new(
+            "force_error",
+            0.0,
+            rel_tol,
         ));
         self
     }
@@ -325,6 +341,25 @@ impl PhysicsWatchdogs {
             violations.extend(t.check(record.step, record.temperature));
         }
         violations
+    }
+
+    /// Check a force-error probe measurement (the probe fires on its
+    /// own cadence, not every step, so this is separate from
+    /// [`PhysicsWatchdogs::check`]). `rel_error` is
+    /// [`ForceErrorSample::relative`]; returns a violation when it
+    /// leaves the band set by
+    /// [`PhysicsWatchdogs::with_force_error_band`], `None` when inside
+    /// it or when no band was configured.
+    ///
+    /// [`ForceErrorSample::relative`]: mdm_profile::accuracy::ForceErrorSample::relative
+    pub fn check_force_error(
+        &mut self,
+        step: u64,
+        rel_error: f64,
+    ) -> Option<mdm_profile::watchdog::Violation> {
+        self.force_error
+            .as_ref()
+            .and_then(|monitor| monitor.check(step, rel_error))
     }
 }
 
@@ -519,6 +554,22 @@ mod tests {
         }
         let step = fired_at.expect("energy-drift watchdog never fired within the step budget");
         assert!(step <= k as u64);
+    }
+
+    #[test]
+    fn force_error_band_fires_only_outside_band() {
+        let mut dogs = PhysicsWatchdogs::nve(1e30, 1e30).with_force_error_band(1e-3);
+        // Healthy probe readings stay silent.
+        assert!(dogs.check_force_error(0, 3e-5).is_none());
+        assert!(dogs.check_force_error(10, 9.9e-4).is_none());
+        // Past the band (or non-finite) fires.
+        let v = dogs.check_force_error(20, 2e-2).expect("must fire");
+        assert_eq!(v.monitor, "force_error");
+        assert_eq!(v.step, 20);
+        assert!(dogs.check_force_error(30, f64::NAN).is_some());
+        // Without a configured band, nothing ever fires.
+        let mut plain = PhysicsWatchdogs::nve(1e30, 1e30);
+        assert!(plain.check_force_error(0, 1.0).is_none());
     }
 
     #[test]

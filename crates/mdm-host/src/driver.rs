@@ -147,6 +147,15 @@ impl MdmForceField {
         self.last_counters
     }
 
+    /// Real-space pair interactions of the last Coulomb force pass —
+    /// the count the paper's `59 flops/pair` credit applies to
+    /// (passes 2–4 recompute the same pairs for the short-range terms
+    /// and are excluded, like the paper excludes "the force
+    /// calculation other than the Coulomb").
+    pub fn coulomb_pair_ops(&self) -> u64 {
+        self.coulomb_pass_ops
+    }
+
     /// The per-pass `(aᵢⱼ, bᵢⱼ)` coefficient matrices for the NaCl
     /// species table, force mode. `kappa = α/L`.
     fn force_coefficients(&self, system: &System, kappa: f64) -> [AtomCoefficients; 4] {
@@ -326,6 +335,10 @@ impl ForceField for MdmForceField {
         mdm_profile::counter("wine_cycles", self.last_counters.wine.cycles);
         mdm_profile::counter("mdg_pair_ops", self.last_counters.mdg.pair_ops);
         mdm_profile::counter("mdg_cycles", self.last_counters.mdg.cycles);
+        // Coulomb pass only: the paper's 59-flop pair credit excludes
+        // the Born–Mayer/dispersion passes, so the live flop meter
+        // needs this count separately from the all-pass total.
+        mdm_profile::counter("mdg_coulomb_pair_ops", self.coulomb_pass_ops);
 
         let coulomb = e_real + wave.energy + e_self;
         ForceResult {

@@ -1,7 +1,7 @@
 //! Run telemetry: the glue between the MD driver loop and the
 //! observability stack in `mdm-profile`.
 //!
-//! [`run_recorded`] is the instrumented twin of
+//! [`run_instrumented`] is the instrumented twin of
 //! [`Simulation::run`]: it advances the simulation step by step, and
 //! for each step drains the profiling registry into a
 //! [`StepEvent`] (phase durations + hardware/numeric counters), stamps
@@ -10,18 +10,37 @@
 //! [`FlightRecorder`] JSONL stream. The per-step profiles are merged
 //! and returned so a caller that also wants an aggregate
 //! [`mdm_profile::report::StepReport`] (e.g. `profile_step`) does not
-//! lose anything by recording.
+//! lose anything by recording. [`run_recorded`] is the watchdogs-only
+//! convenience wrapper.
+//!
+//! On top of the flight recorder, [`Instruments`] carries the two
+//! accuracy-telemetry probes of the paper's §5 evaluation:
+//!
+//! * a [`ForceErrorProbe`] that every K steps re-derives sampled forces
+//!   with a converged f64 Ewald and emits the relative RMS force error
+//!   (Figure 5) as the `force_error_rel` observable;
+//! * a [`SpeedMeter`] that prices the emulators' *actual* interaction
+//!   counters with the paper's §2 flop constants and streams
+//!   `raw_tflops` / `effective_tflops` per step — effective speed
+//!   re-costed at the *measured* accuracy when the probe has fired
+//!   (the honest 1.34-from-15.4 arithmetic, live).
 //!
 //! [`Simulation::run`]: mdm_core::integrate::Simulation::run
 
+use mdm_core::accuracy::ForceErrorProbe;
+use mdm_core::ewald::EwaldParams;
 use mdm_core::forcefield::ForceField;
 use mdm_core::integrate::{Simulation, StepRecord};
 use mdm_core::observables::PhysicsWatchdogs;
+use mdm_core::special::erfc;
+use mdm_profile::accuracy::{ForceErrorSample, SpeedSample};
 use mdm_profile::events::{FlightRecorder, RunManifest, StepEvent};
 use std::io::{self, Write};
 use std::time::Instant;
 
 use crate::driver::MdmForceField;
+use crate::machines::MachineModel;
+use crate::perfmodel::{PerformanceModel, SystemSpec};
 
 /// Build the flight-recorder manifest for a run driven by the emulated
 /// MDM force field: the Ewald parameters land in `params` under
@@ -56,6 +75,135 @@ pub fn mdm_manifest(
     }
 }
 
+/// Prices measured wall-clock with the paper's §2 flop accounting.
+///
+/// Raw speed uses the interaction counters the emulators actually
+/// increment (Coulomb-pass pairs on MDGRAPE-2, DFT/IDFT particle–wave
+/// ops on WINE-2); effective speed divides the *conventional-minimum*
+/// flop count for the delivered accuracy by the same wall-clock —
+/// exactly the §5 re-costing that turns 15.4 raw Tflops into the
+/// 1.34 Tflops headline.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedMeter {
+    spec: SystemSpec,
+    model: PerformanceModel,
+    conventional_flops: f64,
+}
+
+impl SpeedMeter {
+    /// Accuracy parameter range the inverse-erfc re-costing searches:
+    /// `erfc(0.5) ≈ 0.48` down to `erfc(6) ≈ 2·10⁻¹⁷` covers every
+    /// error a run can plausibly deliver.
+    const S_MIN: f64 = 0.5;
+    const S_MAX: f64 = 6.0;
+
+    /// Build the meter for a run: `n` particles in a box of side `l`
+    /// at the accuracy `params` encodes. The conventional minimum is
+    /// evaluated once here (it only depends on the run, not the step).
+    pub fn for_run(params: &EwaldParams, n: u64, l: f64) -> Self {
+        let (s_r, s_k) = params.accuracy_parameters(l);
+        let spec = SystemSpec {
+            n: n as f64,
+            l,
+            s_r,
+            s_k,
+        };
+        let model = PerformanceModel::new(MachineModel::mdm_current());
+        Self {
+            spec,
+            model,
+            conventional_flops: model.conventional_minimum_flops(&spec),
+        }
+    }
+
+    /// Conventional-minimum flops per step at the run's *nominal*
+    /// accuracy (5.88·10¹³ at the paper's spec).
+    pub fn conventional_flops(&self) -> f64 {
+        self.conventional_flops
+    }
+
+    /// §5 re-costing at the *measured* accuracy: invert the truncation
+    /// estimate `error ≈ erfc(s)` to find the accuracy parameter the
+    /// run actually delivered, then price the conventional minimum at
+    /// that `s` for both cutoffs. A run delivering *worse* accuracy
+    /// than configured gets a smaller conventional minimum — its
+    /// effective speed drops even though its raw speed is unchanged.
+    pub fn conventional_flops_at_error(&self, rel_error: f64) -> f64 {
+        let s = Self::inverse_erfc(rel_error);
+        let spec = SystemSpec {
+            s_r: s,
+            s_k: s,
+            ..self.spec
+        };
+        self.model.conventional_minimum_flops(&spec)
+    }
+
+    /// Solve `erfc(s) = y` for `s ∈ [S_MIN, S_MAX]` by bisection
+    /// (`erfc` is strictly decreasing; clamps outside the bracket).
+    fn inverse_erfc(y: f64) -> f64 {
+        if y.is_nan() || y >= erfc(Self::S_MIN) {
+            return Self::S_MIN;
+        }
+        if y <= erfc(Self::S_MAX) {
+            return Self::S_MAX;
+        }
+        let (mut lo, mut hi) = (Self::S_MIN, Self::S_MAX);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if erfc(mid) > y {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Price one step: `pair_ops` real-space pair interactions and
+    /// `dft_ops`/`idft_ops` particle–wave operations over
+    /// `wall_seconds`. `measured_error` is the most recent probe
+    /// reading (when one exists) and switches the effective speed to
+    /// the measured-accuracy re-costing.
+    pub fn sample(
+        &self,
+        step: u64,
+        wall_seconds: f64,
+        pair_ops: u64,
+        dft_ops: u64,
+        idft_ops: u64,
+        measured_error: Option<f64>,
+    ) -> SpeedSample {
+        SpeedSample {
+            step,
+            wall_seconds,
+            real_flops: mdm_core::flops::FLOPS_PER_REAL_PAIR * pair_ops as f64,
+            wave_flops: mdm_core::flops::FLOPS_PER_WAVE_DFT * dft_ops as f64
+                + mdm_core::flops::FLOPS_PER_WAVE_IDFT * idft_ops as f64,
+            conventional_flops: self.conventional_flops,
+            conventional_flops_measured: measured_error
+                .map(|e| self.conventional_flops_at_error(e)),
+        }
+    }
+}
+
+/// The optional probes threaded through [`run_instrumented`].
+///
+/// Everything defaults to off; [`run_recorded`] is the
+/// watchdogs-only shorthand.
+#[derive(Default)]
+pub struct Instruments<'a> {
+    /// Physics watchdogs checked every step (violations land on the
+    /// step's event).
+    pub watchdogs: Option<&'a mut PhysicsWatchdogs>,
+    /// Force-error probe, fired on its own cadence; its reading is
+    /// emitted as the `force_error_rel` observable and fed to the
+    /// watchdogs' force-error band.
+    pub probe: Option<&'a ForceErrorProbe>,
+    /// Live flop meter; emits `raw_tflops` / `effective_tflops`
+    /// observables from the step's drained interaction counters.
+    pub meter: Option<&'a SpeedMeter>,
+}
+
 /// What an instrumented run leaves behind in memory (the JSONL stream
 /// went to the recorder's sink).
 #[derive(Debug)]
@@ -71,6 +219,10 @@ pub struct RecordedRun {
     pub profile: mdm_profile::Profile,
     /// Total watchdog violations across the run.
     pub violations: u64,
+    /// Every force-error probe reading (empty without a probe).
+    pub force_errors: Vec<ForceErrorSample>,
+    /// One speed sample per step (empty without a meter).
+    pub speeds: Vec<SpeedSample>,
 }
 
 /// Advance `steps` steps, writing one flight-recorder line per step.
@@ -88,17 +240,60 @@ pub fn run_recorded<F: ForceField, W: Write>(
     sim: &mut Simulation<F>,
     steps: usize,
     recorder: &mut FlightRecorder<W>,
-    mut watchdogs: Option<&mut PhysicsWatchdogs>,
+    watchdogs: Option<&mut PhysicsWatchdogs>,
+) -> io::Result<RecordedRun> {
+    run_instrumented(
+        sim,
+        steps,
+        recorder,
+        Instruments {
+            watchdogs,
+            ..Instruments::default()
+        },
+    )
+}
+
+/// [`run_recorded`] with the full instrument rack: watchdogs, the
+/// force-error probe, and the live speed meter (each optional).
+///
+/// Per-step ordering, which matters for attribution:
+///
+/// 1. the step's wall-clock covers `sim.step()` *only* — probe
+///    overhead never pollutes the speed measurement;
+/// 2. the probe (on its cadence) runs *before* the registry drain, so
+///    its reference-Ewald work shows up on the step's own event as the
+///    `probe` phase rather than leaking into the next step;
+/// 3. the meter prices the step from the counters of the drained
+///    profile, re-costing against the most recent probe reading;
+/// 4. watchdogs see the thermodynamic record and the probe reading
+///    (through the force-error band) and stamp violations on the event.
+pub fn run_instrumented<F: ForceField, W: Write>(
+    sim: &mut Simulation<F>,
+    steps: usize,
+    recorder: &mut FlightRecorder<W>,
+    mut inst: Instruments<'_>,
 ) -> io::Result<RecordedRun> {
     let mut records = Vec::with_capacity(steps);
     let mut merged = mdm_profile::Profile::default();
     let mut violations = 0u64;
+    let mut force_errors = Vec::new();
+    let mut speeds = Vec::new();
+    let mut last_error: Option<f64> = None;
     for _ in 0..steps {
         let wall_start = Instant::now();
         let record = sim.step();
         let wall = wall_start.elapsed().as_secs_f64();
-        let profile = mdm_profile::take();
 
+        let probe_sample = match inst.probe {
+            Some(probe) if probe.should_fire(record.step) => Some(probe.measure(
+                record.step,
+                sim.system(),
+                &sim.current_forces().forces,
+            )),
+            _ => None,
+        };
+
+        let profile = mdm_profile::take();
         let mut event = StepEvent::from_profile(record.step, wall, &profile);
         event.observables.extend([
             ("time_fs".to_string(), record.time),
@@ -107,8 +302,41 @@ pub fn run_recorded<F: ForceField, W: Write>(
             ("potential_ev".to_string(), record.potential),
             ("total_ev".to_string(), record.total),
         ]);
-        if let Some(dogs) = watchdogs.as_deref_mut() {
+
+        if let Some(sample) = probe_sample {
+            last_error = Some(sample.relative());
+            event
+                .observables
+                .insert("force_error_rel".to_string(), sample.relative());
+            force_errors.push(sample);
+        }
+
+        if let Some(meter) = inst.meter {
+            let counter = |name: &str| profile.counters.get(name).copied().unwrap_or(0);
+            let speed = meter.sample(
+                record.step,
+                wall,
+                counter("mdg_coulomb_pair_ops"),
+                counter("wine_dft_ops"),
+                counter("wine_idft_ops"),
+                last_error,
+            );
+            event
+                .observables
+                .insert("raw_tflops".to_string(), speed.raw_tflops());
+            event
+                .observables
+                .insert("effective_tflops".to_string(), speed.effective_tflops());
+            speeds.push(speed);
+        }
+
+        if let Some(dogs) = inst.watchdogs.as_deref_mut() {
             event.violations = dogs.check(sim.system(), &record);
+            if let Some(sample) = probe_sample {
+                if let Some(v) = dogs.check_force_error(record.step, sample.relative()) {
+                    event.violations.push(v);
+                }
+            }
             violations += event.violations.len() as u64;
         }
         recorder.record(&event)?;
@@ -120,6 +348,8 @@ pub fn run_recorded<F: ForceField, W: Write>(
         records,
         profile: merged,
         violations,
+        force_errors,
+        speeds,
     })
 }
 
@@ -199,6 +429,153 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.monitor == "energy_drift"));
+    }
+
+    #[test]
+    fn inverse_erfc_recovers_accuracy_parameters() {
+        for s in [0.7, 1.5, 2.64, 3.2, 4.5] {
+            let back = SpeedMeter::inverse_erfc(mdm_core::special::erfc(s));
+            assert!((back - s).abs() < 1e-9, "s={s}: {back}");
+        }
+        // Out-of-bracket errors clamp instead of diverging.
+        assert_eq!(SpeedMeter::inverse_erfc(1.0), SpeedMeter::S_MIN);
+        assert_eq!(SpeedMeter::inverse_erfc(0.0), SpeedMeter::S_MAX);
+        assert_eq!(SpeedMeter::inverse_erfc(f64::NAN), SpeedMeter::S_MIN);
+    }
+
+    #[test]
+    fn worse_accuracy_means_lower_effective_speed() {
+        let params = mdm_core::ewald::EwaldParams::from_alpha_accuracy(6.4, 3.2, 3.2, 11.28);
+        let meter = SpeedMeter::for_run(&params, 64, 11.28);
+        assert!(meter.conventional_flops() > 0.0);
+        // Re-costing at the nominal accuracy reproduces the nominal
+        // conventional minimum only when s_r == s_k; here both are 3.2.
+        let nominal = meter.conventional_flops_at_error(mdm_core::special::erfc(3.2));
+        assert!(
+            (nominal / meter.conventional_flops() - 1.0).abs() < 1e-6,
+            "nominal {nominal} vs {}",
+            meter.conventional_flops()
+        );
+        // A sloppier run is worth fewer conventional flops.
+        let sloppy = meter.conventional_flops_at_error(1e-2);
+        assert!(sloppy < nominal, "sloppy {sloppy} vs nominal {nominal}");
+        let speed_good = meter.sample(1, 2.0, 1000, 500, 500, None);
+        let speed_bad = meter.sample(1, 2.0, 1000, 500, 500, Some(1e-2));
+        assert!(speed_bad.effective_flops_per_s() < speed_good.effective_flops_per_s());
+        assert_eq!(speed_bad.raw_flops(), speed_good.raw_flops());
+    }
+
+    fn perturbed_nacl() -> mdm_core::System {
+        let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+        // Break lattice symmetry so the RMS force is honest (a perfect
+        // crystal has near-zero forces and any probe error divides by
+        // almost nothing).
+        let n = s.len();
+        for i in 0..n {
+            let shift = 0.12 * ((i * 2654435761) % 97) as f64 / 97.0;
+            s.displace(i, mdm_core::Vec3::new(shift, -0.5 * shift, 0.3 * shift));
+        }
+        maxwell_boltzmann(&mut s, 300.0, 11);
+        s
+    }
+
+    fn mdm_sim() -> Simulation<MdmForceField> {
+        let s = perturbed_nacl();
+        let ff = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+        Simulation::new(s, ff, 1.0)
+    }
+
+    #[test]
+    fn instrumented_run_streams_accuracy_observables() {
+        let mut sim = mdm_sim();
+        let l = sim.system().simbox().l();
+        let n = sim.system().len() as u64;
+        let params = *sim.force_field().params();
+        let manifest = mdm_manifest("accuracy-test", "cargo test", &sim, 11);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        let probe = mdm_core::accuracy::ForceErrorProbe::converged_for_mdm(&params, l, 2, 8);
+        let meter = SpeedMeter::for_run(&params, n, l);
+        let mut dogs = PhysicsWatchdogs::nve(1e-2, 1e-6).with_force_error_band(1e-3);
+        mdm_profile::reset();
+        let run = run_instrumented(
+            &mut sim,
+            3,
+            &mut recorder,
+            Instruments {
+                watchdogs: Some(&mut dogs),
+                probe: Some(&probe),
+                meter: Some(&meter),
+            },
+        )
+        .unwrap();
+        // Steps are 1, 2, 3; the probe fires on step 2 only.
+        assert_eq!(run.force_errors.len(), 1);
+        assert_eq!(run.force_errors[0].step, 2);
+        assert!(
+            run.force_errors[0].relative() < 1e-3,
+            "healthy emulator run should probe clean: {}",
+            run.force_errors[0].relative()
+        );
+        assert_eq!(run.violations, 0, "healthy run must stay silent");
+        assert_eq!(run.speeds.len(), 3);
+        for speed in &run.speeds {
+            assert!(speed.raw_flops() > 0.0, "emulator counters must be priced");
+            assert!(speed.effective_flops_per_s() > 0.0);
+        }
+        // Steps after the probe re-cost against the measured error.
+        assert!(run.speeds[0].conventional_flops_measured.is_none());
+        assert!(run.speeds[1].conventional_flops_measured.is_some());
+        assert!(run.speeds[2].conventional_flops_measured.is_some());
+
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        assert_eq!(steps.len(), 3);
+        for event in &steps {
+            assert!(event.observables.contains_key("raw_tflops"));
+            assert!(event.observables.contains_key("effective_tflops"));
+        }
+        assert!(!steps[0].observables.contains_key("force_error_rel"));
+        assert!(steps[1].observables.contains_key("force_error_rel"));
+        // The probe's reference work is attributed to its own phase on
+        // the step it ran, not smeared into the force phases.
+        assert!(steps[1].phases.contains_key("probe"));
+        assert!(!steps[0].phases.contains_key("probe"));
+    }
+
+    #[test]
+    fn degraded_run_trips_the_force_error_watchdog() {
+        use mdm_core::ewald::EwaldParams;
+        let s = perturbed_nacl();
+        let l = s.simbox().l();
+        let good_alpha = MdmForceField::nacl_default(l).unwrap().params().alpha;
+        // Same α, slashed wave cutoff: the recip sum is truncated at
+        // s_k = 1.2 (erfc(1.2) ≈ 0.09) while the reference converges it.
+        let bad = EwaldParams::from_alpha_accuracy(good_alpha, 1.2, 1.2, l);
+        let ff = MdmForceField::new(bad, 2, 2).unwrap();
+        let mut sim = Simulation::new(s, ff, 1.0);
+        let manifest = mdm_manifest("degraded-test", "cargo test", &sim, 11);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        let probe = mdm_core::accuracy::ForceErrorProbe::converged_for_mdm(&bad, l, 1, 8);
+        let mut dogs = PhysicsWatchdogs::nve(1e9, 1e-6).with_force_error_band(1e-3);
+        mdm_profile::reset();
+        let run = run_instrumented(
+            &mut sim,
+            2,
+            &mut recorder,
+            Instruments {
+                watchdogs: Some(&mut dogs),
+                probe: Some(&probe),
+                meter: None,
+            },
+        )
+        .unwrap();
+        assert!(run.violations > 0, "degraded run must trip the band");
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        assert!(steps
+            .iter()
+            .flat_map(|e| &e.violations)
+            .any(|v| v.monitor == "force_error"));
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct CompareReport {
     /// measure at all — these fail the gate, since a silently dropped
     /// size would otherwise pass.
     pub missing: Vec<String>,
+    /// Labels (or `label/phase` pairs) present in the *current* file
+    /// but absent from the baseline — a schema that grew (new sizes,
+    /// new phases, new keys like `gflops`) is informational, never a
+    /// gate failure: old baselines stay usable as the repo evolves.
+    pub informational: Vec<String>,
 }
 
 impl CompareReport {
@@ -112,12 +117,37 @@ impl CompareReport {
                 ));
             }
         }
+        let mut informational = Vec::new();
+        for cur_report in &current.reports {
+            match baseline
+                .reports
+                .iter()
+                .find(|r| r.label == cur_report.label)
+            {
+                None => informational.push(cur_report.label.clone()),
+                Some(base_report) => {
+                    for cur_phase in &cur_report.phases {
+                        if !base_report.phases.iter().any(|p| p.name == cur_phase.name) {
+                            informational
+                                .push(format!("{}/{}", cur_report.label, cur_phase.name));
+                        }
+                    }
+                    for key in cur_report.gflops.keys() {
+                        if !base_report.gflops.contains_key(key) {
+                            informational
+                                .push(format!("{}/gflops.{key}", cur_report.label));
+                        }
+                    }
+                }
+            }
+        }
         let rows = rows.into_iter().flatten().collect();
         Self {
             tolerance,
             min_seconds,
             rows,
             missing,
+            informational,
         }
     }
 
@@ -199,13 +229,21 @@ impl CompareReport {
         for name in &self.missing {
             let _ = writeln!(out, "{name:<21} {:>14} {:>14} {:>9}  MISSING", "-", "-", "-");
         }
+        for name in &self.informational {
+            let _ = writeln!(
+                out,
+                "{name:<21} {:>14} {:>14} {:>9}  new (informational)",
+                "-", "-", "-"
+            );
+        }
         let _ = writeln!(
             out,
-            "tolerance ±{:.0}% (noise floor {:.1} ms): {} regressed, {} missing",
+            "tolerance ±{:.0}% (noise floor {:.1} ms): {} regressed, {} missing, {} new",
             self.tolerance * 100.0,
             self.min_seconds * 1e3,
             self.regressions().len(),
-            self.missing.len()
+            self.missing.len(),
+            self.informational.len()
         );
         out
     }
@@ -234,6 +272,7 @@ mod tests {
                 .collect(),
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
+            gflops: BTreeMap::new(),
         }
     }
 
@@ -307,6 +346,23 @@ mod tests {
         assert!(cmp.missing.contains(&"nacl-4096".to_string()));
         assert!(cmp.missing.contains(&"nacl-512/real".to_string()));
         assert!(cmp.render_table().contains("MISSING"));
+    }
+
+    #[test]
+    fn current_only_rows_are_informational_not_failures() {
+        // The current run measured a new size, a new phase, and new
+        // gflops keys the old baseline has never heard of — that must
+        // pass the gate and be listed as informational.
+        let base = bench(vec![report("nacl-512", 0.05, &[("real", 0.03)])]);
+        let mut grown = report("nacl-512", 0.05, &[("real", 0.03), ("wave", 0.02)]);
+        grown.set_gflops("real", 4.1);
+        let cur = bench(vec![grown, report("nacl-32768", 26.0, &[("real", 20.0)])]);
+        let cmp = CompareReport::compare(&base, &cur, 0.2, 1e-3);
+        assert!(cmp.passed(), "new keys must not fail: {:?}", cmp.missing);
+        assert!(cmp.informational.contains(&"nacl-512/wave".to_string()));
+        assert!(cmp.informational.contains(&"nacl-512/gflops.real".to_string()));
+        assert!(cmp.informational.contains(&"nacl-32768".to_string()));
+        assert!(cmp.render_table().contains("informational"));
     }
 
     #[test]

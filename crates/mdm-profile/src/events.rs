@@ -16,6 +16,7 @@
 //! were appended to (one run per size in `profile_step --record`),
 //! splitting on the manifest lines.
 
+use crate::histogram::LogHistogram;
 use crate::json::{obj, Value};
 use crate::watchdog::Violation;
 use crate::Profile;
@@ -135,6 +136,11 @@ pub struct StepEvent {
     pub observables: BTreeMap<String, f64>,
     /// Watchdog violations attached to this step (usually empty).
     pub violations: Vec<Violation>,
+    /// Histogram name → error-attribution distribution from the
+    /// precision seams (Q30 quantization residuals, table-fit
+    /// residuals). Absent from recordings made before this field
+    /// existed; old readers ignore the key.
+    pub histograms: BTreeMap<String, LogHistogram>,
 }
 
 impl StepEvent {
@@ -152,6 +158,11 @@ impl StepEvent {
             .iter()
             .map(|(name, value)| (name.clone(), *value))
             .collect();
+        let histograms = profile
+            .histograms
+            .iter()
+            .map(|(name, hist)| (name.clone(), hist.clone()))
+            .collect();
         Self {
             step,
             wall_seconds,
@@ -159,6 +170,7 @@ impl StepEvent {
             counters,
             observables: BTreeMap::new(),
             violations: Vec::new(),
+            histograms,
         }
     }
 
@@ -177,7 +189,7 @@ impl StepEvent {
                 .collect(),
         );
         let violations = Value::Arr(self.violations.iter().map(Violation::to_json).collect());
-        obj([
+        let mut value = obj([
             ("type", Value::Str("step".into())),
             ("step", Value::from_u64(self.step)),
             ("wall_seconds", Value::from_f64(self.wall_seconds)),
@@ -185,7 +197,23 @@ impl StepEvent {
             ("counters", counters),
             ("observables", num_map(&self.observables)),
             ("violations", violations),
-        ])
+        ]);
+        if !self.histograms.is_empty() {
+            // Only pay the key when there is something to say; readers
+            // treat a missing key as "no histograms".
+            if let Value::Obj(map) = &mut value {
+                map.insert(
+                    "histograms".into(),
+                    Value::Obj(
+                        self.histograms
+                            .iter()
+                            .map(|(k, h)| (k.clone(), h.to_json()))
+                            .collect(),
+                    ),
+                );
+            }
+        }
+        value
     }
 
     /// Parse a step line written by [`StepEvent::to_json`].
@@ -227,6 +255,18 @@ impl StepEvent {
             None => Vec::new(),
             _ => return Err("`violations` must be an array".into()),
         };
+        let histograms = match value.get("histograms") {
+            Some(Value::Obj(map)) => map
+                .iter()
+                .map(|(k, v)| {
+                    LogHistogram::from_json(v)
+                        .map(|h| (k.clone(), h))
+                        .ok_or_else(|| format!("histogram `{k}` malformed"))
+                })
+                .collect::<Result<_, _>>()?,
+            None => BTreeMap::new(),
+            _ => return Err("`histograms` must be an object".into()),
+        };
         Ok(Self {
             step: value
                 .get("step")
@@ -240,6 +280,7 @@ impl StepEvent {
             counters,
             observables: num_map("observables")?,
             violations,
+            histograms,
         })
     }
 }
@@ -391,6 +432,7 @@ mod tests {
                 threshold: 1e-3,
                 message: "drift \"high\"\nsecond line".into(),
             }],
+            histograms: BTreeMap::new(),
         }
     }
 
@@ -437,6 +479,45 @@ mod tests {
         assert_eq!(event.phases.len(), 2, "nested spans are not phases");
         assert!((event.phases["real"] - 0.031).abs() < 1e-12);
         assert_eq!(event.counters["mdg_pair_ops"], 99);
+    }
+
+    #[test]
+    fn histograms_round_trip_through_recorder() {
+        let mut quant = LogHistogram::error_default();
+        for &v in &[5e-10, 4e-10, 3e-10, 1e-9] {
+            quant.record(v);
+        }
+        let mut event = sample_event(0);
+        event.histograms.insert("wine_fx_quant_residual".into(), quant);
+        // An *empty* histogram must also survive (a seam that recorded
+        // nothing this step still documents its geometry).
+        event
+            .histograms
+            .insert("funceval_fit_residual".into(), LogHistogram::error_default());
+
+        let mut recorder = FlightRecorder::new(Vec::new(), &sample_manifest()).unwrap();
+        recorder.record(&event).unwrap();
+        // A histogram-less event stays free of the key entirely.
+        recorder.record(&sample_event(1)).unwrap();
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        assert!(text.lines().nth(2).is_some_and(|l| !l.contains("histograms")));
+
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        assert_eq!(steps[0], event);
+        let back = &steps[0].histograms["wine_fx_quant_residual"];
+        assert_eq!(back.count(), 4);
+        assert!(steps[0].histograms["funceval_fit_residual"].is_empty());
+        assert!(steps[1].histograms.is_empty());
+    }
+
+    #[test]
+    fn from_profile_copies_histograms() {
+        let mut profile = Profile::default();
+        let mut h = LogHistogram::error_default();
+        h.record(2e-7);
+        profile.histograms.insert("t_seam".into(), h);
+        let event = StepEvent::from_profile(0, 0.1, &profile);
+        assert_eq!(event.histograms["t_seam"].count(), 1);
     }
 
     #[test]

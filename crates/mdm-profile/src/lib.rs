@@ -30,19 +30,27 @@
 //! The run-telemetry layer builds on these primitives: [`events`] is
 //! the per-step JSONL flight recorder, [`watchdog`] holds the generic
 //! threshold monitors, and [`compare`] diffs two benchmark files for
-//! the perf-regression gate.
+//! the perf-regression gate. The accuracy-telemetry layer adds
+//! [`histogram`] (log-bucketed distributions — [`histogram_record`] /
+//! [`histogram_merge`] put them in the registry next to counters) and
+//! [`accuracy`] (RMS-force-error and effective-speed report types,
+//! paper §5 / Table 4 / Figure 5).
 //!
 //! Everything is `std`-only: monotonic [`Instant`] clocks, no external
 //! dependencies, no feature gates. Overhead is one `Instant::now` pair
 //! plus one short critical section per span, intended for *phase*-level
 //! scopes (per step), not per-pair inner loops.
 
+pub mod accuracy;
 pub mod compare;
 pub mod events;
+pub mod histogram;
 pub mod json;
 pub mod report;
 pub mod trace;
 pub mod watchdog;
+
+use histogram::LogHistogram;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -80,6 +88,9 @@ pub struct Profile {
     pub spans: HashMap<String, SpanStat>,
     /// Counter name → accumulated value.
     pub counters: HashMap<String, u64>,
+    /// Histogram name → log-bucketed distribution (error-attribution
+    /// telemetry from the precision seams).
+    pub histograms: HashMap<String, LogHistogram>,
 }
 
 impl Profile {
@@ -127,6 +138,14 @@ impl Profile {
                 *entry = (*entry).max(*value);
             } else {
                 *entry += value;
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
             }
         }
     }
@@ -235,6 +254,36 @@ pub fn counter_max(name: &'static str, value: u64) {
     with_registry(|profile| {
         let entry = profile.counters.entry(name.to_string()).or_insert(0);
         *entry = (*entry).max(value);
+    });
+}
+
+/// Record one sample into the named registry histogram, creating it
+/// with [`LogHistogram::error_default`] geometry on first use.
+///
+/// This takes the registry mutex per call — fine at probe or
+/// once-per-step cadence, wrong inside a per-particle loop. Hot paths
+/// should accumulate into a local [`LogHistogram`] and publish once
+/// via [`histogram_merge`].
+pub fn histogram_record(name: &'static str, value: f64) {
+    with_registry(|profile| {
+        profile
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(LogHistogram::error_default)
+            .record(value);
+    });
+}
+
+/// Merge a locally accumulated histogram into the named registry
+/// histogram (one lock for the whole batch). The registry entry is
+/// created with `hist`'s geometry on first use; later merges must
+/// match it.
+pub fn histogram_merge(name: &'static str, hist: &LogHistogram) {
+    with_registry(|profile| match profile.histograms.get_mut(name) {
+        Some(mine) => mine.merge(hist),
+        None => {
+            profile.histograms.insert(name.to_string(), hist.clone());
+        }
     });
 }
 
@@ -535,6 +584,32 @@ mod tests {
             let _late = span("t11_late");
         }
         assert!(timeline_stop().events.is_empty());
+    }
+
+    #[test]
+    fn registry_histograms_record_and_merge() {
+        histogram_record("t12_residual", 1e-6);
+        histogram_record("t12_residual", 1e-6);
+        let mut local = LogHistogram::error_default();
+        local.record(3e-2);
+        histogram_merge("t12_residual", &local);
+        let profile = snapshot();
+        let hist = &profile.histograms["t12_residual"];
+        assert_eq!(hist.count(), 3);
+        assert!(hist.max().unwrap() >= 3e-2);
+
+        // Profile::merge folds histograms too (same name merges, new
+        // name copies).
+        let mut a = Profile::default();
+        let mut b = Profile::default();
+        let mut h = LogHistogram::error_default();
+        h.record(1e-4);
+        a.histograms.insert("t12_m".into(), h.clone());
+        b.histograms.insert("t12_m".into(), h.clone());
+        b.histograms.insert("t12_only_b".into(), h);
+        a.merge(&b);
+        assert_eq!(a.histograms["t12_m"].count(), 2);
+        assert_eq!(a.histograms["t12_only_b"].count(), 1);
     }
 
     #[test]

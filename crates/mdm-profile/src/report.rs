@@ -46,6 +46,11 @@ pub struct StepReport {
     /// Hardware/engine counters summed over the window (pair ops,
     /// waves, cycles, …).
     pub counters: BTreeMap<String, u64>,
+    /// Per-phase measured flop throughput in Gflops, derived from the
+    /// interaction counters and the paper's flop-accounting constants
+    /// (59 flops/pair, 29/35 flops/particle–wave). Absent from
+    /// baselines written before this field existed.
+    pub gflops: BTreeMap<String, f64>,
 }
 
 impl StepReport {
@@ -89,6 +94,7 @@ impl StepReport {
             phases,
             spans,
             counters,
+            gflops: BTreeMap::new(),
         }
     }
 
@@ -98,6 +104,11 @@ impl StepReport {
         if let Some(row) = self.phases.iter_mut().find(|row| row.name == phase) {
             row.modeled_seconds = Some(seconds);
         }
+    }
+
+    /// Attach a measured flop throughput (Gflops) for the named phase.
+    pub fn set_gflops(&mut self, phase: &str, gflops: f64) {
+        self.gflops.insert(phase.to_string(), gflops);
     }
 
     /// Sum of the top-level measured phase times (≤ total, the
@@ -147,6 +158,15 @@ impl StepReport {
                     self.counters
                         .iter()
                         .map(|(name, &value)| (name.clone(), Value::Num(value as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gflops",
+                Value::Obj(
+                    self.gflops
+                        .iter()
+                        .map(|(name, &value)| (name.clone(), Value::Num(value)))
                         .collect(),
                 ),
             ),
@@ -227,6 +247,21 @@ impl StepReport {
                 ))
             })
             .collect::<Result<_, String>>()?;
+        // Tolerant: baselines written before the schema grew this key
+        // must keep parsing (the compare gate diffs old vs new files).
+        let gflops = match value.get("gflops") {
+            Some(Value::Obj(map)) => map
+                .iter()
+                .map(|(name, v)| {
+                    Ok((
+                        name.clone(),
+                        v.as_f64().ok_or("gflops must be numbers")?,
+                    ))
+                })
+                .collect::<Result<_, String>>()?,
+            None => BTreeMap::new(),
+            _ => return Err("'gflops' must be an object".into()),
+        };
         Ok(Self {
             label: str_field("label")?,
             n_particles: int_field("n_particles")?,
@@ -235,6 +270,7 @@ impl StepReport {
             phases,
             spans,
             counters,
+            gflops,
         })
     }
 }
@@ -378,5 +414,24 @@ mod tests {
     fn missing_fields_error() {
         assert!(StepReport::from_json(&Value::parse("{}").unwrap()).is_err());
         assert!(BenchFile::from_json_str("{\"version\": 1}").is_err());
+    }
+
+    #[test]
+    fn gflops_round_trip_and_old_baselines_parse() {
+        let mut report = sample_report();
+        report.set_gflops("real", 3.7);
+        report.set_gflops("wave", 1.2);
+        let text = report.to_json().to_pretty();
+        let back = StepReport::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert!((back.gflops["real"] - 3.7).abs() < 1e-12);
+
+        // A pre-gflops baseline (key absent entirely) still parses.
+        let mut value = Value::parse(&text).unwrap();
+        if let Value::Obj(map) = &mut value {
+            map.remove("gflops");
+        }
+        let old = StepReport::from_json(&value).unwrap();
+        assert!(old.gflops.is_empty());
     }
 }

@@ -111,12 +111,25 @@ impl Wine2System {
         // --- Host: quantise particles into the fixed-point format. ---
         let quantize_span = mdm_profile::span("quantize");
         let q_scale = charges.iter().fold(0.0f64, |m, q| m.max(q.abs())).max(1e-300);
+        // Error attribution for the precision seam: every quantization
+        // residual (charge and phase here, IDFT coefficients below)
+        // goes into one local histogram, merged into the registry once
+        // per call — never a lock per particle.
+        let mut quant_hist = mdm_profile::histogram::LogHistogram::error_default();
         let quantized: Vec<WineParticle> = positions
             .iter()
             .zip(charges)
             .map(|(&r, &q)| {
                 let f = simbox.fractional(r);
-                WineParticle::quantize([f.x, f.y, f.z], q / q_scale)
+                let p = WineParticle::quantize([f.x, f.y, f.z], q / q_scale);
+                quant_hist.record(q / q_scale - p.q.to_f64());
+                for (frac, phase) in [f.x, f.y, f.z].into_iter().zip(p.s) {
+                    // Phase residual in turns, wrapped to the nearest
+                    // representative.
+                    let d = (frac - phase.to_turns()).rem_euclid(1.0);
+                    quant_hist.record(d.min(1.0 - d));
+                }
+                p
             })
             .collect();
 
@@ -177,16 +190,20 @@ impl Wine2System {
             .map(|&(u, v, n)| {
                 coeff_saturations += u64::from(Q30::saturates(u / c_scale))
                     + u64::from(Q30::saturates(v / c_scale));
-                IdftWave {
+                let wave = IdftWave {
                     n,
                     u: Q30::from_f64_saturating(u / c_scale),
                     v: Q30::from_f64_saturating(v / c_scale),
-                }
+                };
+                quant_hist.record(u / c_scale - wave.u.to_f64());
+                quant_hist.record(v / c_scale - wave.v.to_f64());
+                wave
             })
             .collect();
         if coeff_saturations > 0 {
             mdm_profile::counter("wine_q30_saturations", coeff_saturations);
         }
+        mdm_profile::histogram_merge("wine_fx_quant_residual", &quant_hist);
 
         // --- IDFT phase (per-cluster disjoint particles). ---
         let idft_span = mdm_profile::span("idft");
@@ -357,6 +374,39 @@ mod tests {
     fn config_chip_counts() {
         assert_eq!(Wine2Config::default().chips(), 2240);
         assert_eq!(Wine2Config { clusters: 24 }.chips(), 2688); // future MDM
+    }
+
+    #[test]
+    fn quantization_residuals_land_in_seam_histogram() {
+        // Every charge, phase, and IDFT-coefficient quantization
+        // residual goes into the `wine_fx_quant_residual` histogram.
+        // Snapshot deltas: other tests in this binary can only *add*
+        // samples, and a normalised run's residuals are bounded by the
+        // Q30/Phase32 resolution, so min() stays tiny.
+        let count = || {
+            mdm_profile::snapshot()
+                .histograms
+                .get("wine_fx_quant_residual")
+                .map_or(0, |h| h.count())
+        };
+        let before = count();
+        let s = perturbed_crystal();
+        let n = s.len() as u64;
+        let mut wine = Wine2System::new(Wine2Config { clusters: 2 });
+        let hw = wine
+            .compute_wavepart(s.simbox(), s.positions(), s.charges(), 7.0, 6.0)
+            .unwrap();
+        // 4 residuals per particle (charge + 3 phases) + 2 per wave.
+        let expected = 4 * n + 2 * hw.counters.waves;
+        assert!(
+            count() >= before + expected,
+            "histogram grew by {} (expected ≥ {expected})",
+            count() - before
+        );
+        let hist = mdm_profile::snapshot().histograms["wine_fx_quant_residual"].clone();
+        // Q30 resolution is 2⁻³¹ ≈ 4.7e-10; Phase32 is finer still.
+        let min = hist.min().expect("non-empty");
+        assert!(min < 1e-8, "smallest residual suspiciously large: {min}");
     }
 
     #[test]

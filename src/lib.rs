@@ -22,7 +22,10 @@
 //!   host API;
 //! * [`host`] (`mdm-host`) — machine topology, the assembled
 //!   [`host::MdmForceField`], the simulated-MPI parallel program of §4,
-//!   and the performance model that regenerates Tables 4–5.
+//!   and the performance model that regenerates Tables 4–5;
+//! * [`profile`] (`mdm-profile`) — spans, counters, log-bucketed
+//!   histograms, the JSONL flight recorder, and the accuracy /
+//!   effective-speed report types behind `accuracy_report`.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,6 @@ pub use mdm_core as core;
 pub use mdm_fixed as fixed;
 pub use mdm_funceval as funceval;
 pub use mdm_host as host;
+pub use mdm_profile as profile;
 pub use mdm_tree as tree;
 pub use {mdgrape2, wine2};
