@@ -22,9 +22,12 @@
 //! * `--min-seconds S` — noise floor: rows under `S` seconds on both
 //!   sides always pass (default `1e-3`);
 //! * `--steps K` — steps averaged per size for the fresh measurement
-//!   (default: the baseline's own step count per report).
+//!   (default: the baseline's own step count per report);
+//! * `--repeat R` — warmup step + best-of-R timed repetitions for the
+//!   fresh measurement (default 3), matching how `profile_step` builds
+//!   the baseline, so the diff compares minima against minima.
 
-use mdm_bench::stepprof::{cells_for_particles, profile_size};
+use mdm_bench::stepprof::{cells_for_particles, profile_size_repeat, DEFAULT_REPEAT};
 use mdm_profile::compare::CompareReport;
 use mdm_profile::report::{BenchFile, StepReport};
 use std::process::ExitCode;
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.3f64;
     let mut min_seconds = 1e-3f64;
     let mut steps_override: Option<u64> = None;
+    let mut repeat: u64 = DEFAULT_REPEAT;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,8 +67,15 @@ fn main() -> ExitCode {
                 assert!(k >= 1, "--steps needs a positive integer");
                 steps_override = Some(k);
             }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a positive integer");
+                assert!(repeat >= 1, "--repeat needs a positive integer");
+            }
             other => panic!(
-                "unknown option {other:?} (try --baseline, --tolerance, --min-seconds, --steps)"
+                "unknown option {other:?} (try --baseline, --tolerance, --min-seconds, --steps, --repeat)"
             ),
         }
     }
@@ -88,10 +99,10 @@ fn main() -> ExitCode {
             });
             let steps = steps_override.unwrap_or(base.steps.max(1));
             eprintln!(
-                "re-measuring {} (N = {}, {cells} cells per side, {steps} steps)...",
+                "re-measuring {} (N = {}, {cells} cells per side, {steps} steps, best of {repeat})...",
                 base.label, base.n_particles
             );
-            profile_size(cells, steps)
+            profile_size_repeat(cells, steps, repeat)
         })
         .collect();
     let current = BenchFile {

@@ -17,6 +17,11 @@
 //! * `--json` — write the machine-readable baseline to the repo root
 //!   (`BENCH_step.json`, diffed by `bench_compare`);
 //! * `--steps K` — steps averaged per size (default 2);
+//! * `--repeat R` — timed repetitions per size after one untimed
+//!   warmup step; the fastest repetition is reported (default 3).
+//!   Minimum-of-R filters scheduler noise: background load only adds
+//!   time, so the minimum is the least-contaminated estimate. Ignored
+//!   with `--record` (the per-step stream is the output);
 //! * `--cells A,B,C` — rocksalt cells per side (default `4,8,16` →
 //!   N = 512, 4,096, 32,768);
 //! * `--sizes N1,N2` — same ladder given as particle counts
@@ -28,7 +33,9 @@
 //!   (manifest + step events with counters, observables, and watchdog
 //!   verdicts).
 
-use mdm_bench::stepprof::{cells_for_particles, modeled_step, profile_size, profile_size_recorded};
+use mdm_bench::stepprof::{
+    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat, DEFAULT_REPEAT,
+};
 use mdm_profile::report::{BenchFile, StepReport};
 
 /// Format an emulation slowdown factor (`< 1` means the emulated path
@@ -112,6 +119,7 @@ fn print_report(report: &StepReport) {
 fn main() {
     let mut json = false;
     let mut steps: u64 = 2;
+    let mut repeat: u64 = DEFAULT_REPEAT;
     let mut cells: Vec<usize> = vec![4, 8, 16];
     let mut trace_path: Option<String> = None;
     let mut record_path: Option<String> = None;
@@ -126,6 +134,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--steps needs a positive integer");
                 assert!(steps >= 1, "--steps needs a positive integer");
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a positive integer");
+                assert!(repeat >= 1, "--repeat needs a positive integer");
             }
             "--cells" => {
                 cells = args
@@ -155,7 +170,7 @@ fn main() {
                 record_path = Some(args.next().expect("--record needs an output path"));
             }
             other => panic!(
-                "unknown option {other:?} (try --json, --steps, --cells, --sizes, --trace, --record)"
+                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --trace, --record)"
             ),
         }
     }
@@ -177,7 +192,7 @@ fn main() {
             match recorder_sink.as_mut() {
                 Some(sink) => profile_size_recorded(c, steps, sink)
                     .expect("write flight recording"),
-                None => profile_size(c, steps),
+                None => profile_size_repeat(c, steps, repeat),
             }
         })
         .collect();

@@ -19,6 +19,16 @@ struct Message {
     data: Vec<f64>,
 }
 
+/// Reserved control tag broadcast by a panicking rank so that peers
+/// blocked in [`Comm::recv`] wake up and abort instead of waiting for
+/// a message that will never come. Not usable as an application tag.
+const POISON_TAG: u64 = u64::MAX;
+
+/// Marker prefix identifying a poison-induced (secondary) panic, so
+/// [`run_world`] can re-raise the *original* rank failure instead of a
+/// victim's.
+const POISON_MSG: &str = "[mpi] world poisoned: rank";
+
 /// One rank's endpoint.
 pub struct Comm {
     rank: usize,
@@ -43,6 +53,7 @@ impl Comm {
     /// Send `data` to `to` with `tag`. Never blocks (channels are
     /// unbounded, like a buffered MPI eager send).
     pub fn send(&self, to: usize, tag: u64, data: &[f64]) {
+        assert!(tag != POISON_TAG, "tag u64::MAX is reserved");
         self.senders[to]
             .send(Message {
                 from: self.rank,
@@ -53,7 +64,9 @@ impl Comm {
     }
 
     /// Blocking receive matching `(from, tag)`; unrelated messages are
-    /// buffered for later receives.
+    /// buffered for later receives. Panics if any rank in the world has
+    /// panicked (its poison broadcast wakes this receive), so a dead
+    /// rank fails the whole run fast instead of deadlocking it.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if let Some(data) = queue.pop_front() {
@@ -62,6 +75,12 @@ impl Comm {
         }
         loop {
             let msg = self.receiver.recv().expect("world shut down");
+            if msg.tag == POISON_TAG {
+                panic!(
+                    "{POISON_MSG} {} panicked while rank {} waited on recv(from={from}, tag={tag})",
+                    msg.from, self.rank
+                );
+            }
             if msg.from == from && msg.tag == tag {
                 return msg.data;
             }
@@ -127,6 +146,15 @@ impl Comm {
 
 /// Run `size` ranks, each executing `f(comm)` on its own thread, and
 /// return the per-rank results in rank order.
+///
+/// A panicking rank **aborts the world** instead of deadlocking it:
+/// every `Comm` clone holds senders to every rank, so without
+/// intervention a dead rank's peers would block forever inside
+/// [`Comm::recv`] (the channel never disconnects) and the scope would
+/// never join. Instead each rank runs under `catch_unwind`; on panic it
+/// broadcasts a poison message that wakes all blocked receives (which
+/// then panic in turn), and `run_world` re-raises the *original* panic
+/// payload once every thread has exited.
 pub fn run_world<F, R>(size: usize, f: F) -> Vec<R>
 where
     F: Fn(Comm) -> R + Send + Sync,
@@ -151,16 +179,64 @@ where
             pending: HashMap::new(),
         })
         .collect();
-    std::thread::scope(|scope| {
+    let f = &f;
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| scope.spawn(|| f(comm)))
+            .map(|comm| {
+                let rank = comm.rank;
+                let peers = senders.clone();
+                scope.spawn(move || {
+                    // The closure only shares `f` (&F) and channel
+                    // endpoints, both of which tolerate a peer's
+                    // unwind; the panic is re-raised below, so no
+                    // broken invariant is ever observed as "ok".
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                        Ok(result) => Ok(result),
+                        Err(payload) => {
+                            for peer in &peers {
+                                // A peer that already exited dropped
+                                // its receiver; nothing to wake there.
+                                let _ = peer.send(Message {
+                                    from: rank,
+                                    tag: POISON_TAG,
+                                    data: Vec::new(),
+                                });
+                            }
+                            Err(payload)
+                        }
+                    }
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    })
+        // Join every thread before re-raising, so the scope never hangs
+        // and secondary (poison-induced) panics don't mask the root
+        // cause.
+        let mut results = Vec::with_capacity(size);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut first_secondary: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join().expect("rank thread died outside catch_unwind") {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    let secondary = payload
+                        .downcast_ref::<String>()
+                        .is_some_and(|m| m.starts_with(POISON_MSG));
+                    let slot = if secondary {
+                        &mut first_secondary
+                    } else {
+                        &mut first_panic
+                    };
+                    slot.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic.or(first_secondary) {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    });
+    results
 }
 
 #[cfg(test)]
@@ -223,5 +299,64 @@ mod tests {
             comm.rank()
         });
         assert_eq!(out.len(), 6);
+    }
+
+    /// Run `f` on a watchdog thread; panics if it is still running
+    /// after `timeout` (a deadlocked world used to hang forever here).
+    fn expect_completes_within<R: Send + 'static>(
+        timeout: std::time::Duration,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(f());
+        });
+        rx.recv_timeout(timeout)
+            .expect("run_world hung instead of failing fast after a rank panic")
+    }
+
+    #[test]
+    fn panicking_rank_aborts_world_instead_of_hanging() {
+        let outcome = expect_completes_within(std::time::Duration::from_secs(30), || {
+            std::panic::catch_unwind(|| {
+                run_world(3, |mut comm| {
+                    if comm.rank() == 2 {
+                        panic!("deliberate rank failure");
+                    }
+                    // Without poisoning, these ranks block forever: rank
+                    // 2 dies before sending, and every Comm keeps rank
+                    // 2's channel alive, so recv never disconnects.
+                    comm.recv(2, 7)
+                })
+            })
+        });
+        let payload = outcome.expect_err("world must fail once a rank panics");
+        // The *original* panic surfaces, not a victim's poison panic.
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("deliberate rank failure"),
+            "expected the root-cause payload, got: {message:?}"
+        );
+    }
+
+    #[test]
+    fn panic_during_collective_aborts_world() {
+        let outcome = expect_completes_within(std::time::Duration::from_secs(30), || {
+            std::panic::catch_unwind(|| {
+                run_world(4, |mut comm| {
+                    if comm.rank() == 3 {
+                        panic!("rank 3 died before the barrier");
+                    }
+                    comm.barrier(11);
+                    comm.allreduce_sum(12, &[1.0])
+                })
+            })
+        });
+        assert!(outcome.is_err());
     }
 }

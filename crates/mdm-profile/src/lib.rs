@@ -236,6 +236,50 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// Snapshot of the current thread's open span names, outermost first.
+/// Hand it to worker threads (via [`adopt_stack`]) so spans they open
+/// nest under the phase that spawned them instead of starting fresh
+/// top-level paths. The vendored rayon backend does this for every
+/// parallel region.
+pub fn stack_snapshot() -> Vec<&'static str> {
+    STACK.with(|stack| stack.borrow().clone())
+}
+
+/// Guard returned by [`adopt_stack`]: on drop the thread's span stack
+/// is truncated back to where it was before adoption.
+#[must_use = "adoption lasts until the guard is dropped"]
+pub struct AdoptedStack {
+    /// Stack depth before the adopted names were pushed.
+    depth: usize,
+    /// Stack operations are thread-local; the guard must drop on the
+    /// adopting thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AdoptedStack {
+    fn drop(&mut self) {
+        STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
+    }
+}
+
+/// Push `names` (a [`stack_snapshot`] from the spawning thread) onto
+/// this thread's span stack, so subsequent spans here record dotted
+/// paths under the spawning phase. The adopted names themselves are
+/// *context only* — no time accumulates under them from this thread;
+/// the spawning thread's own guards measure the phase.
+pub fn adopt_stack(names: &[&'static str]) -> AdoptedStack {
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        stack.extend_from_slice(names);
+        depth
+    });
+    AdoptedStack {
+        depth,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
 /// Add `value` to the named counter.
 pub fn counter(name: &'static str, value: u64) {
     with_registry(|profile| {
@@ -339,19 +383,49 @@ struct TimelineState {
 /// while a timeline is actually recording.
 static TIMELINE_ENABLED: AtomicBool = AtomicBool::new(false);
 static TIMELINE: Mutex<Option<TimelineState>> = Mutex::new(None);
+/// Current timeline session (bumped by every [`timeline_start`], so it
+/// starts at 1 once any session exists). Thread ordinals are assigned
+/// *per session*: a thread's cached ordinal from an earlier session is
+/// stale and gets replaced, so a second trace in the same process
+/// starts its tids at 0 again instead of continuing where the first
+/// left off.
+static TIMELINE_SESSION: AtomicU64 = AtomicU64::new(0);
 static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    /// Stable small integer naming this thread in timeline events.
-    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+    /// `(session, ordinal)` naming this thread in timeline events; the
+    /// ordinal is only valid while the session matches.
+    static THREAD_ORDINAL: std::cell::Cell<(u64, u64)> =
+        const { std::cell::Cell::new((0, 0)) };
+}
+
+/// This thread's small tid for the current session, assigned in
+/// first-use order. Caller must hold the [`TIMELINE`] lock so the
+/// session read and counter bump cannot interleave with
+/// [`timeline_start`]'s reset.
+fn thread_ordinal_locked() -> u64 {
+    let session = TIMELINE_SESSION.load(Ordering::Relaxed);
+    THREAD_ORDINAL.with(|cell| {
+        let (cached_session, ordinal) = cell.get();
+        if cached_session == session {
+            ordinal
+        } else {
+            let ordinal = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            cell.set((session, ordinal));
+            ordinal
+        }
+    })
 }
 
 /// Begin recording a timeline: every span that *ends* from now on is
 /// captured with its wall-clock placement. Any previous unfinished
-/// timeline is discarded. Recording costs one mutex lock per span end,
+/// timeline is discarded, and thread-ordinal assignment restarts at 0
+/// for the new session. Recording costs one mutex lock per span end,
 /// so keep it off (the default) outside trace-export runs.
 pub fn timeline_start() {
     let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    TIMELINE_SESSION.fetch_add(1, Ordering::Relaxed);
+    NEXT_THREAD_ORDINAL.store(0, Ordering::Relaxed);
     *guard = Some(TimelineState {
         epoch: Instant::now(),
         events: Vec::new(),
@@ -374,8 +448,8 @@ pub fn timeline_stop() -> Timeline {
 }
 
 fn record_timeline_event(path: &str, start: Instant, elapsed: Duration) {
-    let thread = THREAD_ORDINAL.with(|ordinal| *ordinal);
     let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    let thread = thread_ordinal_locked();
     if let Some(state) = guard.as_mut() {
         // `saturating_duration_since` guards spans opened before the
         // timeline was enabled (they clamp to start at 0).
@@ -531,6 +605,65 @@ mod tests {
             "leaked guard polluted later paths: {:?}",
             profile.sorted_paths()
         );
+    }
+
+    #[test]
+    fn adopted_stack_attributes_worker_spans_under_parent() {
+        let parent = {
+            let _phase = span("t15_phase");
+            stack_snapshot()
+        };
+        assert_eq!(parent, vec!["t15_phase"]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let parent = parent.clone();
+                scope.spawn(move || {
+                    let _adopted = adopt_stack(&parent);
+                    let _leaf = span("t15_leaf");
+                    spin(Duration::from_micros(100));
+                });
+            }
+        });
+        let profile = snapshot();
+        assert_eq!(
+            profile.spans["t15_phase.t15_leaf"].calls, 4,
+            "worker spans mis-attributed: {:?}",
+            profile.sorted_paths()
+        );
+        assert!(!profile.spans.contains_key("t15_leaf"));
+        // Adoption is context only: the phase accumulated exactly its
+        // own one call on the spawning thread.
+        assert_eq!(profile.spans["t15_phase"].calls, 1);
+    }
+
+    #[test]
+    fn concurrent_spans_and_counters_are_lossless() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 200;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        let _outer = span("t16_outer");
+                        let _inner = span("t16_inner");
+                        counter("t16_hits", 1);
+                        counter_max("t16_peak_max", 7);
+                    }
+                });
+            }
+        });
+        let profile = snapshot();
+        let total = THREADS as u64 * PER_THREAD;
+        // Nothing lost and nothing misnested under contention: every
+        // span landed on its exact dotted path, every increment counted.
+        assert_eq!(profile.spans["t16_outer"].calls, total);
+        assert!(
+            !profile.spans.contains_key("t16_inner"),
+            "t16_inner misnested to top level"
+        );
+        assert_eq!(profile.spans["t16_outer.t16_inner"].calls, total);
+        assert_eq!(profile.counters["t16_hits"], total);
+        assert_eq!(profile.counters["t16_peak_max"], 7);
     }
 
     #[test]

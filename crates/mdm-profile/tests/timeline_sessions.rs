@@ -1,0 +1,66 @@
+//! Timeline thread-ordinal lifecycle across sessions.
+//!
+//! Lives in its own integration-test binary because the timeline is
+//! process-global: the library's unit tests allow themselves exactly
+//! one timeline user, and these tests need to start and stop several
+//! sessions back to back.
+
+use mdm_profile::{span, timeline_start, timeline_stop, Timeline};
+use std::time::Duration;
+
+fn tids(timeline: &Timeline) -> Vec<u64> {
+    let mut t: Vec<u64> = timeline.events.iter().map(|e| e.thread).collect();
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+fn record_on_workers(workers: usize) -> Timeline {
+    timeline_start();
+    {
+        let _main = span("session_main");
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _w = span("session_worker");
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+            }
+        });
+    }
+    timeline_stop()
+}
+
+#[test]
+fn thread_ordinals_reset_per_timeline_session() {
+    // Session 1: main thread + 3 workers → tids 0..=3 (some order).
+    let first = record_on_workers(3);
+    assert_eq!(first.events.len(), 4);
+    assert_eq!(tids(&first), vec![0, 1, 2, 3]);
+
+    // Session 2 in the same process, fewer threads. Before the
+    // per-session reset, the dead workers' ordinals stayed burned and
+    // these tracks started at 4+; now assignment restarts at 0.
+    let second = record_on_workers(1);
+    assert_eq!(second.events.len(), 2);
+    assert_eq!(
+        tids(&second),
+        vec![0, 1],
+        "stale tids leaked into the second session: {:?}",
+        second.events
+    );
+
+    // The long-lived main thread gets a *fresh* ordinal per session —
+    // its cached one from session 1 is stale by session 2.
+    let main_tid = |t: &Timeline| {
+        t.events
+            .iter()
+            .find(|e| e.path == "session_main")
+            .expect("main span recorded")
+            .thread
+    };
+    assert!(main_tid(&second) <= 1);
+    let third = record_on_workers(0);
+    assert_eq!(tids(&third), vec![0]);
+    assert_eq!(main_tid(&third), 0);
+}

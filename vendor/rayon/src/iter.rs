@@ -1,0 +1,493 @@
+//! Parallel iterators over indexed sources.
+//!
+//! Everything here is a [`Producer`]: a splittable, contiguous run of
+//! items. Sources (ranges, slices, vectors) split at an element index;
+//! adaptors ([`Map`], [`Enumerate`], [`Zip`]) split their base and ride
+//! along. The crate-level driver cuts a producer into chunks, runs the
+//! chunks on scoped worker threads, and reassembles per-chunk results
+//! in index order — which is what makes `collect` order-preserving and
+//! deterministic across thread counts.
+
+use crate::drive;
+use std::ops::Range;
+
+/// A splittable run of items — the building block every parallel
+/// iterator here reduces to. Implementations are internal; user code
+/// only names the traits in [`crate::prelude`].
+#[allow(clippy::len_without_is_empty)]
+pub trait Producer: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// Serial iterator over one chunk.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Consume this chunk serially.
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+// ---------------------------------------------------------------------
+// Conversion traits (the rayon API surface).
+// ---------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` for everything whose shared reference converts.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate in parallel by shared reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    type Iter = <&'data T as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` for everything whose unique reference converts.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type (a unique reference).
+    type Item: Send + 'data;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate in parallel by unique reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+    type Iter = <&'data mut T as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Types a parallel iterator can `collect` into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build from the producer, preserving item order.
+    fn from_par_iter<P: Producer<Item = T>>(producer: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(producer: P) -> Self {
+        let chunks = drive(producer, |it| it.collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    /// Errors short-circuit within a chunk; across chunks the **first
+    /// error in index order** is returned, so the outcome does not
+    /// depend on thread scheduling.
+    fn from_par_iter<P: Producer<Item = Result<T, E>>>(producer: P) -> Self {
+        let chunks = drive(producer, |it| it.collect::<Result<Vec<T>, E>>());
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The adaptor/consumer surface.
+// ---------------------------------------------------------------------
+
+/// Parallel-iterator adaptors and consumers, available on every
+/// [`Producer`].
+pub trait ParallelIterator: Producer {
+    /// Apply `f` to every item in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index (stable across thread counts).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Walk two parallel iterators in lockstep (stops at the shorter).
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self, |it| {
+            for item in it {
+                f(item);
+            }
+        });
+    }
+
+    /// Collect into `C`, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum per-chunk partials, then sum the partials. Exact for
+    /// integers; floats may reassociate across thread counts.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self, |it| it.sum::<S>()).into_iter().sum()
+    }
+
+    /// Number of items (free: producers are indexed).
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<P: Producer> ParallelIterator for P {}
+
+// ---------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeProducer<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_producer {
+    ($t:ty) => {
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type IntoIter = Range<$t>;
+
+            fn len(&self) -> usize {
+                self.range.end.saturating_sub(self.range.start) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    Self {
+                        range: self.range.start..mid,
+                    },
+                    Self {
+                        range: mid..self.range.end,
+                    },
+                )
+            }
+
+            fn into_iter(self) -> Range<$t> {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeProducer<$t>;
+
+            fn into_par_iter(self) -> RangeProducer<$t> {
+                RangeProducer { range: self }
+            }
+        }
+    };
+}
+
+range_producer!(usize);
+range_producer!(u64);
+range_producer!(u32);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceProducer<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceProducer { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceProducer<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceProducer { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceMutProducer<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(index);
+        (Self { slice: left }, Self { slice: right })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = SliceMutProducer<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceMutProducer { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceMutProducer<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceMutProducer {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecProducer<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, Self { vec: tail })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecProducer<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecProducer { vec: self }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------
+
+/// Producer returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+{
+    type Item = R;
+    type IntoIter = std::iter::Map<P::IntoIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Self {
+                base: left,
+                f: self.f.clone(),
+            },
+            Self {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().map(self.f)
+    }
+}
+
+/// Producer returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateIter<P::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            Self {
+                base: left,
+                offset: self.offset,
+            },
+            Self {
+                base: right,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        EnumerateIter {
+            inner: self.base.into_iter(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Serial iterator for one [`Enumerate`] chunk: indices continue from
+/// the chunk's global offset.
+pub struct EnumerateIter<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.next;
+        self.next += 1;
+        Some((index, item))
+    }
+}
+
+/// Producer returned by [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a_left, a_right) = self.a.split_at(index);
+        let (b_left, b_right) = self.b.split_at(index);
+        (
+            Self {
+                a: a_left,
+                b: b_left,
+            },
+            Self {
+                a: a_right,
+                b: b_right,
+            },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        // Iterator::zip stops at the shorter side, so a final chunk
+        // whose halves differ in length still lines up correctly.
+        self.a.into_iter().zip(self.b.into_iter())
+    }
+}

@@ -1,119 +1,367 @@
-//! Offline stand-in for the `rayon` prelude.
+//! Offline stand-in for `rayon` with a **real threaded backend**.
 //!
-//! The build environment has no network access, so the data-parallel
-//! calls in the workspace (`par_iter`, `par_iter_mut`, `into_par_iter`)
-//! are mapped onto the corresponding **serial** `std` iterators. Every
-//! adaptor the call sites chain afterwards (`map`, `zip`, `enumerate`,
-//! `collect`, …) is then the ordinary [`Iterator`] machinery, so
-//! results are identical to the parallel versions — only wall-clock
-//! scaling differs. The profiling layer reports wall-clock honestly
-//! either way, and swapping the real rayon back in is a one-line
-//! `Cargo.toml` change.
+//! The build environment has no network access, so this crate vendors
+//! the slice of the rayon API the workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, the `map`/`enumerate`/`zip`
+//! adaptors, `collect`/`for_each`/`sum`, and [`join`] — and executes it
+//! on OS threads via [`std::thread::scope`]:
+//!
+//! * **Chunked execution.** Every parallel iterator here is *indexed*
+//!   (ranges, slices, vectors, and adaptors over them). A call splits
+//!   the index space into contiguous chunks, pushes them on a shared
+//!   queue, and spawns up to [`current_num_threads`] scoped workers
+//!   that drain it — dynamic scheduling, so an expensive chunk does
+//!   not serialize the rest.
+//! * **Order-preserving collect.** Each chunk knows its position;
+//!   results are reassembled in index order, so a collected `Vec` is
+//!   **bitwise identical for every thread count** (chunk boundaries
+//!   move, per-element values don't). Reductions such as
+//!   [`ParallelIterator::sum`] combine per-chunk partials and are only
+//!   reproducible up to floating-point reassociation.
+//! * **Worker count.** `RAYON_NUM_THREADS` (read once), defaulting to
+//!   [`std::thread::available_parallelism`]. [`with_num_threads`] is a
+//!   vendor extension that overrides the count for the current thread
+//!   scope — the cross-thread-count determinism tests use it to
+//!   compare 1-thread and 4-thread runs inside one process.
+//! * **Profiling attribution.** Workers adopt the spawning thread's
+//!   `mdm-profile` span stack, so a span opened inside a parallel
+//!   region lands under the phase that spawned it (e.g. a worker-side
+//!   span inside `span("wave")` accumulates as `"wave.…"`), and worker
+//!   occurrences appear on their own timeline tracks.
+//! * **Panic propagation.** A panicking closure aborts the call:
+//!   remaining chunks may still run, but the panic resurfaces on the
+//!   calling thread when the scope closes.
+//!
+//! Nested parallelism runs serially: a `par_iter` opened *inside* a
+//! worker closure executes on that worker (no thread explosion — there
+//! is no global pool to cooperate with). None of the workspace hot
+//! paths nest.
+//!
+//! Swapping the real rayon back in remains a one-line `Cargo.toml`
+//! change; call sites use only the upstream API (the sole extension is
+//! [`with_num_threads`], used by tests).
 
-/// Serial mirror of `rayon::iter`.
-pub mod iter {
-    /// `into_par_iter()` for every owned collection: forwards to
-    /// [`IntoIterator`].
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Serial stand-in for rayon's parallel consumption.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
+pub mod iter;
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `par_iter()` for everything iterable by shared reference.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The serial iterator produced.
-        type Iter: Iterator;
-
-        /// Serial stand-in for rayon's `par_iter`.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
-    where
-        &'data T: IntoIterator,
-    {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
-
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` for everything iterable by unique reference.
-    pub trait IntoParallelRefMutIterator<'data> {
-        /// The serial iterator produced.
-        type Iter: Iterator;
-
-        /// Serial stand-in for rayon's `par_iter_mut`.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
-    where
-        &'data mut T: IntoIterator,
-    {
-        type Iter = <&'data mut T as IntoIterator>::IntoIter;
-
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
+pub use iter::ParallelIterator;
 
 /// What `use rayon::prelude::*` brings into scope.
 pub mod prelude {
     pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
     };
 }
 
-/// Serial `rayon::join`: runs `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_num_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set on pool workers: nested parallel calls run serially there.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Number of worker threads — always 1 in the serial stub.
+/// The number of worker threads parallel calls on this thread will use.
+///
+/// Resolution order: a [`with_num_threads`] override on this thread,
+/// then `RAYON_NUM_THREADS` (positive integer; read once per process),
+/// then [`std::thread::available_parallelism`].
 pub fn current_num_threads() -> usize {
-    1
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Vendor extension: run `f` with parallel calls on this thread using
+/// exactly `n` workers, restoring the previous setting afterwards
+/// (panic-safe). Lets one process compare thread counts — the
+/// determinism tests run the same kernel under `with_num_threads(1)`
+/// and `with_num_threads(4)` and diff the results.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "worker count must be positive");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(n))));
+    f()
+}
+
+/// Concurrent `rayon::join`: `b` runs on a scoped thread while `a`
+/// runs on the caller. With one worker (or inside a worker) both run
+/// serially on the caller, in order. A panic in either closure
+/// resurfaces here.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IN_WORKER.with(Cell::get) {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let parent_spans = mdm_profile::stack_snapshot();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let _spans = mdm_profile::adopt_stack(&parent_spans);
+            IN_WORKER.with(|w| w.set(true));
+            oper_b()
+        });
+        let ra = oper_a();
+        match handle.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// How many chunks each worker should see on average: >1 so a slow
+/// chunk (dense cell neighbourhood, long wave list) load-balances
+/// across the others.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Split `producer` into contiguous chunks, consume each chunk's serial
+/// iterator with `consume` on a scoped worker pool, and return the
+/// per-chunk results **in index order**.
+pub(crate) fn drive<P, R, C>(producer: P, consume: C) -> Vec<R>
+where
+    P: iter::Producer,
+    R: Send,
+    C: Fn(P::IntoIter) -> R + Sync,
+{
+    let len = producer.len();
+    let workers = if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        current_num_threads().min(len.max(1))
+    };
+    if workers <= 1 {
+        return vec![consume(producer.into_iter())];
+    }
+
+    let chunk_len = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let mut queue = VecDeque::new();
+    let mut rest = producer;
+    let mut index = 0usize;
+    while rest.len() > chunk_len {
+        let (head, tail) = rest.split_at(chunk_len);
+        queue.push_back((index, head));
+        index += 1;
+        rest = tail;
+    }
+    queue.push_back((index, rest));
+    let n_chunks = index + 1;
+
+    let queue = Mutex::new(queue);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let parent_spans = mdm_profile::stack_snapshot();
+    let consume = &consume;
+    let queue = &queue;
+    let slots = &slots;
+    let parent_spans = &parent_spans;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || {
+                let _spans = mdm_profile::adopt_stack(parent_spans);
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    // Lock released before consuming, so workers drain
+                    // the queue concurrently.
+                    let job = queue.lock().unwrap_or_else(|p| p.into_inner()).pop_front();
+                    let Some((i, chunk)) = job else { break };
+                    let result = consume(chunk.into_iter());
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+                .expect("every chunk produced a result")
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    // The 1-CPU CI container defaults to a single worker; force real
+    // concurrency so these tests exercise the threaded path.
+    fn par4<R>(f: impl FnOnce() -> R) -> R {
+        with_num_threads(4, f)
+    }
 
     #[test]
     fn par_iter_matches_serial() {
         let v = vec![1, 2, 3, 4];
-        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        let doubled: Vec<i32> = par4(|| v.par_iter().map(|x| x * 2).collect());
         assert_eq!(doubled, vec![2, 4, 6, 8]);
     }
 
     #[test]
     fn into_par_iter_on_range_and_vec() {
-        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        let squares: Vec<usize> = par4(|| (0..5usize).into_par_iter().map(|i| i * i).collect());
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
-        let owned: i32 = vec![1, 2, 3].into_par_iter().sum();
+        let owned: i32 = par4(|| vec![1, 2, 3].into_par_iter().sum());
         assert_eq!(owned, 6);
     }
 
     #[test]
     fn par_iter_mut_mutates_in_place() {
-        let mut v = vec![1, 2, 3];
-        v.par_iter_mut().for_each(|x| *x += 10);
-        assert_eq!(v, vec![11, 12, 13]);
+        let mut v: Vec<i32> = (0..1000).collect();
+        par4(|| v.par_iter_mut().for_each(|x| *x += 10));
+        assert_eq!(v, (10..1010).collect::<Vec<i32>>());
     }
 
     #[test]
     fn collect_into_result_short_circuits() {
-        let ok: Result<Vec<i32>, ()> = vec![1, 2].par_iter().map(|&x| Ok(x)).collect();
+        let ok: Result<Vec<i32>, ()> = par4(|| vec![1, 2].par_iter().map(|&x| Ok(x)).collect());
         assert_eq!(ok, Ok(vec![1, 2]));
+        let input: Vec<i32> = (0..100).collect();
+        let err: Result<Vec<i32>, i32> = par4(|| {
+            input
+                .par_iter()
+                .map(|&x| if x == 41 { Err(x) } else { Ok(x) })
+                .collect()
+        });
+        // Deterministic: the first error in *index* order wins.
+        assert_eq!(err, Err(41));
+    }
+
+    #[test]
+    fn collect_preserves_order_at_every_thread_count() {
+        let n = 10_000usize;
+        let expect: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 7] {
+            let got: Vec<usize> = with_num_threads(threads, || {
+                (0..n).into_par_iter().map(|i| i * 3 + 1).collect()
+            });
+            assert_eq!(got, expect, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_reproducible_within_tolerance() {
+        let v: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let serial: f64 = with_num_threads(1, || v.par_iter().sum());
+        let parallel: f64 = par4(|| v.par_iter().sum());
+        assert!(((serial - parallel) / serial).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_and_zip_line_up() {
+        let a: Vec<u64> = (0..5000).collect();
+        let b: Vec<u64> = (0..5000).rev().collect();
+        let sums: Vec<u64> = par4(|| {
+            a.par_iter()
+                .enumerate()
+                .zip(&b)
+                .map(|((i, &x), &y)| i as u64 + x + y)
+                .collect()
+        });
+        // i + a[i] + b[i] = i + i + (4999 − i) = i + 4999.
+        for (i, &s) in sums.iter().enumerate() {
+            assert_eq!(s, i as u64 + 4999);
+        }
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        par4(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Give other workers a chance to pull chunks.
+                std::thread::yield_now();
+                std::hint::black_box((0..1000).sum::<usize>());
+            });
+        });
+        let distinct = seen.lock().unwrap().len();
+        assert!(distinct > 1, "all 64 items ran on one thread");
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panic() {
+        let (a, b) = par4(|| join(|| 2 + 2, || "ok"));
+        assert_eq!((a, b), (4, "ok"));
+        let caught = std::panic::catch_unwind(|| {
+            par4(|| join(|| 1, || panic!("right side")));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn panic_in_parallel_map_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par4(|| {
+                let _: Vec<usize> = (0..100usize)
+                    .into_par_iter()
+                    .map(|i| if i == 63 { panic!("boom") } else { i })
+                    .collect();
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_parallelism_stays_serial_and_correct() {
+        let totals: Vec<usize> = par4(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| (0..100usize).into_par_iter().map(|j| i + j).sum())
+                .collect()
+        });
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, i * 100 + 4950);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_reports_override_and_default() {
+        assert!(current_num_threads() >= 1);
+        assert_eq!(with_num_threads(3, current_num_threads), 3);
+    }
+
+    #[test]
+    fn worker_spans_nest_under_the_spawning_phase() {
+        mdm_profile::reset();
+        {
+            let _phase = mdm_profile::span("rayon_test_phase");
+            par4(|| {
+                (0..32usize).into_par_iter().for_each(|_| {
+                    let _leaf = mdm_profile::span("rayon_test_leaf");
+                });
+            });
+        }
+        let profile = mdm_profile::snapshot();
+        let nested = &profile.spans["rayon_test_phase.rayon_test_leaf"];
+        assert_eq!(nested.calls, 32, "worker spans lost or mis-attributed");
+        assert!(!profile.spans.contains_key("rayon_test_leaf"));
     }
 }
