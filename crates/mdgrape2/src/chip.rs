@@ -3,7 +3,8 @@
 //! RAM ("which was not used in our simulation", §3.5.3 — present here
 //! for completeness, likewise unused by the driver).
 
-use crate::pipeline::{MdgPipeline, PairAccum, PipelineMode};
+use crate::jstore::JCellColumns;
+use crate::pipeline::{BatchScratch, MdgPipeline, PairAccum, PipelineMode};
 use mdm_funceval::FunctionEvaluator;
 
 /// Pipelines per chip (§3.5.3).
@@ -55,6 +56,17 @@ impl AtomCoefficients {
         (self.a[idx], self.b[idx])
     }
 
+    /// The whole `a`/`b` coefficient rows for i-species `ti`, indexed by
+    /// j-species — one RAM read per batch instead of one per pair.
+    #[inline]
+    pub fn rows(&self, ti: u8) -> (&[f32], &[f32]) {
+        let base = ti as usize * self.n_types;
+        (
+            &self.a[base..base + self.n_types],
+            &self.b[base..base + self.n_types],
+        )
+    }
+
     /// Number of types configured.
     pub fn n_types(&self) -> usize {
         self.n_types
@@ -77,6 +89,7 @@ pub struct MdgChip {
     /// Present but unused, as in the paper's runs.
     pub neighbor_list_ram: NeighborListRam,
     ops: u64,
+    scratch: BatchScratch,
 }
 
 impl MdgChip {
@@ -89,6 +102,7 @@ impl MdgChip {
             coefficients,
             neighbor_list_ram: NeighborListRam::default(),
             ops: 0,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -138,6 +152,67 @@ impl MdgChip {
             let (a, b) = self.coefficients.get(ti, tj);
             pipeline.interact(xi, xj, a, b, mode, acc);
         }
+        self.ops += acc.ops - before;
+    }
+
+    /// Evaluate one i-particle against a whole j-cell batch on pipeline
+    /// `pipe` — the batched counterpart of [`Self::stream`], bitwise
+    /// identical to it (see [`MdgPipeline::interact_cell`]).
+    /// `acol`/`bcol` are the board's pre-gathered per-i-type coefficient
+    /// columns for this cell's slot range (the same `f32` values the
+    /// chip's coefficient RAM holds).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn stream_cell(
+        &mut self,
+        pipe: usize,
+        mode: PipelineMode,
+        xi: [f32; 3],
+        shift: [f32; 3],
+        cell: JCellColumns<'_>,
+        acol: &[f32],
+        bcol: &[f32],
+        skip: Option<usize>,
+        acc: &mut PairAccum,
+    ) {
+        let pipeline = &self.pipelines[pipe % PIPELINES_PER_CHIP];
+        let before = acc.ops;
+        pipeline.interact_cell(xi, shift, cell, acol, bcol, skip, mode, acc, &mut self.scratch);
+        self.ops += acc.ops - before;
+    }
+
+    /// The Newton's-third-law batch (software fast path): as
+    /// [`Self::stream_cell`] but each pair also deposits its reaction
+    /// into `back` (see [`MdgPipeline::interact_cell_n3l`]).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn stream_cell_n3l(
+        &mut self,
+        pipe: usize,
+        mode: PipelineMode,
+        xi: [f32; 3],
+        shift: [f32; 3],
+        cell: JCellColumns<'_>,
+        lo: usize,
+        acol: &[f32],
+        bcol: &[f32],
+        acc: &mut PairAccum,
+        back: &mut [[f64; 3]],
+    ) {
+        let pipeline = &self.pipelines[pipe % PIPELINES_PER_CHIP];
+        let before = acc.ops;
+        pipeline.interact_cell_n3l(
+            xi,
+            shift,
+            cell,
+            lo,
+            acol,
+            bcol,
+            mode,
+            acc,
+            back,
+            &mut self.scratch,
+        );
         self.ops += acc.ops - before;
     }
 }

@@ -8,30 +8,98 @@
 //! * for boundary cells, the host's 27-neighbour table carries the
 //!   periodic image shift — the hardware itself knows nothing about
 //!   periodicity.
+//!
+//! # Storage layout
+//!
+//! Positions are held as **structure-of-arrays** (`xs[]`/`ys[]`/`zs[]`
+//! plus a `types[]` column): the board streams whole j-cells, and a flat
+//! per-component slice per cell is what lets the distance loop vectorize
+//! instead of gathering `[f32; 3]` records. [`JStore::cell_columns`]
+//! hands a cell out in exactly that form.
+//!
+//! # Reuse across steps
+//!
+//! A `JStore` embeds its [`CellList`] and can be [refreshed][JStore::refresh]
+//! in place between steps instead of rebuilt: the common case (no
+//! particle crossed a cell boundary) rewrites only the position columns,
+//! and even a re-sort reuses every buffer and never re-derives the
+//! neighbour tables (cell geometry does not depend on positions). The
+//! refreshed store is **bit-identical** to a from-scratch build at the
+//! same positions — the counting sort underneath is stable — which a
+//! 100-step trajectory test pins.
+//!
+//! Telemetry distinguishes the paths: `jstore_builds` counts full
+//! builds only; `jstore_refreshes` counts in-place refreshes, of which
+//! `jstore_resorts` needed a re-sort.
 
 use mdm_core::boxsim::SimBox;
-use mdm_core::celllist::CellList;
+use mdm_core::celllist::{CellList, CellListRefresh};
 use mdm_core::vec3::Vec3;
+
+/// One j-cell as the pipelines consume it: per-component position
+/// columns plus the species column, all the same length and indexed by
+/// in-cell slot.
+#[derive(Clone, Copy, Debug)]
+pub struct JCellColumns<'a> {
+    /// x components (f32, as stored in particle memory).
+    pub xs: &'a [f32],
+    /// y components.
+    pub ys: &'a [f32],
+    /// z components.
+    pub zs: &'a [f32],
+    /// Species index per slot.
+    pub types: &'a [u8],
+}
+
+impl JCellColumns<'_> {
+    /// Particles in the cell.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Is the cell empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// What [`JStore::refresh`] had to do to bring the store up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JStoreRefresh {
+    /// No particle changed cell: only the position columns were
+    /// rewritten (the per-step position upload the real host does
+    /// anyway).
+    InPlace,
+    /// Some particle crossed a cell boundary: the bucket sort re-ran in
+    /// the existing buffers; neighbour tables untouched.
+    Resorted,
+    /// The grid itself changed (box size or cell count): full rebuild.
+    Rebuilt,
+}
 
 /// The uploaded, cell-sorted j-particle image plus the cell tables the
 /// board's dual index counters walk.
 #[derive(Clone, Debug)]
 pub struct JStore {
-    /// f32 positions, sorted by cell.
-    positions: Vec<[f32; 3]>,
-    /// Species index per sorted particle.
+    /// The embedded cell list: sort order, cell ranges, per-particle
+    /// cells. Kept so the store can refresh incrementally.
+    cells: CellList,
+    /// f32 x positions, sorted by cell (SoA; see module docs).
+    xs: Vec<f32>,
+    /// f32 y positions, sorted by cell.
+    ys: Vec<f32>,
+    /// f32 z positions, sorted by cell.
+    zs: Vec<f32>,
+    /// Species index per sorted slot.
     types: Vec<u8>,
-    /// Original particle index per sorted slot (for scatter-back).
-    original: Vec<u32>,
-    /// `n_cells + 1` offsets: cell `c` holds slots `ranges[c]..ranges[c+1]`.
-    ranges: Vec<u32>,
+    /// Sorted slot of each original particle (inverse of
+    /// `cells.sorted_order()`), used for O(1) self-pair skips.
+    slot_of_original: Vec<u32>,
     /// Per cell: the 27 `(cell, shift)` neighbour entries, with the
     /// shift in f32 (what the host writes into the neighbour table).
     neighbors: Vec<[(u32, [f32; 3]); 27]>,
-    /// Cell index of each original particle.
-    cell_of_original: Vec<u32>,
-    /// Cell edge used.
-    cell_size: f64,
 }
 
 impl JStore {
@@ -51,14 +119,6 @@ impl JStore {
             simbox.l(),
             min_cell
         );
-        let order = cl.sorted_order();
-        let mut sorted_pos = Vec::with_capacity(order.len());
-        let mut sorted_ty = Vec::with_capacity(order.len());
-        for &i in order {
-            let p = positions[i as usize];
-            sorted_pos.push([p.x as f32, p.y as f32, p.z as f32]);
-            sorted_ty.push(types[i as usize]);
-        }
         let neighbors = (0..cl.n_cells())
             .map(|c| {
                 let mut row = [(0u32, [0f32; 3]); 27];
@@ -68,18 +128,16 @@ impl JStore {
                 row
             })
             .collect();
-        let cell_of_original = (0..positions.len())
-            .map(|i| cl.cell_of(i) as u32)
-            .collect();
-        let store = Self {
-            positions: sorted_pos,
-            types: sorted_ty,
-            original: order.to_vec(),
-            ranges: cl.cell_ranges().to_vec(),
+        let mut store = Self {
+            cells: cl,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
+            types: Vec::new(),
+            slot_of_original: Vec::new(),
             neighbors,
-            cell_of_original,
-            cell_size: cl.cell_size(),
         };
+        store.sync_sorted(positions, types);
         // Occupancy telemetry: the board walks whole cells, so one
         // overfull cell sets the worst-case block length (and a wildly
         // uneven histogram means the cell edge is mis-sized for the
@@ -93,30 +151,107 @@ impl JStore {
         store
     }
 
+    /// Bring the store up to date with moved `positions` without
+    /// rebuilding it, and say what that took (see [`JStoreRefresh`]).
+    ///
+    /// The result is bit-identical to
+    /// `JStore::build(simbox, positions, types, min_cell)` — the
+    /// contract the incremental-trajectory equivalence test pins — but
+    /// the common per-step cost drops to one O(N) cell re-derivation
+    /// plus the position-column rewrite. A changed box or a `min_cell`
+    /// implying a different grid falls back to a full rebuild (and
+    /// counts as one in `jstore_builds`).
+    pub fn refresh(
+        &mut self,
+        simbox: SimBox,
+        positions: &[Vec3],
+        types: &[u8],
+        min_cell: f64,
+    ) -> JStoreRefresh {
+        assert_eq!(positions.len(), types.len());
+        let l = simbox.l();
+        let m = ((l / min_cell).floor() as usize).max(1);
+        if self.cells.simbox() != simbox || m != self.cells.cells_per_side() {
+            *self = Self::build(simbox, positions, types, min_cell);
+            return JStoreRefresh::Rebuilt;
+        }
+        let _span = mdm_profile::span("jstore_build");
+        let outcome = self.cells.rebuild(positions);
+        self.sync_sorted(positions, types);
+        mdm_profile::counter("jstore_refreshes", 1);
+        mdm_profile::counter("jstore_upload_bytes", self.upload_bytes());
+        match outcome {
+            CellListRefresh::Unchanged => JStoreRefresh::InPlace,
+            CellListRefresh::Resorted => {
+                mdm_profile::counter("jstore_resorts", 1);
+                mdm_profile::counter_max(
+                    "jstore_cell_occupancy_max",
+                    self.max_cell_occupancy() as u64,
+                );
+                JStoreRefresh::Resorted
+            }
+        }
+    }
+
+    /// Rewrite the sorted SoA columns and the inverse permutation from
+    /// the (already up-to-date) embedded cell list.
+    fn sync_sorted(&mut self, positions: &[Vec3], types: &[u8]) {
+        let order = self.cells.sorted_order();
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+        self.types.clear();
+        for &i in order {
+            let p = positions[i as usize];
+            self.xs.push(p.x as f32);
+            self.ys.push(p.y as f32);
+            self.zs.push(p.z as f32);
+            self.types.push(types[i as usize]);
+        }
+        self.slot_of_original.resize(order.len(), 0);
+        for (s, &i) in order.iter().enumerate() {
+            self.slot_of_original[i as usize] = s as u32;
+        }
+    }
+
     /// Number of particles.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.xs.len()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.xs.is_empty()
     }
 
     /// Number of cells.
     pub fn n_cells(&self) -> usize {
-        self.ranges.len() - 1
+        self.cells.n_cells()
     }
 
     /// The cell edge (Å).
     pub fn cell_size(&self) -> f64 {
-        self.cell_size
+        self.cells.cell_size()
     }
 
     /// Sorted-slot range of cell `c`.
     #[inline]
     pub fn cell_range(&self, c: usize) -> std::ops::Range<usize> {
-        self.ranges[c] as usize..self.ranges[c + 1] as usize
+        let ranges = self.cells.cell_ranges();
+        ranges[c] as usize..ranges[c + 1] as usize
+    }
+
+    /// The SoA position/species columns of cell `c` — what the board
+    /// streams through a pipeline in one batch.
+    #[inline]
+    pub fn cell_columns(&self, c: usize) -> JCellColumns<'_> {
+        let r = self.cell_range(c);
+        JCellColumns {
+            xs: &self.xs[r.clone()],
+            ys: &self.ys[r.clone()],
+            zs: &self.zs[r.clone()],
+            types: &self.types[r],
+        }
     }
 
     /// The 27 neighbour `(cell, shift)` entries of cell `c`.
@@ -128,7 +263,7 @@ impl JStore {
     /// f32 position of sorted slot `s`.
     #[inline]
     pub fn position(&self, s: usize) -> [f32; 3] {
-        self.positions[s]
+        [self.xs[s], self.ys[s], self.zs[s]]
     }
 
     /// Species of sorted slot `s`.
@@ -137,22 +272,37 @@ impl JStore {
         self.types[s]
     }
 
+    /// The whole slot-ordered species column — what the board gathers
+    /// per-i-type coefficient columns from, once per pass.
+    #[inline]
+    pub fn types(&self) -> &[u8] {
+        &self.types
+    }
+
     /// Original index of sorted slot `s`.
     #[inline]
     pub fn original_index(&self, s: usize) -> usize {
-        self.original[s] as usize
+        self.cells.sorted_order()[s] as usize
+    }
+
+    /// Sorted slot of original particle `i` (inverse of
+    /// [`Self::original_index`]) — how the driver skips the self pair in
+    /// O(1) per i-particle instead of a compare per streamed j.
+    #[inline]
+    pub fn slot_of_original(&self, i: usize) -> usize {
+        self.slot_of_original[i] as usize
     }
 
     /// Cell of original particle `i`.
     #[inline]
     pub fn cell_of(&self, i: usize) -> usize {
-        self.cell_of_original[i] as usize
+        self.cells.cell_of(i)
     }
 
     /// Upload size in bytes (16 B per particle + 8 B per cell-range
     /// entry), for bus accounting.
     pub fn upload_bytes(&self) -> u64 {
-        (self.positions.len() * 16 + self.ranges.len() * 8) as u64
+        (self.len() * 16 + self.cells.cell_ranges().len() * 8) as u64
     }
 
     /// Particles in the fullest cell (0 for an empty store). The board
@@ -218,6 +368,7 @@ mod tests {
             assert!(!seen[o]);
             seen[o] = true;
             assert_eq!(js.species(s), ty[o]);
+            assert_eq!(js.slot_of_original(o), s);
         }
     }
 
@@ -244,6 +395,25 @@ mod tests {
     }
 
     #[test]
+    fn cell_columns_match_slot_accessors() {
+        let (b, pos, ty) = setup(180, 16.0);
+        let js = JStore::build(b, &pos, &ty, 4.0);
+        for c in 0..js.n_cells() {
+            let cols = js.cell_columns(c);
+            let range = js.cell_range(c);
+            assert_eq!(cols.len(), range.len());
+            for (k, s) in range.enumerate() {
+                assert_eq!(
+                    [cols.xs[k], cols.ys[k], cols.zs[k]],
+                    js.position(s),
+                    "cell {c} slot {k}"
+                );
+                assert_eq!(cols.types[k], js.species(s));
+            }
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn too_coarse_grid_panics() {
         let (b, pos, ty) = setup(20, 10.0);
@@ -256,6 +426,80 @@ mod tests {
         let js = JStore::build(b, &pos, &ty, 5.0);
         let cl = CellList::build(b, &pos, 5.0);
         assert_eq!(js.block_pair_count(), cl.block_pair_count() - 300);
+    }
+
+    #[test]
+    fn refresh_in_place_when_no_cell_crossing() {
+        let (b, mut pos, ty) = setup(150, 15.0);
+        let mut js = JStore::build(b, &pos, &ty, 5.0);
+        for p in &mut pos {
+            p.y += 1e-9;
+        }
+        assert_eq!(js.refresh(b, &pos, &ty, 5.0), JStoreRefresh::InPlace);
+        let fresh = JStore::build(b, &pos, &ty, 5.0);
+        for s in 0..js.len() {
+            assert_eq!(js.position(s), fresh.position(s));
+            assert_eq!(js.original_index(s), fresh.original_index(s));
+        }
+    }
+
+    #[test]
+    fn refresh_matches_from_scratch_build_after_crossings() {
+        let (b, mut pos, ty) = setup(250, 18.0);
+        let mut js = JStore::build(b, &pos, &ty, 4.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut saw_resort = false;
+        for _ in 0..5 {
+            for p in &mut pos {
+                *p += Vec3::new(
+                    (rng.gen::<f64>() - 0.5) * 4.0,
+                    (rng.gen::<f64>() - 0.5) * 4.0,
+                    (rng.gen::<f64>() - 0.5) * 4.0,
+                );
+            }
+            saw_resort |= js.refresh(b, &pos, &ty, 4.5) == JStoreRefresh::Resorted;
+            let fresh = JStore::build(b, &pos, &ty, 4.5);
+            assert_eq!(js.len(), fresh.len());
+            for s in 0..js.len() {
+                assert_eq!(js.position(s), fresh.position(s));
+                assert_eq!(js.species(s), fresh.species(s));
+                assert_eq!(js.original_index(s), fresh.original_index(s));
+            }
+            for c in 0..js.n_cells() {
+                assert_eq!(js.cell_range(c), fresh.cell_range(c));
+            }
+        }
+        assert!(saw_resort, "2 Å kicks against a 4.5 Å cell must resort");
+    }
+
+    #[test]
+    fn refresh_rebuilds_on_grid_change() {
+        let (b, pos, ty) = setup(150, 15.0);
+        let mut js = JStore::build(b, &pos, &ty, 5.0);
+        // A finer grid request changes m: full rebuild.
+        assert_eq!(js.refresh(b, &pos, &ty, 3.0), JStoreRefresh::Rebuilt);
+        assert_eq!(js.n_cells(), 125);
+    }
+
+    #[test]
+    fn refresh_counters_distinguish_paths() {
+        let (b, mut pos, ty) = setup(100, 15.0);
+        let mut js = JStore::build(b, &pos, &ty, 5.0);
+        let before = mdm_profile::snapshot();
+        for p in &mut pos {
+            p.x += 1e-9;
+        }
+        js.refresh(b, &pos, &ty, 5.0);
+        let after = mdm_profile::snapshot();
+        // An in-place refresh counts as a refresh, not a build.
+        assert_eq!(
+            after.counters.get("jstore_refreshes").copied().unwrap_or(0),
+            before.counters.get("jstore_refreshes").copied().unwrap_or(0) + 1
+        );
+        assert_eq!(
+            after.counters.get("jstore_builds").copied().unwrap_or(0),
+            before.counters.get("jstore_builds").copied().unwrap_or(0)
+        );
     }
 
     #[test]

@@ -34,11 +34,20 @@
 //! `aᵢⱼrᵢⱼ²`, `g(x)` and the multiplies in `f32` and accumulates in
 //! `f64`, and lands at the paper's ~10⁻⁷ relative pairwise accuracy
 //! (validated against the `f64` reference in the tests).
+//!
+//! Subnormals are **flushed to zero** inside every board call ([`ftz`]):
+//! the special-purpose arithmetic units have no gradual-underflow path,
+//! and because the cell-index hardware never skips far pairs, emulating
+//! gradual underflow on the host would both diverge from the silicon
+//! and pay a microcode assist on nearly every tail pair. All pipeline
+//! paths (batched, per-pair reference, N3L) run under the same flush
+//! mode, so their mutual bitwise/tolerance contracts are unchanged.
 
 pub mod api;
 pub mod board;
 pub mod chip;
 pub mod cluster;
+pub mod ftz;
 pub mod jstore;
 pub mod pipeline;
 pub mod system;
@@ -47,5 +56,5 @@ pub mod timing;
 
 pub use api::Mr1Library;
 pub use jstore::JStore;
-pub use system::{Mdgrape2Config, Mdgrape2System};
+pub use system::{Mdgrape2Config, Mdgrape2System, RealSpaceMode};
 pub use tables::GFunction;

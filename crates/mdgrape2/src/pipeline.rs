@@ -14,7 +14,34 @@
 //! (the real chip had the same dual use; the paper evaluates the
 //! potential energy every 100 steps).
 
+use crate::jstore::JCellColumns;
 use mdm_funceval::FunctionEvaluator;
+
+/// Reusable per-chip buffers for whole-cell batch evaluation: the
+/// displacement columns, the `x = a·r²` evaluator inputs and the `g(x)`
+/// outputs for one j-cell. Sized lazily to the largest cell seen;
+/// allocation never happens in the steady state.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    dx: Vec<f32>,
+    dy: Vec<f32>,
+    dz: Vec<f32>,
+    x: Vec<f32>,
+    g: Vec<f32>,
+}
+
+impl BatchScratch {
+    #[inline]
+    fn ensure(&mut self, n: usize) {
+        if self.dx.len() < n {
+            self.dx.resize(n, 0.0);
+            self.dy.resize(n, 0.0);
+            self.dz.resize(n, 0.0);
+            self.x.resize(n, 0.0);
+            self.g.resize(n, 0.0);
+        }
+    }
+}
 
 /// Evaluation mode of a pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +117,188 @@ impl MdgPipeline {
             }
         }
         acc.ops += 1;
+    }
+
+    /// One i-particle against a **whole j-cell** in one call — the
+    /// batch-dispatch granularity of the real board, where the particle
+    /// index counter streams `jstart..jend` without per-pair host
+    /// involvement.
+    ///
+    /// `acol`/`bcol` are the **pre-gathered coefficient columns** for
+    /// this i-type, parallel to the cell's slots: `acol[k] = a[ti][tⱼₖ]`.
+    /// The board builds them once per pass (O(n_types·N)), which removes
+    /// the per-pair type gather from the hot sweeps; the gathered values
+    /// are the exact same `f32`s the coefficient RAM would supply, so
+    /// nothing changes numerically.
+    ///
+    /// The datapath runs in three column sweeps over the cell:
+    ///
+    /// 1. displacements `r⃗ᵢⱼ = x⃗ᵢ − (x⃗ⱼ + shift)` and `x = aᵢⱼ·r²` into
+    ///    `scratch` — a pure f32 loop over exact-length SoA slices that
+    ///    the compiler vectorizes;
+    /// 2. one [`FunctionEvaluator::eval_batch`] sweep for `g(x)`;
+    /// 3. the f64 accumulation of `bᵢⱼ·g·r⃗` (or the scalar `bᵢⱼ·g` in
+    ///    potential mode) in slot order.
+    ///
+    /// Every f32 operation and the f64 accumulation order are identical
+    /// to calling [`Self::interact`] per slot in order, so the result is
+    /// **bitwise identical** to the per-pair path (pinned by the
+    /// `batch_equivalence` test suite). `skip` excludes one in-cell slot
+    /// (the self pair) from both the accumulation and the op count,
+    /// exactly as the per-pair driver skipped it; the accumulation
+    /// visits `0..skip` then `skip+1..n` — the same slot order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn interact_cell(
+        &self,
+        xi: [f32; 3],
+        shift: [f32; 3],
+        cell: JCellColumns<'_>,
+        acol: &[f32],
+        bcol: &[f32],
+        skip: Option<usize>,
+        mode: PipelineMode,
+        acc: &mut PairAccum,
+        scratch: &mut BatchScratch,
+    ) {
+        let n = cell.len();
+        if n == 0 {
+            return;
+        }
+        scratch.ensure(n);
+        let BatchScratch { dx, dy, dz, x, g } = scratch;
+        let (dx, dy, dz, xv, gv) = (
+            &mut dx[..n],
+            &mut dy[..n],
+            &mut dz[..n],
+            &mut x[..n],
+            &mut g[..n],
+        );
+        let (xs, ys, zs, ac, bc) = (
+            &cell.xs[..n],
+            &cell.ys[..n],
+            &cell.zs[..n],
+            &acol[..n],
+            &bcol[..n],
+        );
+        for k in 0..n {
+            let ddx = xi[0] - (xs[k] + shift[0]);
+            let ddy = xi[1] - (ys[k] + shift[1]);
+            let ddz = xi[2] - (zs[k] + shift[2]);
+            let r_sq = ddx * ddx + ddy * ddy + ddz * ddz;
+            dx[k] = ddx;
+            dy[k] = ddy;
+            dz[k] = ddz;
+            xv[k] = ac[k] * r_sq;
+        }
+        self.evaluator.eval_batch(xv, gv);
+        // Accumulation in slot order, with the self slot excised as two
+        // sub-ranges instead of a per-element compare.
+        let s = skip.unwrap_or(n).min(n);
+        match mode {
+            PipelineMode::Force => {
+                for range in [0..s, (s + 1).min(n)..n] {
+                    for k in range {
+                        let bg = bc[k] * gv[k];
+                        acc.acc[0] += (bg * dx[k]) as f64;
+                        acc.acc[1] += (bg * dy[k]) as f64;
+                        acc.acc[2] += (bg * dz[k]) as f64;
+                    }
+                }
+            }
+            PipelineMode::Potential => {
+                for range in [0..s, (s + 1).min(n)..n] {
+                    for k in range {
+                        acc.acc[0] += (bc[k] * gv[k]) as f64;
+                    }
+                }
+            }
+        }
+        acc.ops += (n - usize::from(skip.is_some())) as u64;
+    }
+
+    /// The Newton's-third-law variant of [`Self::interact_cell`]: each
+    /// computed pair lands **twice** — `+f⃗` into the i-accumulator and
+    /// `−f⃗` into `back[k]`, the reaction column parallel to `cell` (in
+    /// potential mode both sides receive `+bᵢⱼ·g`, matching the
+    /// ordered-pair double counting the host halves).
+    ///
+    /// `lo` is the first in-cell slot to process: `0` for a cross-cell
+    /// batch, the i-slot + 1 for the triangular same-cell batch. This is
+    /// the software-only fast path — no MDGRAPE-2 mode computes a pair
+    /// once — and its results match the no-N3L path to f64 tolerance,
+    /// not bitwise (the f32 datapath sees `r⃗ᵢⱼ` from one side only).
+    #[allow(clippy::too_many_arguments)]
+    pub fn interact_cell_n3l(
+        &self,
+        xi: [f32; 3],
+        shift: [f32; 3],
+        cell: JCellColumns<'_>,
+        lo: usize,
+        acol: &[f32],
+        bcol: &[f32],
+        mode: PipelineMode,
+        acc: &mut PairAccum,
+        back: &mut [[f64; 3]],
+        scratch: &mut BatchScratch,
+    ) {
+        let n = cell.len();
+        debug_assert_eq!(back.len(), n);
+        if lo >= n {
+            return;
+        }
+        scratch.ensure(n);
+        let BatchScratch { dx, dy, dz, x, g } = scratch;
+        let (dx, dy, dz, xv, gv) = (
+            &mut dx[lo..n],
+            &mut dy[lo..n],
+            &mut dz[lo..n],
+            &mut x[lo..n],
+            &mut g[lo..n],
+        );
+        let (xs, ys, zs, ac, bc, bk) = (
+            &cell.xs[lo..n],
+            &cell.ys[lo..n],
+            &cell.zs[lo..n],
+            &acol[lo..n],
+            &bcol[lo..n],
+            &mut back[lo..n],
+        );
+        let m = n - lo;
+        for k in 0..m {
+            let ddx = xi[0] - (xs[k] + shift[0]);
+            let ddy = xi[1] - (ys[k] + shift[1]);
+            let ddz = xi[2] - (zs[k] + shift[2]);
+            let r_sq = ddx * ddx + ddy * ddy + ddz * ddz;
+            dx[k] = ddx;
+            dy[k] = ddy;
+            dz[k] = ddz;
+            xv[k] = ac[k] * r_sq;
+        }
+        self.evaluator.eval_batch(xv, gv);
+        match mode {
+            PipelineMode::Force => {
+                for k in 0..m {
+                    let bg = bc[k] * gv[k];
+                    let fx = (bg * dx[k]) as f64;
+                    let fy = (bg * dy[k]) as f64;
+                    let fz = (bg * dz[k]) as f64;
+                    acc.acc[0] += fx;
+                    acc.acc[1] += fy;
+                    acc.acc[2] += fz;
+                    bk[k][0] -= fx;
+                    bk[k][1] -= fy;
+                    bk[k][2] -= fz;
+                }
+            }
+            PipelineMode::Potential => {
+                for k in 0..m {
+                    let bg = (bc[k] * gv[k]) as f64;
+                    acc.acc[0] += bg;
+                    bk[k][0] += bg;
+                }
+            }
+        }
+        acc.ops += m as u64;
     }
 }
 

@@ -3,7 +3,7 @@
 //! distribution across boards, and the Rayon-parallel execution that
 //! stands in for the boards' physical concurrency.
 
-use crate::board::{IParticle, MdgBoard, MdgBoardError, PIPELINES_PER_BOARD};
+use crate::board::{IBatch, MdgBoard, MdgBoardError, PIPELINES_PER_BOARD};
 use crate::chip::AtomCoefficients;
 use crate::cluster::{MdgCluster, BOARDS_PER_CLUSTER};
 use crate::jstore::JStore;
@@ -39,6 +39,23 @@ impl Mdgrape2Config {
     }
 }
 
+/// How the emulated system walks the real-space pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RealSpaceMode {
+    /// The hardware pattern: every ordered 27-cell block pair, no
+    /// cutoff skip, no third-law halving (§2.2). This is what MDGRAPE-2
+    /// silicon does and the default.
+    #[default]
+    HardwareFaithful,
+    /// Software-only fast path: each unordered block pair evaluated
+    /// once, action and reaction both applied (Newton's third law).
+    /// Forces agree with [`Self::HardwareFaithful`] to f64 tolerance,
+    /// not bitwise; pair-op counters drop to ~half. No MDGRAPE-2 mode
+    /// behaves like this — enable it only when emulation speed matters
+    /// more than hardware fidelity.
+    SoftwareN3l,
+}
+
 /// Result of one real-space pass.
 #[derive(Clone, Debug)]
 pub struct MdgPassResult {
@@ -53,6 +70,7 @@ pub struct MdgPassResult {
 pub struct Mdgrape2System {
     config: Mdgrape2Config,
     clusters: Vec<MdgCluster>,
+    mode: RealSpaceMode,
 }
 
 impl Mdgrape2System {
@@ -69,12 +87,24 @@ impl Mdgrape2System {
             clusters: (0..config.clusters)
                 .map(|_| MdgCluster::new(evaluator.clone(), coefficients.clone()))
                 .collect(),
+            mode: RealSpaceMode::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> Mdgrape2Config {
         self.config
+    }
+
+    /// Select how real-space pairs are walked (defaults to the
+    /// hardware-faithful no-N3L pattern).
+    pub fn set_real_space_mode(&mut self, mode: RealSpaceMode) {
+        self.mode = mode;
+    }
+
+    /// The active real-space mode.
+    pub fn real_space_mode(&self) -> RealSpaceMode {
+        self.mode
     }
 
     /// Reload the function table everywhere.
@@ -130,49 +160,12 @@ impl Mdgrape2System {
             c.reset_counters();
         }
 
-        // Host prepares the i-records.
-        let i_particles: Vec<IParticle> = positions
-            .iter()
-            .enumerate()
-            .map(|(i, p)| IParticle {
-                pos: [p.x as f32, p.y as f32, p.z as f32],
-                ty: types[i],
-                cell: jstore.cell_of(i) as u32,
-                original: i as u32,
-            })
-            .collect();
-
-        // Deal contiguous chunks to boards; run boards concurrently.
-        let n_boards = self.config.boards();
-        let per_board = i_particles.len().div_ceil(n_boards).max(1);
-        let boards: Vec<&mut MdgBoard> = self
-            .clusters
-            .iter_mut()
-            .flat_map(|c| c.boards_mut().iter_mut())
-            .collect();
-        let chunks: Vec<&[IParticle]> = {
-            let mut v: Vec<&[IParticle]> = i_particles.chunks(per_board).collect();
-            v.resize(n_boards, &[]);
-            v
+        let values = match self.mode {
+            RealSpaceMode::HardwareFaithful => {
+                self.hardware_pass(mode, positions, types, jstore)?
+            }
+            RealSpaceMode::SoftwareN3l => self.n3l_pass(mode, positions, jstore)?,
         };
-        let pipeline_span = mdm_profile::span("pipelines");
-        let results: Vec<Vec<PairAccum>> = boards
-            .into_par_iter()
-            .zip(chunks)
-            .map(|(board, chunk)| {
-                if chunk.is_empty() {
-                    return Ok(Vec::new());
-                }
-                board.accept_jstore(jstore)?;
-                Ok(board.calc_block2(mode, chunk, jstore))
-            })
-            .collect::<Result<_, MdgBoardError>>()?;
-        drop(pipeline_span);
-
-        let mut values = Vec::with_capacity(positions.len());
-        for r in &results {
-            values.extend(r.iter().map(|a| a.acc));
-        }
 
         let board_ops: Vec<u64> = self
             .clusters
@@ -198,6 +191,104 @@ impl Mdgrape2System {
             particles: positions.len() as u64,
         };
         Ok(MdgPassResult { values, counters })
+    }
+
+    /// The hardware-faithful pass: stage the i-side as an [`IBatch`] and
+    /// deal contiguous ranges to boards, run concurrently.
+    fn hardware_pass(
+        &mut self,
+        mode: PipelineMode,
+        positions: &[Vec3],
+        types: &[u8],
+        jstore: &JStore,
+    ) -> Result<Vec<[f64; 3]>, MdgBoardError> {
+        let batch = IBatch::stage(positions, types, jstore);
+        let n = batch.len();
+        let n_boards = self.config.boards();
+        let per_board = n.div_ceil(n_boards).max(1);
+        let boards: Vec<&mut MdgBoard> = self
+            .clusters
+            .iter_mut()
+            .flat_map(|c| c.boards_mut().iter_mut())
+            .collect();
+        let ranges: Vec<std::ops::Range<usize>> = (0..n_boards)
+            .map(|b| (b * per_board).min(n)..((b + 1) * per_board).min(n))
+            .collect();
+        let pipeline_span = mdm_profile::span("pipelines");
+        let results: Vec<Vec<PairAccum>> = boards
+            .into_par_iter()
+            .zip(ranges)
+            .map(|(board, range)| {
+                if range.is_empty() {
+                    return Ok(Vec::new());
+                }
+                board.accept_jstore(jstore)?;
+                Ok(board.calc_block2(mode, &batch, range, jstore))
+            })
+            .collect::<Result<_, MdgBoardError>>()?;
+        drop(pipeline_span);
+
+        let mut values = Vec::with_capacity(n);
+        for r in &results {
+            values.extend(r.iter().map(|a| a.acc));
+        }
+        Ok(values)
+    }
+
+    /// The Newton's-third-law software pass: boards own contiguous
+    /// **home-cell** ranges and each produces a partial force array over
+    /// every sorted slot (reactions land in other boards' home cells);
+    /// the partials are reduced in fixed board order so the result is
+    /// independent of the Rayon thread count, then scattered back to
+    /// original particle indexing.
+    fn n3l_pass(
+        &mut self,
+        mode: PipelineMode,
+        positions: &[Vec3],
+        jstore: &JStore,
+    ) -> Result<Vec<[f64; 3]>, MdgBoardError> {
+        assert_eq!(
+            positions.len(),
+            jstore.len(),
+            "the N3L fast path requires identical i- and j-sets"
+        );
+        let n_cells = jstore.n_cells();
+        let n_boards = self.config.boards();
+        let per_board = n_cells.div_ceil(n_boards).max(1);
+        let boards: Vec<&mut MdgBoard> = self
+            .clusters
+            .iter_mut()
+            .flat_map(|c| c.boards_mut().iter_mut())
+            .collect();
+        let ranges: Vec<std::ops::Range<usize>> = (0..n_boards)
+            .map(|b| (b * per_board).min(n_cells)..((b + 1) * per_board).min(n_cells))
+            .collect();
+        let pipeline_span = mdm_profile::span("pipelines");
+        let partials: Vec<Vec<[f64; 3]>> = boards
+            .into_par_iter()
+            .zip(ranges)
+            .map(|(board, range)| {
+                if range.is_empty() {
+                    return Ok(Vec::new());
+                }
+                board.accept_jstore(jstore)?;
+                let mut partial = vec![[0f64; 3]; jstore.len()];
+                board.calc_block2_n3l(mode, range, jstore, &mut partial);
+                Ok(partial)
+            })
+            .collect::<Result<_, MdgBoardError>>()?;
+        drop(pipeline_span);
+
+        let mut values = vec![[0f64; 3]; positions.len()];
+        for partial in partials.iter().filter(|p| !p.is_empty()) {
+            for (s, v) in partial.iter().enumerate() {
+                let out = &mut values[jstore.original_index(s)];
+                out[0] += v[0];
+                out[1] += v[1];
+                out[2] += v[2];
+            }
+        }
+        Ok(values)
     }
 }
 

@@ -25,7 +25,11 @@
 //!   (default: the baseline's own step count per report);
 //! * `--repeat R` — warmup step + best-of-R timed repetitions for the
 //!   fresh measurement (default 3), matching how `profile_step` builds
-//!   the baseline, so the diff compares minima against minima.
+//!   the baseline, so the diff compares minima against minima;
+//! * `--only N1,N2` — gate only the listed particle counts (which must
+//!   be present in the baseline). CI uses `--only 512,4096` to keep the
+//!   gating job fast while the full ladder stays in the baseline for
+//!   local runs.
 
 use mdm_bench::stepprof::{cells_for_particles, profile_size_repeat, DEFAULT_REPEAT};
 use mdm_profile::compare::CompareReport;
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
     let mut min_seconds = 1e-3f64;
     let mut steps_override: Option<u64> = None;
     let mut repeat: u64 = DEFAULT_REPEAT;
+    let mut only: Option<Vec<u64>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,16 +79,34 @@ fn main() -> ExitCode {
                     .expect("--repeat needs a positive integer");
                 assert!(repeat >= 1, "--repeat needs a positive integer");
             }
+            "--only" => {
+                only = Some(
+                    args.next()
+                        .expect("--only needs a comma-separated list of particle counts")
+                        .split(',')
+                        .map(|v| v.parse().expect("--only sizes must be integers"))
+                        .collect(),
+                );
+            }
             other => panic!(
-                "unknown option {other:?} (try --baseline, --tolerance, --min-seconds, --steps, --repeat)"
+                "unknown option {other:?} (try --baseline, --tolerance, --min-seconds, --steps, --repeat, --only)"
             ),
         }
     }
 
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-    let baseline = BenchFile::from_json_str(&text)
+    let mut baseline = BenchFile::from_json_str(&text)
         .unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e}"));
+    if let Some(sizes) = &only {
+        for &n in sizes {
+            assert!(
+                baseline.reports.iter().any(|r| r.n_particles == n),
+                "--only {n}: no such size in {baseline_path}"
+            );
+        }
+        baseline.reports.retain(|r| sizes.contains(&r.n_particles));
+    }
 
     // Re-measure every size the baseline covers, at the same (or the
     // overridden) step count.

@@ -1,0 +1,442 @@
+//! `microbench_real` — cycle-level microbenchmarks of the batched
+//! real-space kernel's three column sweeps (displacement + `a·r²`,
+//! function evaluation, f64 accumulation), isolated on synthetic
+//! cell-sized slices.
+//!
+//! This is a developer tool for attributing the measured `real` phase
+//! cost of `profile_step` to datapath stages; it does not feed any
+//! committed benchmark file.
+//!
+//! ```text
+//! cargo run --release -p mdm-bench --bin microbench_real
+//! ```
+
+use mdgrape2::board::{IBatch, MdgBoard};
+use mdgrape2::chip::AtomCoefficients;
+use mdgrape2::pipeline::PipelineMode;
+use mdgrape2::tables::GFunction;
+use mdgrape2::JStore;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CELL: usize = 256; // slots per synthetic j-cell (≈ 32k-run occupancy)
+const CELLS: usize = 2_000; // batches per timed rep
+const REPS: usize = 5;
+
+fn time_ns_per_elem<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+    }
+    best * 1e9 / (CELL * CELLS) as f64
+}
+
+fn set_ftz_daz(on: bool) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        let mut csr: u32 = 0;
+        std::arch::asm!("stmxcsr [{}]", in(reg) &mut csr, options(nostack));
+        if on {
+            csr |= (1 << 15) | (1 << 6);
+        } else {
+            csr &= !((1 << 15) | (1 << 6));
+        }
+        std::arch::asm!("ldmxcsr [{}]", in(reg) &csr, options(nostack));
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = on;
+}
+
+fn main() {
+    let ftz = std::env::args().any(|a| a == "--ftz");
+    set_ftz_daz(ftz);
+    println!("flush-to-zero: {ftz}");
+    // Synthetic SoA cell columns with a realistic r² spread.
+    let xs: Vec<f32> = (0..CELL).map(|k| (k as f32 * 0.37).sin() * 28.0).collect();
+    let ys: Vec<f32> = (0..CELL).map(|k| (k as f32 * 0.11).cos() * 28.0).collect();
+    let zs: Vec<f32> = (0..CELL).map(|k| (k as f32 * 0.53).sin() * 28.0).collect();
+    let types: Vec<u8> = (0..CELL).map(|k| (k % 2) as u8).collect();
+    let xi = [1.0f32, -2.0, 3.0];
+    let shift = [36.0f32, 0.0, -36.0];
+    let a_row = [0.033f32, 0.033];
+    let b_row = [14.4f32, -14.4];
+
+    let mut dx = vec![0.0f32; CELL];
+    let mut dy = vec![0.0f32; CELL];
+    let mut dz = vec![0.0f32; CELL];
+    let mut x = vec![0.0f32; CELL];
+    let mut g = vec![0.0f32; CELL];
+
+    // --- sweep 1: displacement + a·r² ---
+    let t1 = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            for k in 0..CELL {
+                let ddx = xi[0] - (xs[k] + shift[0]);
+                let ddy = xi[1] - (ys[k] + shift[1]);
+                let ddz = xi[2] - (zs[k] + shift[2]);
+                let r_sq = ddx * ddx + ddy * ddy + ddz * ddz;
+                dx[k] = ddx;
+                dy[k] = ddy;
+                dz[k] = ddz;
+                x[k] = a_row[types[k] as usize] * r_sq;
+            }
+            black_box(&mut dx);
+        }
+    });
+    println!("sweep1 displacement+a*r^2 : {t1:.2} ns/elem");
+
+    // --- sweep 2: eval_batch ---
+    let ev = GFunction::CoulombRealForce.build_evaluator().unwrap();
+    let t2 = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            ev.eval_batch(&x, &mut g);
+            black_box(&mut g);
+        }
+    });
+    println!("sweep2 eval_batch         : {t2:.2} ns/elem");
+
+    // --- sweep 2 variants: decode/Horner split experiments ---
+    let seg = ev.table().segmentation();
+    let rows = ev.table().rows();
+    let (e_min, e_max, mbits) = (seg.e_min, seg.e_max, seg.mantissa_bits);
+    let mut idxs = vec![0u32; CELL];
+    let mut ts = vec![0.0f32; CELL];
+    let t2b = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            // decode sweep (branchless for the in-range common case)
+            for k in 0..CELL {
+                let v = x[k];
+                let bits = v.to_bits();
+                let exp = ((bits >> 23) & 0xff) as i32 - 127;
+                let mantissa = bits & 0x7f_ffff;
+                let sub = (mantissa >> (23 - mbits)) as u32;
+                let index = (((exp - e_min) as u32) << mbits) | sub;
+                let rem_bits = 23 - mbits;
+                let rem = mantissa & ((1u32 << rem_bits) - 1);
+                let t = rem as f32 / (1u32 << rem_bits) as f32;
+                let in_range = v.is_finite() && v > 0.0 && exp >= e_min && exp < e_max;
+                idxs[k] = if in_range { index } else { u32::MAX };
+                ts[k] = t;
+            }
+            // gather + Horner sweep
+            for k in 0..CELL {
+                let index = idxs[k];
+                g[k] = if index != u32::MAX {
+                    let c = &rows[index as usize];
+                    let t = ts[k];
+                    ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+                } else if x[k] < 1.0 {
+                    rows[0][0]
+                } else {
+                    0.0
+                };
+            }
+            black_box(&mut g);
+        }
+    });
+    println!("sweep2b decode+horner split: {t2b:.2} ns/elem");
+
+    // 4-deep manual interleave of the fused scalar eval
+    let t2c = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            let mut k = 0;
+            while k + 4 <= CELL {
+                let mut cs = [[0.0f32; 5]; 4];
+                let mut tt = [0.0f32; 4];
+                for j in 0..4 {
+                    let v = x[k + j];
+                    let bits = v.to_bits();
+                    let exp = ((bits >> 23) & 0xff) as i32 - 127;
+                    let mantissa = bits & 0x7f_ffff;
+                    let sub = (mantissa >> (23 - mbits)) as usize;
+                    let index = (((exp - e_min) as usize) << mbits) | sub;
+                    let rem_bits = 23 - mbits;
+                    let rem = mantissa & ((1u32 << rem_bits) - 1);
+                    tt[j] = rem as f32 / (1u32 << rem_bits) as f32;
+                    cs[j] = rows[index];
+                }
+                for j in 0..4 {
+                    let (c, t) = (&cs[j], tt[j]);
+                    g[k + j] = ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0];
+                }
+                k += 4;
+            }
+            black_box(&mut g);
+        }
+    });
+    println!("sweep2c 4-wide interleave  : {t2c:.2} ns/elem (in-range only)");
+
+    // Reciprocal-multiply decode: division by 2^rem_bits is exact, and
+    // so is multiplication by 2^-rem_bits — bitwise-identical results.
+    let rem_bits = 23 - mbits;
+    let t_scale = 1.0f32 / (1u32 << rem_bits) as f32;
+    let t2d = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            for k in 0..CELL {
+                let v = x[k];
+                let bits = v.to_bits();
+                let exp = ((bits >> 23) & 0xff) as i32 - 127;
+                let mantissa = bits & 0x7f_ffff;
+                let sub = (mantissa >> (23 - mbits)) as usize;
+                let index = (((exp - e_min) as usize) << mbits) | sub;
+                let rem = mantissa & ((1u32 << rem_bits) - 1);
+                let t = rem as f32 * t_scale;
+                let c = &rows[index];
+                g[k] = ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0];
+            }
+            black_box(&mut g);
+        }
+    });
+    println!("sweep2d mul-decode fused   : {t2d:.2} ns/elem (in-range only)");
+
+    // --- precomputed per-slot coefficient columns (type-gather hoisted) ---
+    let acol: Vec<f32> = types.iter().map(|&t| a_row[t as usize]).collect();
+    let bcol: Vec<f32> = types.iter().map(|&t| b_row[t as usize]).collect();
+    let t1b = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            let (dxs, dy, dz, xo) = (
+                &mut dx[..CELL],
+                &mut dy[..CELL],
+                &mut dz[..CELL],
+                &mut x[..CELL],
+            );
+            let dx = dxs;
+            let (xs, ys, zs, ac) = (&xs[..CELL], &ys[..CELL], &zs[..CELL], &acol[..CELL]);
+            for k in 0..CELL {
+                let ddx = xi[0] - (xs[k] + shift[0]);
+                let ddy = xi[1] - (ys[k] + shift[1]);
+                let ddz = xi[2] - (zs[k] + shift[2]);
+                let r_sq = ddx * ddx + ddy * ddy + ddz * ddz;
+                dx[k] = ddx;
+                dy[k] = ddy;
+                dz[k] = ddz;
+                xo[k] = ac[k] * r_sq;
+            }
+            black_box(dx);
+        }
+    });
+    println!("sweep1b acol slices        : {t1b:.2} ns/elem");
+
+    let mut acc2 = [0.0f64; 3];
+    let t3b = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            let (dx, dy, dz, gg, bc) = (
+                &dx[..CELL],
+                &dy[..CELL],
+                &dz[..CELL],
+                &g[..CELL],
+                &bcol[..CELL],
+            );
+            for k in 0..CELL {
+                let bg = bc[k] * gg[k];
+                acc2[0] += (bg * dx[k]) as f64;
+                acc2[1] += (bg * dy[k]) as f64;
+                acc2[2] += (bg * dz[k]) as f64;
+            }
+            black_box(&mut acc2);
+        }
+    });
+    println!("sweep3b bcol slices        : {t3b:.2} ns/elem");
+
+    // --- sweep 3: f64 accumulation ---
+    let mut acc = [0.0f64; 3];
+    let t3 = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            for k in 0..CELL {
+                let bg = b_row[types[k] as usize] * g[k];
+                acc[0] += (bg * dx[k]) as f64;
+                acc[1] += (bg * dy[k]) as f64;
+                acc[2] += (bg * dz[k]) as f64;
+            }
+            black_box(&mut acc);
+        }
+    });
+    println!("sweep3 f64 accumulate     : {t3:.2} ns/elem");
+
+    // --- whole per-pair scalar chain (the pre-batch shape) ---
+    let t4 = time_ns_per_elem(|| {
+        for _ in 0..CELLS {
+            for k in 0..CELL {
+                let ddx = xi[0] - (xs[k] + shift[0]);
+                let ddy = xi[1] - (ys[k] + shift[1]);
+                let ddz = xi[2] - (zs[k] + shift[2]);
+                let r_sq = ddx * ddx + ddy * ddy + ddz * ddz;
+                let gg = ev.eval(a_row[types[k] as usize] * r_sq);
+                let bg = b_row[types[k] as usize] * gg;
+                acc[0] += (bg * ddx) as f64;
+                acc[1] += (bg * ddy) as f64;
+                acc[2] += (bg * ddz) as f64;
+            }
+            black_box(&mut acc);
+        }
+    });
+    println!("whole per-pair chain      : {t4:.2} ns/elem");
+    println!("sum of sweeps             : {:.2} ns/elem", t1 + t2 + t3);
+    black_box((&dx, &dy, &dz, &x, &g, &acc));
+
+    // --- board-level dispatch at production occupancy (~8/cell) ---
+    // The sweeps above amortize perfectly over 256-slot cells; the
+    // production grid at `--cells 16` has mean occupancy 8, so per-call
+    // dispatch overhead shows up here and not above.
+    use mdm_core::boxsim::SimBox;
+    use mdm_core::vec3::Vec3;
+    let n = 32_768usize;
+    let l = 90.2f64;
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pos: Vec<Vec3> = (0..n)
+        .map(|_| Vec3::new(rng() * l, rng() * l, rng() * l))
+        .collect();
+    let ty: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    let js = JStore::build(SimBox::cubic(l), &pos, &ty, l / 16.0);
+    let coeffs = AtomCoefficients::new(
+        &[vec![0.033, 0.033], vec![0.033, 0.033]],
+        &[vec![14.4, -14.4], vec![-14.4, 14.4]],
+    );
+    let mut board = MdgBoard::new(
+        GFunction::CoulombRealForce.build_evaluator().unwrap(),
+        coeffs,
+    );
+    board.accept_jstore(&js).unwrap();
+    let batch = IBatch::stage(&pos, &ty, &js);
+    let n_i = 2_048usize;
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..REPS {
+        board.reset_counters();
+        let t0 = Instant::now();
+        let out = board.calc_block2(PipelineMode::Force, &batch, 0..n_i, &js);
+        let dt = t0.elapsed().as_secs_f64();
+        ops = board.ops();
+        black_box(&out);
+        best = best.min(dt);
+    }
+    println!(
+        "board calc_block2 occ~{:.0} : {:.2} ns/pair-op ({ops} ops)",
+        n as f64 / js.n_cells() as f64,
+        best * 1e9 / ops as f64
+    );
+
+    // --- the four production pass configurations on the same store:
+    // which pass's (table, a, b) makes the datapath slow? ---
+    // NaCl-ish numbers: κ ≈ α/L with α = 1.02·3.2·16, L = 90 Å;
+    // ρ = 0.317 Å; prefactors of the order of the Tosi–Fumi NaCl set.
+    let kappa = 1.02 * 3.2 * 16.0 / 90.0;
+    let rho = 0.317f64;
+    let passes: [(&str, GFunction, f64, f64); 4] = [
+        ("coulomb", GFunction::CoulombRealForce, kappa * kappa, 14.4 * kappa.powi(3)),
+        ("born-mayer", GFunction::BornMayerForce, 1.0 / (rho * rho), 2.6e4 / (rho * rho)),
+        ("disp6", GFunction::Dispersion6Force, 1.0, -6.0 * 100.0),
+        ("disp8", GFunction::Dispersion8Force, 1.0, -8.0 * 1000.0),
+    ];
+    for (name, gf, a, b) in passes {
+        let mut board = MdgBoard::new(
+            gf.build_evaluator().unwrap(),
+            AtomCoefficients::new(&[vec![a, a], vec![a, a]], &[vec![b, -b], vec![-b, b]]),
+        );
+        board.accept_jstore(&js).unwrap();
+        let mut best = f64::INFINITY;
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            board.reset_counters();
+            let t0 = Instant::now();
+            let out = board.calc_block2(PipelineMode::Force, &batch, 0..n_i, &js);
+            let dt = t0.elapsed().as_secs_f64();
+            ops = board.ops();
+            black_box(&out);
+            best = best.min(dt);
+        }
+        println!(
+            "pass {name:11}          : {:.2} ns/pair-op",
+            best * 1e9 / ops as f64
+        );
+    }
+
+    // --- the same four passes on the REAL production store: the
+    // rocksalt NaCl configuration profile_step builds at --cells 16 ---
+    {
+        let sim = mdm_bench::stepprof::build_sim(16);
+        let sys = sim.system();
+        let (pos, ty) = (sys.positions(), sys.types());
+        let l = sys.simbox().l();
+        // production r_cut: s*L/alpha with alpha = 1.02*s*cells, cells=(0.8n)^(1/6)≈5
+        let js = JStore::build(sys.simbox(), pos, ty, l / 5.1);
+        let batch = IBatch::stage(pos, ty, &js);
+        let kappa = 1.02 * 3.2 * 5.0 / l;
+        for (name, gf, a, b) in [
+            ("coulomb", GFunction::CoulombRealForce, kappa * kappa, 14.4 * kappa.powi(3)),
+            ("born-mayer", GFunction::BornMayerForce, 1.0 / (rho * rho), 2.6e4 / (rho * rho)),
+            ("disp6", GFunction::Dispersion6Force, 1.0, -600.0),
+            ("disp8", GFunction::Dispersion8Force, 1.0, -8000.0),
+        ] {
+            let mut board = MdgBoard::new(
+                gf.build_evaluator().unwrap(),
+                AtomCoefficients::new(&[vec![a, a], vec![a, a]], &[vec![b, -b], vec![-b, b]]),
+            );
+            board.accept_jstore(&js).unwrap();
+            let mut best = f64::INFINITY;
+            let mut ops = 0u64;
+            for _ in 0..REPS {
+                board.reset_counters();
+                let t0 = Instant::now();
+                let out = board.calc_block2(PipelineMode::Force, &batch, 0..pos.len(), &js);
+                let dt = t0.elapsed().as_secs_f64();
+                ops = board.ops();
+                black_box(&out);
+                best = best.min(dt);
+            }
+            println!(
+                "NaCl pass {name:11}     : {:.2} ns/pair-op",
+                best * 1e9 / ops as f64
+            );
+        }
+    }
+
+    // --- the whole production step (driver + all passes), timed under
+    // whatever global FTZ state --ftz selected: isolates whether any
+    // slow production stage escapes the board-level FtzGuard ---
+    {
+        let mut sim = mdm_bench::stepprof::build_sim(16);
+        for i in 0..2 {
+            let t0 = Instant::now();
+            sim.step();
+            println!("full sim.step #{i}          : {:.2} s", t0.elapsed().as_secs_f64());
+        }
+    }
+
+    // --- full system pass (2 clusters × 2 boards, the profile_step
+    // configuration) on the same store ---
+    use mdgrape2::{Mdgrape2Config, Mdgrape2System};
+    let mut sys = Mdgrape2System::new(
+        Mdgrape2Config { clusters: 2 },
+        GFunction::CoulombRealForce.build_evaluator().unwrap(),
+        AtomCoefficients::new(
+            &[vec![0.033, 0.033], vec![0.033, 0.033]],
+            &[vec![14.4, -14.4], vec![-14.4, 14.4]],
+        ),
+    );
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = sys
+            .calc_pass_with_jstore(PipelineMode::Force, &pos, &ty, &js)
+            .unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        ops = out.counters.pair_ops;
+        black_box(&out.values);
+        best = best.min(dt);
+    }
+    println!(
+        "system calc_pass          : {:.2} ns/pair-op ({ops} ops)",
+        best * 1e9 / ops as f64
+    );
+}

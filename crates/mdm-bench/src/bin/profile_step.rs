@@ -26,6 +26,11 @@
 //!   N = 512, 4,096, 32,768);
 //! * `--sizes N1,N2` — same ladder given as particle counts
 //!   (`512,4096,32768`; each must be a rocksalt count `8·c³`);
+//! * `--n3l` — run the real-space passes through the Newton's-third-law
+//!   software fast path instead of the hardware-faithful no-N3L
+//!   streaming pattern (see `RealSpaceMode`); forces agree to f64
+//!   rounding, not bitwise, so baselines recorded with `--json` should
+//!   note the mode;
 //! * `--trace FILE` — also write a Chrome trace-event file (open in
 //!   Perfetto or `chrome://tracing`) with one track per emulated
 //!   device: MDGRAPE-2, WINE-2, comm, host;
@@ -34,7 +39,8 @@
 //!   verdicts).
 
 use mdm_bench::stepprof::{
-    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat, DEFAULT_REPEAT,
+    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat_mode,
+    DEFAULT_REPEAT,
 };
 use mdm_profile::report::{BenchFile, StepReport};
 
@@ -121,6 +127,7 @@ fn main() {
     let mut steps: u64 = 2;
     let mut repeat: u64 = DEFAULT_REPEAT;
     let mut cells: Vec<usize> = vec![4, 8, 16];
+    let mut n3l = false;
     let mut trace_path: Option<String> = None;
     let mut record_path: Option<String> = None;
 
@@ -163,6 +170,7 @@ fn main() {
                     })
                     .collect();
             }
+            "--n3l" => n3l = true,
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs an output path"));
             }
@@ -170,7 +178,7 @@ fn main() {
                 record_path = Some(args.next().expect("--record needs an output path"));
             }
             other => panic!(
-                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --trace, --record)"
+                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --n3l, --trace, --record)"
             ),
         }
     }
@@ -192,7 +200,7 @@ fn main() {
             match recorder_sink.as_mut() {
                 Some(sink) => profile_size_recorded(c, steps, sink)
                     .expect("write flight recording"),
-                None => profile_size_repeat(c, steps, repeat),
+                None => profile_size_repeat_mode(c, steps, repeat, n3l),
             }
         })
         .collect();

@@ -55,6 +55,14 @@ pub fn cells_for_particles(n: u64) -> Option<usize> {
 /// `cells` rocksalt cells per side at the paper's density, molten-salt
 /// velocities, balanced α, energy passes pushed out of the window.
 pub fn build_sim(cells: usize) -> Simulation<MdmForceField> {
+    build_sim_mode(cells, false)
+}
+
+/// [`build_sim`] with the real-space mode chosen: `n3l = true` turns on
+/// the Newton's-third-law software fast path (each block pair evaluated
+/// once, action and reaction both applied), `false` keeps the
+/// hardware-faithful no-N3L streaming pattern.
+pub fn build_sim_mode(cells: usize, n3l: bool) -> Simulation<MdmForceField> {
     let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
     let n = system.len();
     let l = system.simbox().l();
@@ -66,6 +74,7 @@ pub fn build_sim(cells: usize) -> Simulation<MdmForceField> {
     // them out of the profiled window entirely so every timed step is
     // the steady-state force-only step of Table 4.
     ff.set_potential_interval(u64::MAX);
+    ff.set_n3l_fast_path(n3l);
 
     // Warmup: Simulation::new evaluates the initial forces (first-time
     // table uploads, the one potential pass) outside the timed window.
@@ -138,8 +147,14 @@ pub fn profile_size(cells: usize, steps: u64) -> StepReport {
 /// so the minimum is the least-contaminated estimate and `bench_compare`
 /// diffs signal instead of machine load.
 pub fn profile_size_repeat(cells: usize, steps: u64, repeat: u64) -> StepReport {
+    profile_size_repeat_mode(cells, steps, repeat, false)
+}
+
+/// [`profile_size_repeat`] with the real-space mode chosen (see
+/// [`build_sim_mode`]); what `profile_step --n3l` runs.
+pub fn profile_size_repeat_mode(cells: usize, steps: u64, repeat: u64, n3l: bool) -> StepReport {
     assert!(repeat >= 1, "need at least one repetition");
-    let mut sim = build_sim(cells);
+    let mut sim = build_sim_mode(cells, n3l);
     measure_best_of(&mut sim, steps, repeat, true)
 }
 

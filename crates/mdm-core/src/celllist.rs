@@ -13,6 +13,24 @@
 use crate::boxsim::SimBox;
 use crate::vec3::Vec3;
 
+/// What an incremental [`CellList::rebuild`] had to do.
+///
+/// The invariant either way: after `rebuild(positions)` the list is
+/// **bit-identical** to `CellList::build(simbox, positions, min_cell)`
+/// at the same grid — the counting sort is stable (within a cell,
+/// original indices ascend), so equal cell memberships force equal
+/// `sorted_order`/`cell_ranges` regardless of history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellListRefresh {
+    /// No particle changed cell: the sort order and cell ranges are
+    /// untouched (only the caller's positions moved within cells).
+    Unchanged,
+    /// At least one particle crossed a cell boundary; the bucket sort
+    /// re-ran in the existing buffers (no reallocation, no
+    /// neighbour-table work — cell geometry never depends on positions).
+    Resorted,
+}
+
 /// A built cell list over a snapshot of positions.
 #[derive(Clone, Debug)]
 pub struct CellList {
@@ -79,6 +97,76 @@ impl CellList {
         let clamp = |x: f64| ((x / cell_size) as usize).min(m - 1);
         let (ix, iy, iz) = (clamp(w.x), clamp(w.y), clamp(w.z));
         (iz * m + iy) * m + ix
+    }
+
+    /// Incrementally bring the list up to date with moved `positions`,
+    /// keeping the grid (box, cell count, cell edge) fixed.
+    ///
+    /// Re-derives every particle's cell (O(N), a few flops each) and:
+    ///
+    /// * if **no membership changed**, leaves the sort order and ranges
+    ///   untouched and returns [`CellListRefresh::Unchanged`] — the
+    ///   common case while displacements since the last sort stay under
+    ///   the cell-edge "skin";
+    /// * otherwise re-runs the stable counting sort **in the existing
+    ///   buffers** and returns [`CellListRefresh::Resorted`].
+    ///
+    /// Either way the result is bit-identical to a from-scratch
+    /// [`CellList::build`] at the same positions (see
+    /// [`CellListRefresh`]); a particle count change is handled by
+    /// resizing the buffers and resorting.
+    pub fn rebuild(&mut self, positions: &[Vec3]) -> CellListRefresh {
+        let _span = mdm_profile::span("celllist_build");
+        let same_len = positions.len() == self.cell_of_particle.len();
+        let mut changed = !same_len;
+        if same_len {
+            for (i, &r) in positions.iter().enumerate() {
+                let c = Self::cell_index_of(self.simbox, self.m, self.cell_size, r) as u32;
+                if self.cell_of_particle[i] != c {
+                    self.cell_of_particle[i] = c;
+                    changed = true;
+                }
+            }
+        } else {
+            self.cell_of_particle.clear();
+            self.cell_of_particle.extend(
+                positions
+                    .iter()
+                    .map(|&r| Self::cell_index_of(self.simbox, self.m, self.cell_size, r) as u32),
+            );
+        }
+        if !changed {
+            return CellListRefresh::Unchanged;
+        }
+        let n_cells = self.n_cells();
+        self.cell_start.clear();
+        self.cell_start.resize(n_cells + 1, 0);
+        for &c in &self.cell_of_particle {
+            self.cell_start[c as usize + 1] += 1;
+        }
+        for i in 1..self.cell_start.len() {
+            self.cell_start[i] += self.cell_start[i - 1];
+        }
+        let mut cursor = self.cell_start.clone();
+        self.order.resize(positions.len(), 0);
+        for (i, &c) in self.cell_of_particle.iter().enumerate() {
+            let slot = cursor[c as usize];
+            self.order[slot as usize] = i as u32;
+            cursor[c as usize] += 1;
+        }
+        CellListRefresh::Resorted
+    }
+
+    /// Number of particles the list was (re)built over.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cell_of_particle.len()
+    }
+
+    /// Is the list empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cell_of_particle.is_empty()
     }
 
     /// Cells per side.
@@ -266,6 +354,64 @@ impl CellList {
         }
     }
 
+    /// Visit every **unordered** block pair exactly once — the software
+    /// Newton's-third-law fast path over the *same* 27-cell blocks as
+    /// [`Self::for_each_block_pair`] (still no cutoff filtering: cell
+    /// membership, not distance, defines the interaction set, exactly as
+    /// on the hardware). `f(i, j, r⃗ᵢⱼ, r²)` fires once per pair with `i`
+    /// taken from the lower-indexed cell; the caller applies `±f⃗`.
+    ///
+    /// Each unordered pair is visited because every cross-cell pair
+    /// `{c, nc}` appears in `c`'s 27-entry table exactly once (for
+    /// `m ≥ 3` the 27 offsets map to 27 distinct cells), and is taken
+    /// only from the side with the smaller cell index; same-cell pairs
+    /// are enumerated triangularly.
+    ///
+    /// # Panics
+    /// Panics with fewer than 3 cells per side, where neighbour cells
+    /// alias and the once-per-pair rule breaks down.
+    pub fn for_each_block_pair_n3l<F>(&self, positions: &[Vec3], mut f: F)
+    where
+        F: FnMut(usize, usize, Vec3, f64),
+    {
+        assert!(
+            self.m >= 3,
+            "N3L block traversal needs >= 3 cells per side (have {})",
+            self.m
+        );
+        let _span = mdm_profile::span("celllist_traverse");
+        for c in 0..self.n_cells() {
+            let center = self.particles_in(c);
+            for (neighbor, shift) in self.neighbors27(c) {
+                if neighbor < c {
+                    continue;
+                }
+                if neighbor == c {
+                    debug_assert_eq!(shift, Vec3::ZERO);
+                    for (a, &iu) in center.iter().enumerate() {
+                        let i = iu as usize;
+                        let ri = positions[i];
+                        for &ju in &center[a + 1..] {
+                            let j = ju as usize;
+                            let d = ri - positions[j];
+                            f(i, j, d, d.norm_sq());
+                        }
+                    }
+                } else {
+                    for &iu in center {
+                        let i = iu as usize;
+                        let ri = positions[i];
+                        for &ju in self.particles_in(neighbor) {
+                            let j = ju as usize;
+                            let d = ri - (positions[j] + shift);
+                            f(i, j, d, d.norm_sq());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The number of ordered block pairs the hardware pattern evaluates
     /// (per-particle average is the paper's `N_int_g`, eq. 6 — ≈13×
     /// larger than the conventional `N_int`).
@@ -420,6 +566,88 @@ mod tests {
             "ratio {ratio}, expect {expect}"
         );
         assert!((11.0..16.0).contains(&ratio), "paper says ~13x, got {ratio}");
+    }
+
+    #[test]
+    fn rebuild_unchanged_when_no_cell_crossing() {
+        let (b, mut pos) = random_positions(200, 16.0, 9);
+        let mut cl = CellList::build(b, &pos, 4.0);
+        let before_order = cl.sorted_order().to_vec();
+        // Nudge every particle by far less than a cell edge.
+        for p in &mut pos {
+            p.x += 1e-9;
+        }
+        assert_eq!(cl.rebuild(&pos), CellListRefresh::Unchanged);
+        assert_eq!(cl.sorted_order(), &before_order[..]);
+    }
+
+    #[test]
+    fn rebuild_matches_from_scratch_build() {
+        let (b, mut pos) = random_positions(300, 18.0, 10);
+        let mut cl = CellList::build(b, &pos, 4.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for step in 0..5 {
+            for p in &mut pos {
+                *p += Vec3::new(
+                    (rng.gen::<f64>() - 0.5) * 3.0,
+                    (rng.gen::<f64>() - 0.5) * 3.0,
+                    (rng.gen::<f64>() - 0.5) * 3.0,
+                );
+            }
+            let refresh = cl.rebuild(&pos);
+            let fresh = CellList::build(b, &pos, 4.5);
+            assert_eq!(cl.sorted_order(), fresh.sorted_order(), "step {step}");
+            assert_eq!(cl.cell_ranges(), fresh.cell_ranges(), "step {step}");
+            for i in 0..pos.len() {
+                assert_eq!(cl.cell_of(i), fresh.cell_of(i), "step {step}");
+            }
+            // 1.5 Å max displacement against a 4.5+ Å cell: some particle
+            // crosses a boundary essentially surely.
+            assert_eq!(refresh, CellListRefresh::Resorted, "step {step}");
+        }
+    }
+
+    #[test]
+    fn rebuild_handles_particle_count_change() {
+        let (b, pos) = random_positions(120, 15.0, 12);
+        let mut cl = CellList::build(b, &pos, 5.0);
+        let shorter = &pos[..80];
+        assert_eq!(cl.rebuild(shorter), CellListRefresh::Resorted);
+        assert_eq!(cl.len(), 80);
+        let fresh = CellList::build(b, shorter, 5.0);
+        assert_eq!(cl.sorted_order(), fresh.sorted_order());
+        assert_eq!(cl.cell_ranges(), fresh.cell_ranges());
+    }
+
+    #[test]
+    fn n3l_block_pairs_are_the_block_pairs_halved() {
+        let (b, pos) = random_positions(250, 16.0, 13);
+        let cl = CellList::build(b, &pos, 4.0);
+        let mut ordered = std::collections::BTreeSet::new();
+        cl.for_each_block_pair(&pos, |i, j, _d, _r2| {
+            ordered.insert((i, j));
+        });
+        let mut unordered = std::collections::BTreeMap::new();
+        cl.for_each_block_pair_n3l(&pos, |i, j, d, r2| {
+            assert_ne!(i, j);
+            assert!(
+                unordered.insert((i.min(j), i.max(j)), (d, r2)).is_none(),
+                "pair ({i},{j}) visited twice"
+            );
+        });
+        // Every ordered pair appears as exactly one unordered pair.
+        assert_eq!(ordered.len(), 2 * unordered.len());
+        for &(i, j) in &ordered {
+            assert!(unordered.contains_key(&(i.min(j), i.max(j))));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn n3l_traversal_rejects_coarse_grid() {
+        let (b, pos) = random_positions(40, 10.0, 14);
+        let cl = CellList::build(b, &pos, 4.0); // m = 2
+        cl.for_each_block_pair_n3l(&pos, |_, _, _, _| {});
     }
 
     #[test]

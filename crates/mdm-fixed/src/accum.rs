@@ -42,19 +42,54 @@ impl<const FRAC: u32> FixedAccum<FRAC> {
     /// multiplies would be).
     #[inline]
     pub fn mac<const W1: u32, const W2: u32>(&mut self, a: Fx<W1, FRAC>, b: Fx<W2, FRAC>) {
-        let prod = (a.raw() as i128) * (b.raw() as i128);
         // Product has 2·FRAC fractional bits; renormalise to FRAC keeping
         // the extra bits' rounding inside the wide register (truncate).
-        self.raw = self.raw.wrapping_add(prod >> FRAC);
+        // When both factors fit one machine word the product does too
+        // (W1+W2 ≤ 64 bits), and the i64 shift sign-extends to the same
+        // i128 value — the branch is const-foldable and bit-exact.
+        if W1 + W2 <= 64 {
+            self.raw = self.raw.wrapping_add(((a.raw() * b.raw()) >> FRAC) as i128);
+        } else {
+            let prod = (a.raw() as i128) * (b.raw() as i128);
+            self.raw = self.raw.wrapping_add(prod >> FRAC);
+        }
         self.terms += 1;
     }
 
     /// Subtracting variant of [`Self::mac`].
     #[inline]
     pub fn mac_neg<const W1: u32, const W2: u32>(&mut self, a: Fx<W1, FRAC>, b: Fx<W2, FRAC>) {
-        let prod = (a.raw() as i128) * (b.raw() as i128);
-        self.raw = self.raw.wrapping_sub(prod >> FRAC);
+        if W1 + W2 <= 64 {
+            self.raw = self.raw.wrapping_sub(((a.raw() * b.raw()) >> FRAC) as i128);
+        } else {
+            let prod = (a.raw() as i128) * (b.raw() as i128);
+            self.raw = self.raw.wrapping_sub(prod >> FRAC);
+        }
         self.terms += 1;
+    }
+
+    /// Accumulate `a · n` for a plain integer `n` — the IDFT tail
+    /// multiplies the datapath value by the integer wave component held
+    /// at `FRAC` fractional bits, and `(a.raw · (n·2^FRAC)) >> FRAC`
+    /// collapses to the exact integer product `a.raw · n`. Bitwise
+    /// identical to `mac(a, n·2^FRAC)` whenever `a.raw · n` fits an
+    /// `i64`, which the caller guarantees (wave components are small).
+    #[inline]
+    pub fn mac_int<const W: u32>(&mut self, a: Fx<W, FRAC>, n: i64) {
+        self.raw = self.raw.wrapping_add(a.raw().wrapping_mul(n) as i128);
+        self.terms += 1;
+    }
+
+    /// Fold a pre-accumulated partial sum of `terms` already-renormalised
+    /// products into the register. Vectorised sweeps accumulate
+    /// `Σ (a·b) >> FRAC` in one machine word per lane (their operand
+    /// bounds keep every partial sum far below `2^63`, so the i64 sum is
+    /// exact) and fold the lanes here — bitwise identical to the same
+    /// sequence of [`Self::mac`] / [`Self::mac_int`] calls.
+    #[inline]
+    pub fn fold_partial(&mut self, partial: i64, terms: u64) {
+        self.raw = self.raw.wrapping_add(partial as i128);
+        self.terms += terms;
     }
 
     /// Number of accumulated terms (for cycle accounting).

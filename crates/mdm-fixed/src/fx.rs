@@ -154,8 +154,15 @@ impl<const WIDTH: u32, const FRAC: u32> Fx<WIDTH, FRAC> {
     /// shift — rounds toward −∞ like hardware bit-dropping).
     #[inline]
     pub fn mul_trunc(self, rhs: Self) -> Self {
-        let prod = (self.raw as i128) * (rhs.raw as i128);
-        Self::wrap((prod >> FRAC) as i64)
+        if WIDTH * 2 <= 64 {
+            // Both factors fit WIDTH bits, so the double-width product
+            // fits an i64 and the wide multiply can stay in one word.
+            // The branch is on a const generic and folds at compile time.
+            Self::wrap((self.raw * rhs.raw) >> FRAC)
+        } else {
+            let prod = (self.raw as i128) * (rhs.raw as i128);
+            Self::wrap((prod >> FRAC) as i64)
+        }
     }
 
     /// Multiply by a register of a *different* format, truncating to this
@@ -163,8 +170,12 @@ impl<const WIDTH: u32, const FRAC: u32> Fx<WIDTH, FRAC> {
     /// coefficient stored at a different precision.
     #[inline]
     pub fn mul_trunc_other<const W2: u32, const F2: u32>(self, rhs: Fx<W2, F2>) -> Self {
-        let prod = (self.raw as i128) * (rhs.raw as i128);
-        Self::wrap((prod >> F2) as i64)
+        if WIDTH + W2 <= 64 {
+            Self::wrap((self.raw * rhs.raw) >> F2)
+        } else {
+            let prod = (self.raw as i128) * (rhs.raw as i128);
+            Self::wrap((prod >> F2) as i64)
+        }
     }
 
     /// Arithmetic shift right (divide by a power of two, rounding toward −∞).

@@ -24,6 +24,11 @@ pub struct SinCosTable {
     /// `sin(2π i / len)` in Q30 for `i in 0..len`, plus a wrap-around
     /// entry at the end so interpolation never branches.
     table: Vec<Q30>,
+    /// The same ROM as packed 32-bit words (every Q30 entry fits an
+    /// `i32`): the contiguous layout a vectorised sweep gathers its
+    /// interpolation pairs `(table[i], table[i+1])` from in one 64-bit
+    /// load per lane.
+    words: Vec<i32>,
     index_bits: u32,
 }
 
@@ -41,7 +46,8 @@ impl SinCosTable {
             let angle = std::f64::consts::TAU * i as f64 / len as f64;
             table.push(Q30::from_f64_saturating(angle.sin()));
         }
-        Self { table, index_bits }
+        let words = table.iter().map(|q| q.raw() as i32).collect();
+        Self { table, words, index_bits }
     }
 
     /// Number of table entries (excluding the wrap-around duplicate).
@@ -58,6 +64,20 @@ impl SinCosTable {
     /// accounting.
     pub fn rom_bytes(&self) -> usize {
         self.len() * 4
+    }
+
+    /// The table's index width in bits.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// The ROM contents as raw Q30 words, wrap-around entry included —
+    /// `words()[i]` is `sin(2π·i/len)` as its 32-bit register value.
+    /// Adjacent entries are adjacent words, so a 64-bit read at word `i`
+    /// yields both interpolation endpoints (little-endian: low word
+    /// `table[i]`, high word `table[i+1]`).
+    pub fn words(&self) -> &[i32] {
+        &self.words
     }
 
     /// `sin(2π·phase)` evaluated as the hardware does: table lookup on the

@@ -1,7 +1,8 @@
 //! The evaluation datapath.
 
-use crate::segments::SegmentHit;
+use crate::segments::{SegmentHit, Segmentation};
 use crate::table::FunctionTable;
+use crate::POLY_COEFFS;
 
 /// The function evaluator proper: address decode + coefficient RAM read +
 /// 4th-order Horner evaluation, all in IEEE 754 single precision like the
@@ -9,6 +10,25 @@ use crate::table::FunctionTable;
 #[derive(Clone, Debug)]
 pub struct FunctionEvaluator {
     table: FunctionTable,
+}
+
+/// The shared scalar core of [`FunctionEvaluator::eval`] and
+/// [`FunctionEvaluator::eval_batch`]: one address decode, one coefficient
+/// RAM read, one quartic Horner sweep, all in `f32`.
+///
+/// Both entry points funnel through this function so that batch
+/// evaluation is **bitwise identical** per element to scalar evaluation
+/// — the equivalence the emulator's batched j-cell pipeline relies on.
+#[inline(always)]
+fn eval_one(seg: Segmentation, rows: &[[f32; POLY_COEFFS]], x: f32) -> f32 {
+    match seg.locate(x) {
+        SegmentHit::In { index, t } => {
+            let c = &rows[index];
+            ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+        }
+        SegmentHit::Below => rows[0][0],
+        SegmentHit::Above => 0.0,
+    }
 }
 
 impl FunctionEvaluator {
@@ -35,23 +55,94 @@ impl FunctionEvaluator {
     /// * Above range: `0.0` (the kernel tail has decayed).
     #[inline]
     pub fn eval(&self, x: f32) -> f32 {
-        match self.table.segmentation().locate(x) {
-            SegmentHit::In { index, t } => {
-                let c = self.table.coefficients(index);
-                ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+        eval_one(self.table.segmentation(), self.table.rows(), x)
+    }
+
+    /// Evaluate a whole batch of inputs in one call — the emulator's
+    /// j-cell dispatch granularity.
+    ///
+    /// # Batch-evaluation contract
+    ///
+    /// * `out[k]` is **bitwise identical** to `self.eval(xs[k])` for
+    ///   every `k` — batching changes dispatch cost only, never a bit of
+    ///   the result. A test pins this for every out-of-range class.
+    /// * The segmentation and coefficient RAM are read once up front and
+    ///   held across the sweep; the per-element work is the pure address
+    ///   decode + Horner datapath with no repeated table indirection.
+    /// * Out-of-range inputs follow the scalar conventions: below range
+    ///   (including `x <= 0` and NaN) yields the first segment's `t = 0`
+    ///   value; at or above range yields `0.0`.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `out` differ in length.
+    ///
+    /// # Implementation
+    ///
+    /// The sweep is split in two, mirroring the silicon's pipelined
+    /// address decode feeding the coefficient RAM: a pure-integer decode
+    /// sweep producing `(segment, t)` for a chunk of inputs, then a
+    /// gather + Horner sweep over the chunk. Splitting keeps the decode
+    /// loop free of the FP latency chain and lets the out-of-order core
+    /// overlap independent Horner evaluations; every per-element
+    /// operation is the same as [`Segmentation::locate`] + the quartic
+    /// Horner of [`Self::eval`], so results are bit-for-bit unchanged.
+    pub fn eval_batch(&self, xs: &[f32], out: &mut [f32]) {
+        assert_eq!(xs.len(), out.len());
+        let seg = self.table.segmentation();
+        let rows = self.table.rows();
+        let (e_min, e_max, mbits) = (seg.e_min, seg.e_max, seg.mantissa_bits);
+        let rem_bits = 23 - mbits;
+        // 2^-rem_bits: exact, so `rem * t_scale` is bitwise identical to
+        // the `rem / 2^rem_bits` the scalar decode performs.
+        let t_scale = f32::from_bits((127 - rem_bits) << 23);
+        /// Sentinel for below-range lanes (including `x <= 0` and NaN).
+        const BELOW: u32 = u32::MAX;
+        /// Sentinel for at-or-above-range lanes.
+        const ABOVE: u32 = u32::MAX - 1;
+        const CHUNK: usize = 64;
+        let mut idx_buf = [0u32; CHUNK];
+        let mut t_buf = [0.0f32; CHUNK];
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let m = xc.len();
+            let (idx, ts) = (&mut idx_buf[..m], &mut t_buf[..m]);
+            for k in 0..m {
+                let v = xc[k];
+                let bits = v.to_bits();
+                let exp = ((bits >> 23) & 0xff) as i32 - 127;
+                let mantissa = bits & 0x7f_ffff;
+                let sub = mantissa >> rem_bits;
+                let raw = (((exp - e_min) as u32) << mbits) | sub;
+                let rem = mantissa & ((1u32 << rem_bits) - 1);
+                ts[k] = rem as f32 * t_scale;
+                // Same classification as `Segmentation::locate`: zero,
+                // negative, NaN and ±inf land below/above range.
+                idx[k] = if v <= 0.0 || !v.is_finite() || exp < e_min {
+                    BELOW
+                } else if exp >= e_max {
+                    ABOVE
+                } else {
+                    raw
+                };
             }
-            SegmentHit::Below => self.table.coefficients(0)[0],
-            SegmentHit::Above => 0.0,
+            for k in 0..m {
+                let index = idx[k];
+                oc[k] = if index < ABOVE {
+                    let c = &rows[index as usize];
+                    let t = ts[k];
+                    ((((c[4] * t) + c[3]) * t + c[2]) * t + c[1]) * t + c[0]
+                } else if index == BELOW {
+                    rows[0][0]
+                } else {
+                    0.0
+                };
+            }
         }
     }
 
-    /// Evaluate a batch (one per pipeline input); provided so emulator
-    /// inner loops don't repeat the match per call site.
+    /// Alias of [`Self::eval_batch`], kept for callers predating the
+    /// batched pipeline rework.
     pub fn eval_slice(&self, xs: &[f32], out: &mut [f32]) {
-        assert_eq!(xs.len(), out.len());
-        for (x, o) in xs.iter().zip(out.iter_mut()) {
-            *o = self.eval(*x);
-        }
+        self.eval_batch(xs, out);
     }
 }
 

@@ -121,9 +121,13 @@ impl Segmentation {
         let sub = (mantissa >> (23 - self.mantissa_bits)) as usize;
         let index = (((exp - self.e_min) as usize) << self.mantissa_bits) | sub;
         // Remaining mantissa bits form t ∈ [0,1) across the segment.
+        // `rem / 2^rem_bits` is computed as `rem · 2^-rem_bits`: both are
+        // exact (power-of-two scaling of an exactly representable
+        // integer), so the multiply is bitwise identical to the divide —
+        // and it keeps the address decode free of the FP divider.
         let rem_bits = 23 - self.mantissa_bits;
         let rem = mantissa & ((1u32 << rem_bits) - 1);
-        let t = rem as f32 / (1u32 << rem_bits) as f32;
+        let t = rem as f32 * f32::from_bits((127 - rem_bits) << 23);
         SegmentHit::In { index, t }
     }
 }

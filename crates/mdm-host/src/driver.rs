@@ -24,7 +24,7 @@
 use mdgrape2::chip::AtomCoefficients;
 use mdgrape2::jstore::JStore;
 use mdgrape2::pipeline::PipelineMode;
-use mdgrape2::system::{Mdgrape2Config, Mdgrape2System};
+use mdgrape2::system::{Mdgrape2Config, Mdgrape2System, RealSpaceMode};
 use mdgrape2::tables::GFunction;
 use mdgrape2::timing::MdgCounters;
 use mdm_core::ewald::EwaldParams;
@@ -72,6 +72,13 @@ pub struct MdmForceField {
     /// Only credit the Coulomb passes in the flop counters (the paper
     /// excludes "the force calculation other than the Coulomb").
     coulomb_pass_ops: u64,
+    /// The j-store carried across steps and refreshed in place (see
+    /// [`JStore::refresh`]); `None` until the first step.
+    jstore: Option<JStore>,
+    /// When false, rebuild the j-store from scratch every step instead
+    /// of refreshing — the pre-reuse behaviour, kept as an ablation knob
+    /// and for the incremental-vs-scratch equivalence tests.
+    jstore_reuse: bool,
 }
 
 impl MdmForceField {
@@ -118,6 +125,8 @@ impl MdmForceField {
             last_potential: None,
             last_counters: StepCounters::default(),
             coulomb_pass_ops: 0,
+            jstore: None,
+            jstore_reuse: true,
         })
     }
 
@@ -135,6 +144,35 @@ impl MdmForceField {
     pub fn set_potential_interval(&mut self, interval: u64) {
         assert!(interval >= 1);
         self.potential_interval = interval;
+    }
+
+    /// Toggle the Newton's-third-law software fast path (default off:
+    /// hardware-faithful, every ordered block pair evaluated). With it
+    /// on, pair evaluations halve and forces agree with the faithful
+    /// mode to f64 tolerance — not bitwise — so leave it off when
+    /// reproducing hardware numbers. See [`RealSpaceMode`].
+    pub fn set_n3l_fast_path(&mut self, on: bool) {
+        self.mdg.set_real_space_mode(if on {
+            RealSpaceMode::SoftwareN3l
+        } else {
+            RealSpaceMode::HardwareFaithful
+        });
+    }
+
+    /// Is the N3L fast path enabled?
+    pub fn n3l_fast_path(&self) -> bool {
+        self.mdg.real_space_mode() == RealSpaceMode::SoftwareN3l
+    }
+
+    /// Toggle j-store reuse across steps (default on). Off forces a
+    /// from-scratch [`JStore::build`] every step — bit-identical results
+    /// by the refresh contract, just slower; the equivalence tests run
+    /// both ways.
+    pub fn set_jstore_reuse(&mut self, on: bool) {
+        self.jstore_reuse = on;
+        if !on {
+            self.jstore = None;
+        }
     }
 
     /// The Ewald parameters.
@@ -255,10 +293,23 @@ impl ForceField for MdmForceField {
         self.last_counters = StepCounters::default();
         self.coulomb_pass_ops = 0;
 
-        // j-store shared by all MDGRAPE-2 passes this step.
+        // j-store shared by all MDGRAPE-2 passes this step: refreshed in
+        // place from the previous step when reuse is on (bit-identical
+        // to a from-scratch build — the JStore::refresh contract), built
+        // fresh otherwise.
         let jstore = {
             let _host = mdm_profile::span(mdm_profile::phase::HOST);
-            JStore::build(simbox, system.positions(), system.types(), self.params.r_cut)
+            match self.jstore.take() {
+                Some(mut js) if self.jstore_reuse => {
+                    js.refresh(simbox, system.positions(), system.types(), self.params.r_cut);
+                    mdm_profile::counter("jstore_refreshes", 1);
+                    js
+                }
+                _ => {
+                    mdm_profile::counter("jstore_builds", 1);
+                    JStore::build(simbox, system.positions(), system.types(), self.params.r_cut)
+                }
+            }
         };
 
         // --- MDGRAPE-2: four force passes. ---
@@ -339,6 +390,10 @@ impl ForceField for MdmForceField {
         // the Born–Mayer/dispersion passes, so the live flop meter
         // needs this count separately from the all-pass total.
         mdm_profile::counter("mdg_coulomb_pair_ops", self.coulomb_pass_ops);
+
+        if self.jstore_reuse {
+            self.jstore = Some(jstore);
+        }
 
         let coulomb = e_real + wave.energy + e_self;
         ForceResult {

@@ -55,19 +55,27 @@ impl WineChip {
 
     /// DFT pass: up to [`WAVES_PER_CHIP`] waves over one particle stream.
     /// Returns one accumulator per wave, in input order.
+    ///
+    /// The sweep is interleaved — each particle streams past every
+    /// resident wave before the next is fetched, as on silicon — which
+    /// is bitwise identical to per-wave sweeps because fixed-point
+    /// accumulation is exact. Ops are still attributed to the pipeline
+    /// holding each wave (round-robin), so cycle accounting is
+    /// unchanged.
     pub fn dft_pass(&mut self, waves: &[[i32; 3]], particles: &[WineParticle]) -> Vec<DftAccum> {
         assert!(waves.len() <= WAVES_PER_CHIP, "chip holds at most 16 waves");
-        let out = waves
-            .iter()
-            .enumerate()
-            .map(|(w, n)| self.pipelines[w % PIPELINES_PER_CHIP].dft_wave(*n, particles))
-            .collect();
+        let mut out = vec![DftAccum::default(); waves.len()];
+        crate::pipeline::dft_interleaved(self.pipelines[0].trig(), waves, particles, &mut out);
+        for w in 0..waves.len() {
+            self.pipelines[w % PIPELINES_PER_CHIP].add_ops(particles.len() as u64);
+        }
         self.cycles += particles.len() as u64 * waves.len().div_ceil(PIPELINES_PER_CHIP) as u64;
         out
     }
 
     /// IDFT pass: up to 16 resident waves accumulated into the shared
-    /// per-particle force accumulators.
+    /// per-particle force accumulators (interleaved like
+    /// [`Self::dft_pass`], with identical op/cycle attribution).
     pub fn idft_pass(
         &mut self,
         waves: &[IdftWave],
@@ -75,8 +83,9 @@ impl WineChip {
         out: &mut [IdftAccum],
     ) {
         assert!(waves.len() <= WAVES_PER_CHIP, "chip holds at most 16 waves");
-        for (w, wave) in waves.iter().enumerate() {
-            self.pipelines[w % PIPELINES_PER_CHIP].idft_wave(wave, particles, out);
+        crate::pipeline::idft_interleaved(self.pipelines[0].trig(), waves, particles, out);
+        for w in 0..waves.len() {
+            self.pipelines[w % PIPELINES_PER_CHIP].add_ops(particles.len() as u64);
         }
         self.cycles += particles.len() as u64 * waves.len().div_ceil(PIPELINES_PER_CHIP) as u64;
     }

@@ -35,6 +35,7 @@ pub mod board;
 pub mod chip;
 pub mod cluster;
 pub mod pipeline;
+mod simd;
 pub mod system;
 pub mod timing;
 

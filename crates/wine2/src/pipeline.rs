@@ -21,7 +21,7 @@
 //! host. This mirrors the real machine, where the host library prepared
 //! fixed-point images of all inputs.
 
-use mdm_fixed::{FixedAccum, Fx, Phase32, SinCosTable, Q30};
+use mdm_fixed::{FixedAccum, Phase32, SinCosTable, Q30};
 
 /// A particle as stored in WINE-2 particle memory: fractional position
 /// as three 32-bit turn fractions plus the pre-scaled charge.
@@ -165,6 +165,21 @@ impl WinePipeline {
         acc
     }
 
+    /// The pipeline's sine/cosine ROM — the chip-level interleaved
+    /// sweeps evaluate through it directly (every pipeline's ROM holds
+    /// identical contents, as on silicon).
+    pub(crate) fn trig(&self) -> &SinCosTable {
+        &self.trig
+    }
+
+    /// Credit `n` particle–wave operations to this pipeline: the
+    /// chip-level interleaved sweep executes them on the pipeline's
+    /// behalf but the op must still be attributed to the pipeline that
+    /// holds the wave, so cycle accounting is unchanged.
+    pub(crate) fn add_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
     /// IDFT mode: accumulate one wave's force contribution into the
     /// per-particle accumulators (`out.len() == particles.len()`).
     pub fn idft_wave(
@@ -174,18 +189,104 @@ impl WinePipeline {
         out: &mut [IdftAccum],
     ) {
         assert_eq!(particles.len(), out.len());
-        let nx: Fx<40, 30> = Fx::<40, 0>::wrap(wave.n[0] as i64).convert();
-        let ny: Fx<40, 30> = Fx::<40, 0>::wrap(wave.n[1] as i64).convert();
-        let nz: Fx<40, 30> = Fx::<40, 0>::wrap(wave.n[2] as i64).convert();
+        // The hardware multiplies g by the wave component n held as a
+        // wide Fx<40,30>; since the fractional bits of that operand are
+        // all zero, the truncating wide MAC collapses to the exact
+        // integer product g.raw · n (see `FixedAccum::mac_int`).
+        let [nx, ny, nz] = wave.n.map(i64::from);
         for (p, acc) in particles.iter().zip(out.iter_mut()) {
             let theta = Phase32::dot(wave.n, p.s);
             let (sin, cos) = self.trig.sin_cos(theta);
             // g = v·sinθ − u·cosθ (the bracket of eq. 11).
             let g = wave.v.mul_trunc(sin) - wave.u.mul_trunc(cos);
-            acc.f[0].mac(g, nx);
-            acc.f[1].mac(g, ny);
-            acc.f[2].mac(g, nz);
+            acc.f[0].mac_int(g, nx);
+            acc.f[1].mac_int(g, ny);
+            acc.f[2].mac_int(g, nz);
             self.ops += 1;
+        }
+    }
+}
+
+/// DFT with all resident waves advancing together down one particle
+/// stream — the dataflow of Fig. 6, where each particle fetched from
+/// SDRAM streams past *every* resident wave before the next one is
+/// read. Bitwise identical to per-wave [`WinePipeline::dft_wave`]
+/// sweeps (fixed-point accumulation is exact integer addition, so the
+/// summation order cannot change the result) but touches the particle
+/// stream once per 16-wave batch instead of once per wave.
+pub(crate) fn dft_interleaved(
+    trig: &SinCosTable,
+    waves: &[[i32; 3]],
+    particles: &[WineParticle],
+    accs: &mut [DftAccum],
+) {
+    assert_eq!(waves.len(), accs.len());
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::available(trig) {
+        let main = waves.len() - waves.len() % 8;
+        // SAFETY: `available` checked avx512f+avx512dq and the ROM width.
+        unsafe { crate::simd::dft_lanes(trig, &waves[..main], particles, &mut accs[..main]) };
+        dft_scalar(trig, &waves[main..], particles, &mut accs[main..]);
+        return;
+    }
+    dft_scalar(trig, waves, particles, accs);
+}
+
+/// The scalar interleaved DFT sweep — the dispatch fallback, and the
+/// reference the vector lanes are asserted bitwise-equal against.
+fn dft_scalar(
+    trig: &SinCosTable,
+    waves: &[[i32; 3]],
+    particles: &[WineParticle],
+    accs: &mut [DftAccum],
+) {
+    for p in particles {
+        for (n, acc) in waves.iter().zip(accs.iter_mut()) {
+            let theta = Phase32::dot(*n, p.s);
+            let (sin, cos) = trig.sin_cos(theta);
+            acc.s_plus_c.mac(p.q, sin + cos);
+            acc.s_minus_c.mac(p.q, sin - cos);
+        }
+    }
+}
+
+/// IDFT counterpart of [`dft_interleaved`]: one sweep over the particle
+/// stream with every resident wave contributing to the particle's force
+/// accumulator while it is hot, instead of one full sweep per wave.
+pub(crate) fn idft_interleaved(
+    trig: &SinCosTable,
+    waves: &[IdftWave],
+    particles: &[WineParticle],
+    out: &mut [IdftAccum],
+) {
+    assert_eq!(particles.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::available(trig) {
+        let main = waves.len() - waves.len() % 8;
+        // SAFETY: `available` checked avx512f+avx512dq and the ROM width.
+        unsafe { crate::simd::idft_lanes(trig, &waves[..main], particles, out) };
+        idft_scalar(trig, &waves[main..], particles, out);
+        return;
+    }
+    idft_scalar(trig, waves, particles, out);
+}
+
+/// The scalar interleaved IDFT sweep — the dispatch fallback, and the
+/// reference the vector lanes are asserted bitwise-equal against.
+fn idft_scalar(
+    trig: &SinCosTable,
+    waves: &[IdftWave],
+    particles: &[WineParticle],
+    out: &mut [IdftAccum],
+) {
+    for (p, acc) in particles.iter().zip(out.iter_mut()) {
+        for wave in waves {
+            let theta = Phase32::dot(wave.n, p.s);
+            let (sin, cos) = trig.sin_cos(theta);
+            let g = wave.v.mul_trunc(sin) - wave.u.mul_trunc(cos);
+            acc.f[0].mac_int(g, wave.n[0] as i64);
+            acc.f[1].mac_int(g, wave.n[1] as i64);
+            acc.f[2].mac_int(g, wave.n[2] as i64);
         }
     }
 }

@@ -1,0 +1,313 @@
+//! AVX-512 lanes for the interleaved DFT/IDFT sweeps.
+//!
+//! The fixed-point datapath is exactly reproducible in SIMD because
+//! every operation is integer arithmetic with defined wrap semantics:
+//! phase accumulation wraps modulo 2³², Q30 datapath values wrap modulo
+//! 2³² (reproduced by a shift-pair sign extension in each 64-bit lane),
+//! and the truncating multiplies fit one 64-bit word (operands are
+//! 32-bit registers, so the full product needs at most 63 bits). Each
+//! kernel therefore produces **bitwise identical** accumulator contents
+//! to the scalar sweeps in [`crate::pipeline`] — the equivalence is
+//! asserted by the `scalar_simd_equivalence` tests below on any machine
+//! that runs the SIMD path.
+//!
+//! Lane layout: one lane per resident wave (8 waves per 512-bit
+//! register at 64 bits each), the particle stream in the outer loop —
+//! the same interleaved dataflow as the scalar sweep. Per particle the
+//! sine/cosine ROM is read with one 64-bit gather per evaluation: the
+//! ROM stores adjacent Q30 words, so the gather returns both linear
+//! interpolation endpoints `(table[i], table[i+1])` in one lane.
+//!
+//! Partial sums stay in i64 lanes across the particle loop: a DFT term
+//! `(q·(sin±cos)) >> 30` is below 2³³ and a board holds at most 2²⁰
+//! particles, so the running sum is below 2⁵³ — folded exactly into the
+//! wide accumulators afterwards ([`mdm_fixed::FixedAccum::fold_partial`]).
+//!
+//! The kernels require AVX-512 F + DQ (`vpmullq`, `vpsraq`) and the
+//! default 12-bit ROM (shift counts are const generics); anything else
+//! falls back to the scalar sweeps.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::pipeline::{DftAccum, IdftAccum, IdftWave, WineParticle};
+use mdm_fixed::SinCosTable;
+use std::arch::x86_64::*;
+
+/// ROM index width the kernels are specialised for (the WINE-2 default).
+pub(crate) const INDEX_BITS: u32 = 12;
+const IDX_SHIFT: u32 = 32 - INDEX_BITS; // 20: high bits → table index
+const FRAC_SHIFT: u32 = INDEX_BITS - 2; // 10: low bits → Q30 fraction
+const LOW_MASK: i32 = ((1u32 << IDX_SHIFT) - 1) as i32;
+
+/// Runtime gate for the kernels.
+#[inline]
+pub(crate) fn available(trig: &SinCosTable) -> bool {
+    trig.index_bits() == INDEX_BITS
+        && is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx512dq")
+}
+
+/// Wrap each 64-bit lane to its low 32 bits, sign-extended — the Q30
+/// register wrap (`Fx::<32, 30>::wrap`).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn wrap32(x: __m512i) -> __m512i {
+    _mm512_srai_epi64::<32>(_mm512_slli_epi64::<32>(x))
+}
+
+/// `sin(2π·phase)` for 8 phases (u32 turn fractions in i32 lanes):
+/// table lookup on the high bits, linear interpolation on the low bits,
+/// bit-exact against [`SinCosTable::sin`]. Returns sign-extended Q30
+/// values in i64 lanes.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn sin_lanes(words: *const i64, phase: __m256i) -> __m512i {
+    // split_index: top 12 bits → index, low 20 bits << 10 → Q30 fraction.
+    let idx = _mm256_srli_epi32::<{ IDX_SHIFT as i32 }>(phase);
+    let low = _mm256_and_si256(phase, _mm256_set1_epi32(LOW_MASK));
+    let frac = _mm512_cvtepi32_epi64(_mm256_slli_epi32::<{ FRAC_SHIFT as i32 }>(low));
+    // One 64-bit gather per lane picks up both interpolation endpoints
+    // (idx ≤ 2¹² − 1 and the ROM has 2¹² + 1 entries, so the high word
+    // `table[idx + 1]` is always in bounds).
+    let pair = _mm512_i32gather_epi64::<4>(idx, words);
+    let a = _mm512_srai_epi64::<32>(_mm512_slli_epi64::<32>(pair));
+    let b = _mm512_srai_epi64::<32>(pair);
+    // a + (b − a)·frac with the datapath's truncating multiply; the Q30
+    // wraps after the shift and after the add mirror `mul_trunc`/`Add`.
+    let interp = wrap32(_mm512_srai_epi64::<30>(_mm512_mullo_epi64(
+        _mm512_sub_epi64(b, a),
+        frac,
+    )));
+    wrap32(_mm512_add_epi64(a, interp))
+}
+
+/// Phase vector `θ = n⃗·s⃗` for 8 waves against one particle (wrapping
+/// 32-bit multiplies and adds — the hardware inner-product stage).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn theta_lanes(
+    nx: __m256i,
+    ny: __m256i,
+    nz: __m256i,
+    p: &WineParticle,
+) -> __m256i {
+    let sx = _mm256_set1_epi32(p.s[0].raw() as i32);
+    let sy = _mm256_set1_epi32(p.s[1].raw() as i32);
+    let sz = _mm256_set1_epi32(p.s[2].raw() as i32);
+    _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_mullo_epi32(nx, sx), _mm256_mullo_epi32(ny, sy)),
+        _mm256_mullo_epi32(nz, sz),
+    )
+}
+
+/// Load one wave-vector component for 8 waves into i32 lanes.
+#[inline]
+unsafe fn component(waves: &[[i32; 3]], axis: usize) -> __m256i {
+    let v = [
+        waves[0][axis],
+        waves[1][axis],
+        waves[2][axis],
+        waves[3][axis],
+        waves[4][axis],
+        waves[5][axis],
+        waves[6][axis],
+        waves[7][axis],
+    ];
+    _mm256_loadu_si256(v.as_ptr().cast())
+}
+
+/// The vector body of [`crate::pipeline::dft_interleaved`]: 8 waves per
+/// register, remainder waves delegated back to the scalar sweep by the
+/// caller.
+///
+/// # Safety
+/// Requires AVX-512 F + DQ (checked by [`available`]) and a 12-bit ROM.
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) unsafe fn dft_lanes(
+    trig: &SinCosTable,
+    waves: &[[i32; 3]],
+    particles: &[WineParticle],
+    accs: &mut [DftAccum],
+) {
+    debug_assert_eq!(waves.len() % 8, 0);
+    debug_assert_eq!(waves.len(), accs.len());
+    let words = trig.words().as_ptr().cast::<i64>();
+    let quarter = _mm256_set1_epi32(1i32 << 30);
+    for (wchunk, achunk) in waves.chunks_exact(8).zip(accs.chunks_exact_mut(8)) {
+        let nx = component(wchunk, 0);
+        let ny = component(wchunk, 1);
+        let nz = component(wchunk, 2);
+        let mut acc_plus = _mm512_setzero_si512();
+        let mut acc_minus = _mm512_setzero_si512();
+        for p in particles {
+            let theta = theta_lanes(nx, ny, nz, p);
+            let sin = sin_lanes(words, theta);
+            let cos = sin_lanes(words, _mm256_add_epi32(theta, quarter));
+            // The paired accumulation: q·(sinθ ± cosθ), truncated to
+            // Q30 fraction bits, summed exactly in the i64 lane.
+            let sp = wrap32(_mm512_add_epi64(sin, cos));
+            let sm = wrap32(_mm512_sub_epi64(sin, cos));
+            let q = _mm512_set1_epi64(p.q.raw());
+            acc_plus = _mm512_add_epi64(
+                acc_plus,
+                _mm512_srai_epi64::<30>(_mm512_mullo_epi64(q, sp)),
+            );
+            acc_minus = _mm512_add_epi64(
+                acc_minus,
+                _mm512_srai_epi64::<30>(_mm512_mullo_epi64(q, sm)),
+            );
+        }
+        let mut plus = [0i64; 8];
+        let mut minus = [0i64; 8];
+        _mm512_storeu_si512(plus.as_mut_ptr().cast(), acc_plus);
+        _mm512_storeu_si512(minus.as_mut_ptr().cast(), acc_minus);
+        let terms = particles.len() as u64;
+        for (k, acc) in achunk.iter_mut().enumerate() {
+            acc.s_plus_c.fold_partial(plus[k], terms);
+            acc.s_minus_c.fold_partial(minus[k], terms);
+        }
+    }
+}
+
+/// The vector body of [`crate::pipeline::idft_interleaved`]: 8 waves
+/// per register contribute to each particle's force accumulator while
+/// the particle is hot.
+///
+/// # Safety
+/// Requires AVX-512 F + DQ (checked by [`available`]) and a 12-bit ROM.
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) unsafe fn idft_lanes(
+    trig: &SinCosTable,
+    waves: &[IdftWave],
+    particles: &[WineParticle],
+    out: &mut [IdftAccum],
+) {
+    debug_assert_eq!(waves.len() % 8, 0);
+    debug_assert_eq!(particles.len(), out.len());
+    let words = trig.words().as_ptr().cast::<i64>();
+    let quarter = _mm256_set1_epi32(1i32 << 30);
+    for wchunk in waves.chunks_exact(8) {
+        let ns: Vec<[i32; 3]> = wchunk.iter().map(|w| w.n).collect();
+        let nx32 = component(&ns, 0);
+        let ny32 = component(&ns, 1);
+        let nz32 = component(&ns, 2);
+        let nx = _mm512_cvtepi32_epi64(nx32);
+        let ny = _mm512_cvtepi32_epi64(ny32);
+        let nz = _mm512_cvtepi32_epi64(nz32);
+        let uv: Vec<i64> = wchunk.iter().map(|w| w.u.raw()).collect();
+        let vv: Vec<i64> = wchunk.iter().map(|w| w.v.raw()).collect();
+        let u = _mm512_loadu_si512(uv.as_ptr().cast());
+        let v = _mm512_loadu_si512(vv.as_ptr().cast());
+        for (p, acc) in particles.iter().zip(out.iter_mut()) {
+            let theta = theta_lanes(nx32, ny32, nz32, p);
+            let sin = sin_lanes(words, theta);
+            let cos = sin_lanes(words, _mm256_add_epi32(theta, quarter));
+            // g = v·sinθ − u·cosθ with Q30 truncating multiplies and
+            // register wraps, exactly as the scalar datapath.
+            let vs = wrap32(_mm512_srai_epi64::<30>(_mm512_mullo_epi64(v, sin)));
+            let uc = wrap32(_mm512_srai_epi64::<30>(_mm512_mullo_epi64(u, cos)));
+            let g = wrap32(_mm512_sub_epi64(vs, uc));
+            // g·n per axis, summed across the 8 wave lanes; every term
+            // is far below 2⁶⁰, so the i64 reduction is exact and
+            // matches 8 sequential `mac_int` calls.
+            let f0 = _mm512_reduce_add_epi64(_mm512_mullo_epi64(g, nx));
+            let f1 = _mm512_reduce_add_epi64(_mm512_mullo_epi64(g, ny));
+            let f2 = _mm512_reduce_add_epi64(_mm512_mullo_epi64(g, nz));
+            acc.f[0].fold_partial(f0, 8);
+            acc.f[1].fold_partial(f1, 8);
+            acc.f[2].fold_partial(f2, 8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::WinePipeline;
+    use mdm_fixed::{Phase32, Q30};
+
+    /// Deterministic pseudo-random particle stream covering the full
+    /// phase range and signed charges (xorshift; no external RNG).
+    fn particles(count: usize) -> Vec<WineParticle> {
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|i| {
+                let s = [
+                    Phase32::from_raw(next() as u32),
+                    Phase32::from_raw(next() as u32),
+                    Phase32::from_raw(next() as u32),
+                ];
+                let q = Q30::from_f64(if i % 2 == 0 { 0.93 } else { -0.87 });
+                WineParticle { s, q }
+            })
+            .collect()
+    }
+
+    fn wave_vectors(count: usize) -> Vec<[i32; 3]> {
+        (0..count as i32)
+            .map(|k| [k % 7 - 3, (k * 5) % 11 - 5, (k * 3) % 9 - 4])
+            .collect()
+    }
+
+    #[test]
+    fn dft_lanes_bitwise_match_per_wave_sweeps() {
+        let trig = SinCosTable::default();
+        if !available(&trig) {
+            eprintln!("skipping: AVX-512 F/DQ not available on this host");
+            return;
+        }
+        let waves = wave_vectors(16);
+        let ps = particles(257);
+        let mut accs = vec![DftAccum::default(); waves.len()];
+        unsafe { dft_lanes(&trig, &waves, &ps, &mut accs) };
+        let mut pipe = WinePipeline::new();
+        for (n, acc) in waves.iter().zip(&accs) {
+            let reference = pipe.dft_wave(*n, &ps);
+            assert_eq!(acc.s_plus_c.raw(), reference.s_plus_c.raw(), "wave {n:?}");
+            assert_eq!(acc.s_minus_c.raw(), reference.s_minus_c.raw(), "wave {n:?}");
+            assert_eq!(acc.s_plus_c.terms(), ps.len() as u64);
+        }
+    }
+
+    #[test]
+    fn idft_lanes_bitwise_match_per_wave_sweeps() {
+        let trig = SinCosTable::default();
+        if !available(&trig) {
+            eprintln!("skipping: AVX-512 F/DQ not available on this host");
+            return;
+        }
+        let waves: Vec<IdftWave> = wave_vectors(8)
+            .into_iter()
+            .enumerate()
+            .map(|(k, n)| IdftWave {
+                n,
+                u: Q30::from_f64(0.11 * k as f64 - 0.4),
+                v: Q30::from_f64(0.35 - 0.09 * k as f64),
+            })
+            .collect();
+        let ps = particles(131);
+        let mut out = vec![IdftAccum::default(); ps.len()];
+        unsafe { idft_lanes(&trig, &waves, &ps, &mut out) };
+        let mut pipe = WinePipeline::new();
+        let mut reference = vec![IdftAccum::default(); ps.len()];
+        for wave in &waves {
+            pipe.idft_wave(wave, &ps, &mut reference);
+        }
+        for (i, (got, want)) in out.iter().zip(&reference).enumerate() {
+            for axis in 0..3 {
+                assert_eq!(
+                    got.f[axis].raw(),
+                    want.f[axis].raw(),
+                    "particle {i} axis {axis}"
+                );
+                assert_eq!(got.f[axis].terms(), want.f[axis].terms());
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Equivalence guarantees of the real-space fast paths, pinned at the
+//! integration level: the batched SoA pipeline against the per-pair
+//! reference (bitwise), the Newton's-third-law software fast path
+//! against the hardware-faithful streaming pattern (f64 tolerance), and
+//! the incremental j-store refresh against a scratch rebuild every step
+//! (bitwise trajectories), each at both CI thread counts.
+
+use mdgrape2::board::{IBatch, IParticle, MdgBoard};
+use mdgrape2::chip::AtomCoefficients;
+use mdgrape2::jstore::JStore;
+use mdgrape2::pipeline::PipelineMode;
+use mdgrape2::tables::GFunction;
+use mdm::core::boxsim::SimBox;
+use mdm::core::forcefield::{ForceField, ForceResult};
+use mdm::core::integrate::Simulation;
+use mdm::core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+use mdm::core::system::System;
+use mdm::core::vec3::Vec3;
+use mdm::core::velocities::maxwell_boltzmann;
+use mdm::host::driver::MdmForceField;
+use rayon::with_num_threads;
+
+/// A short hot run so every per-particle force is non-trivial (perfect
+/// lattice forces cancel by symmetry).
+fn molten_snapshot(cells: usize, temp: f64, seed: u64) -> System {
+    let mut system = rocksalt_nacl(cells, NACL_LATTICE_A);
+    maxwell_boltzmann(&mut system, temp, seed);
+    let ff = MdmForceField::nacl_default(system.simbox().l()).unwrap();
+    let mut sim = Simulation::new(system, ff, 2.0);
+    sim.run(3);
+    sim.system().clone()
+}
+
+/// A configuration engineered to hit every function-evaluator argument
+/// class: generic mid-range pairs, a near-coincident pair whose `r²`
+/// falls below the table's lower segment boundary, and well-separated
+/// particles whose block pairs exceed the upper boundary.
+fn stress_config() -> (SimBox, Vec<Vec3>, Vec<u8>) {
+    let l = 24.0;
+    let sb = SimBox::cubic(l);
+    let mut pos = Vec::new();
+    // Generic cloud (deterministic low-discrepancy fill).
+    for i in 0..96u32 {
+        let t = i as f64;
+        pos.push(Vec3::new(
+            (t * 0.754_877_666).fract() * l,
+            (t * 0.569_840_291).fract() * l,
+            (t * 0.362_912_223).fract() * l,
+        ));
+    }
+    // Near-coincident pair: r ≈ 1e-3 Å, r² far below any table start.
+    pos.push(Vec3::new(3.0, 3.0, 3.0));
+    pos.push(Vec3::new(3.0 + 1e-3, 3.0, 3.0));
+    // An isolated corner particle: its same-cell pairs are empty and its
+    // far diagonal pairs land beyond the table's upper range.
+    pos.push(Vec3::new(l - 0.1, l - 0.1, l - 0.1));
+    let ty = (0..pos.len()).map(|i| (i % 2) as u8).collect();
+    (sb, pos, ty)
+}
+
+fn i_particles(pos: &[Vec3], ty: &[u8], js: &JStore) -> Vec<IParticle> {
+    pos.iter()
+        .enumerate()
+        .map(|(i, p)| IParticle {
+            pos: [p.x as f32, p.y as f32, p.z as f32],
+            ty: ty[i],
+            cell: js.cell_of(i) as u32,
+            original: i as u32,
+        })
+        .collect()
+}
+
+/// The batched j-cell pipeline must reproduce the per-pair reference
+/// bit for bit — for all four production force kernels, both pipeline
+/// modes, and inputs that exercise the evaluator's out-of-range
+/// classes (arguments below the first and beyond the last table
+/// segment), at both CI thread counts.
+#[test]
+fn batched_block2_bitwise_matches_per_pair_including_out_of_range() {
+    let (sb, pos, ty) = stress_config();
+    let js = JStore::build(sb, &pos, &ty, 6.0);
+    let coeffs = AtomCoefficients::new(
+        &[vec![1.0, 0.8], vec![0.8, 0.6]],
+        &[vec![-2.0, -1.5], vec![-1.5, -1.0]],
+    );
+    for threads in [1usize, 4] {
+        with_num_threads(threads, || {
+            for g in [
+                GFunction::CoulombRealForce,
+                GFunction::BornMayerForce,
+                GFunction::Dispersion6Force,
+                GFunction::Dispersion8Force,
+            ] {
+                let mut batched_board =
+                    MdgBoard::new(g.build_evaluator().unwrap(), coeffs.clone());
+                let mut per_pair_board =
+                    MdgBoard::new(g.build_evaluator().unwrap(), coeffs.clone());
+                for mode in [PipelineMode::Force, PipelineMode::Potential] {
+                    let batch = IBatch::stage(&pos, &ty, &js);
+                    let batched =
+                        batched_board.calc_block2(mode, &batch, 0..batch.len(), &js);
+                    let reference = per_pair_board.calc_block2_per_pair(
+                        mode,
+                        &i_particles(&pos, &ty, &js),
+                        &js,
+                    );
+                    for (i, (a, b)) in batched.iter().zip(&reference).enumerate() {
+                        assert_eq!(
+                            a.acc, b.acc,
+                            "{g:?} {mode:?} particle {i} ({threads} threads)"
+                        );
+                        assert_eq!(a.ops, b.ops, "{g:?} {mode:?} particle {i} op count");
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// The Newton's-third-law fast path evaluates each pair's f32 kernel
+/// once and applies ±f⃗, while the hardware-faithful pattern evaluates
+/// both directions — whose f32 roundings differ (r⃗ seen from i vs from
+/// j through the periodic shift). Agreement is therefore at f32 pair
+/// precision accumulated in f64 (~10⁻⁷ relative per pair), not
+/// bitwise; the f64 accumulation itself adds nothing beyond that.
+#[test]
+fn n3l_fast_path_forces_agree_to_pair_precision() {
+    let system = molten_snapshot(3, 1500.0, 17);
+    let l = system.simbox().l();
+
+    let eval = |n3l: bool, threads: usize| -> ForceResult {
+        with_num_threads(threads, || {
+            let mut ff = MdmForceField::nacl_default(l).unwrap();
+            ff.set_n3l_fast_path(n3l);
+            ff.compute(&system)
+        })
+    };
+
+    for threads in [1usize, 4] {
+        let faithful = eval(false, threads);
+        let n3l = eval(true, threads);
+        let scale = faithful
+            .forces
+            .iter()
+            .map(|f| f.norm())
+            .fold(0.0f64, f64::max);
+        assert!(scale > 0.0, "degenerate snapshot: all forces vanish");
+        for (i, (a, b)) in faithful.forces.iter().zip(&n3l.forces).enumerate() {
+            let rel = (*a - *b).norm() / scale;
+            assert!(
+                rel < 1e-5,
+                "particle {i}: rel {rel:.3e} ({threads} threads)"
+            );
+        }
+        let pot_rel = ((faithful.potential - n3l.potential) / faithful.potential).abs();
+        assert!(pot_rel < 1e-6, "potential rel {pot_rel:.3e}");
+    }
+}
+
+/// Incremental j-store refresh vs scratch rebuild every step, over a
+/// 100-step NaCl trajectory: the refresh path must leave no trace in
+/// the physics — positions stay bitwise identical — at both CI thread
+/// counts. Hot enough that particles cross cell boundaries and the
+/// refresh takes its re-sort branch, not just the in-place one.
+#[test]
+fn incremental_jstore_trajectory_bitwise_matches_scratch_rebuild() {
+    let run = |reuse: bool, threads: usize| -> Vec<Vec3> {
+        with_num_threads(threads, || {
+            let mut system = rocksalt_nacl(2, NACL_LATTICE_A);
+            maxwell_boltzmann(&mut system, 1800.0, 7);
+            let mut ff = MdmForceField::nacl_default(system.simbox().l()).unwrap();
+            ff.set_jstore_reuse(reuse);
+            let mut sim = Simulation::new(system, ff, 2.0);
+            sim.run(100);
+            sim.system().positions().to_vec()
+        })
+    };
+
+    let scratch = run(false, 1);
+    for threads in [1usize, 4] {
+        let incremental = run(true, threads);
+        assert_eq!(
+            scratch, incremental,
+            "incremental refresh changed the trajectory ({threads} threads)"
+        );
+    }
+}
