@@ -31,7 +31,9 @@
 //!   gating job fast while the full ladder stays in the baseline for
 //!   local runs.
 
-use mdm_bench::stepprof::{cells_for_particles, profile_size_repeat, DEFAULT_REPEAT};
+use mdm_bench::stepprof::{
+    backend_of_label, cells_for_particles, profile_size_repeat_lr, DEFAULT_REPEAT,
+};
 use mdm_profile::compare::CompareReport;
 use mdm_profile::report::{BenchFile, StepReport};
 use std::process::ExitCode;
@@ -121,11 +123,14 @@ fn main() -> ExitCode {
                 )
             });
             let steps = steps_override.unwrap_or(base.steps.max(1));
+            // Rows labelled `-lr-{backend}` were measured with that
+            // wavenumber backend; re-measure them the same way.
+            let backend = backend_of_label(&base.label);
             eprintln!(
-                "re-measuring {} (N = {}, {cells} cells per side, {steps} steps, best of {repeat})...",
+                "re-measuring {} (N = {}, {cells} cells per side, {steps} steps, best of {repeat}, longrange={backend})...",
                 base.label, base.n_particles
             );
-            profile_size_repeat(cells, steps, repeat)
+            profile_size_repeat_lr(cells, steps, repeat, false, backend)
         })
         .collect();
     let current = BenchFile {

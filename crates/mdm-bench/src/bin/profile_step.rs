@@ -31,6 +31,13 @@
 //!   streaming pattern (see `RealSpaceMode`); forces agree to f64
 //!   rounding, not bitwise, so baselines recorded with `--json` should
 //!   note the mode;
+//! * `--longrange B` — wavenumber backend for the profiled steps:
+//!   `wine2` (default, the emulated board), `ewald`, `ewald-serial`,
+//!   `pme`, or `pswf`. Non-default backends append `-lr-B` to the
+//!   report labels. With `--json` at the default backend, the baseline
+//!   additionally gets the informational backend-shootout rows
+//!   (N = 4,096 × {ewald, pme, pswf}; N = 32,768 × {ewald, pswf}) when
+//!   those sizes are in the ladder;
 //! * `--trace FILE` — also write a Chrome trace-event file (open in
 //!   Perfetto or `chrome://tracing`) with one track per emulated
 //!   device: MDGRAPE-2, WINE-2, comm, host;
@@ -39,7 +46,7 @@
 //!   verdicts).
 
 use mdm_bench::stepprof::{
-    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat_mode,
+    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat_lr,
     DEFAULT_REPEAT,
 };
 use mdm_profile::report::{BenchFile, StepReport};
@@ -128,6 +135,7 @@ fn main() {
     let mut repeat: u64 = DEFAULT_REPEAT;
     let mut cells: Vec<usize> = vec![4, 8, 16];
     let mut n3l = false;
+    let mut longrange = "wine2".to_string();
     let mut trace_path: Option<String> = None;
     let mut record_path: Option<String> = None;
 
@@ -171,6 +179,14 @@ fn main() {
                     .collect();
             }
             "--n3l" => n3l = true,
+            "--longrange" => {
+                longrange = args.next().expect("--longrange needs a backend name");
+                assert!(
+                    mdm_host::LONGRANGE_BACKENDS.contains(&longrange.as_str()),
+                    "unknown backend {longrange:?} (known: {:?})",
+                    mdm_host::LONGRANGE_BACKENDS
+                );
+            }
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs an output path"));
             }
@@ -178,7 +194,7 @@ fn main() {
                 record_path = Some(args.next().expect("--record needs an output path"));
             }
             other => panic!(
-                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --n3l, --trace, --record)"
+                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --n3l, --longrange, --trace, --record)"
             ),
         }
     }
@@ -190,20 +206,51 @@ fn main() {
             .unwrap_or_else(|e| panic!("create {path}: {e}"))
     });
 
+    if recorder_sink.is_some() {
+        assert!(
+            longrange == "wine2",
+            "--record profiles the default wine2 backend; drop --longrange"
+        );
+    }
+
     if trace_path.is_some() {
         mdm_profile::timeline_start();
     }
-    let reports: Vec<StepReport> = cells
+    let mut reports: Vec<StepReport> = cells
         .iter()
         .map(|&c| {
-            eprintln!("profiling {} particles ({c} cells per side)...", 8 * c * c * c);
+            eprintln!(
+                "profiling {} particles ({c} cells per side, longrange={longrange})...",
+                8 * c * c * c
+            );
             match recorder_sink.as_mut() {
                 Some(sink) => profile_size_recorded(c, steps, sink)
                     .expect("write flight recording"),
-                None => profile_size_repeat_mode(c, steps, repeat, n3l),
+                None => profile_size_repeat_lr(c, steps, repeat, n3l, &longrange),
             }
         })
         .collect();
+
+    // Baseline shootout rows: at the default backend, `--json` also
+    // measures the software backends at the sizes the acceptance
+    // criteria pin (informational for bench_compare — extra rows never
+    // gate, but once in the baseline they are re-measured and diffed).
+    if json && longrange == "wine2" {
+        let shootout: &[(usize, &[&str])] =
+            &[(8, &["ewald", "pme", "pswf"]), (16, &["ewald", "pswf"])];
+        for &(c, backends) in shootout {
+            if !cells.contains(&c) {
+                continue;
+            }
+            for backend in backends {
+                eprintln!(
+                    "shootout row: {} particles, longrange={backend}...",
+                    8 * c * c * c
+                );
+                reports.push(profile_size_repeat_lr(c, steps, repeat, n3l, backend));
+            }
+        }
+    }
     if let Some(path) = &trace_path {
         let timeline = mdm_profile::timeline_stop();
         let trace = mdm_profile::trace::chrome_trace(&timeline);

@@ -63,22 +63,47 @@ pub fn build_sim(cells: usize) -> Simulation<MdmForceField> {
 /// once, action and reaction both applied), `false` keeps the
 /// hardware-faithful no-N3L streaming pattern.
 pub fn build_sim_mode(cells: usize, n3l: bool) -> Simulation<MdmForceField> {
+    build_sim_lr(cells, n3l, "wine2")
+}
+
+/// [`build_sim_mode`] with the wavenumber backend chosen by name —
+/// `"wine2"` (the emulated board, the default everywhere), `"ewald"`,
+/// `"pme"`, `"pswf"`, … (see [`mdm_host::driver::LONGRANGE_BACKENDS`]).
+pub fn build_sim_lr(cells: usize, n3l: bool, longrange: &str) -> Simulation<MdmForceField> {
     let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
     let n = system.len();
     let l = system.simbox().l();
     maxwell_boltzmann(&mut system, T_MELT, 2000 + cells as u64);
 
-    let mut ff =
-        MdmForceField::new(balanced_params(l, n), 2, 2).expect("function tables build");
+    let params = balanced_params(l, n);
+    let mut ff = MdmForceField::new(params, 2, 2).expect("function tables build");
     // The paper amortised the energy-mode passes over 100 steps; push
     // them out of the profiled window entirely so every timed step is
     // the steady-state force-only step of Table 4.
     ff.set_potential_interval(u64::MAX);
     ff.set_n3l_fast_path(n3l);
+    if longrange != "wine2" {
+        let backend = mdm_host::driver::longrange_by_name(longrange, &params, l, 2)
+            .unwrap_or_else(|| {
+                panic!(
+                    "unknown long-range backend {longrange:?} (known: {:?})",
+                    mdm_host::LONGRANGE_BACKENDS
+                )
+            });
+        ff.set_longrange(backend);
+    }
 
     // Warmup: Simulation::new evaluates the initial forces (first-time
     // table uploads, the one potential pass) outside the timed window.
     Simulation::new(system, ff, 2.0)
+}
+
+/// The wavenumber backend a report label encodes: `nacl-4096` ran the
+/// default `wine2`, `nacl-4096-lr-pswf` ran `pswf`. The inverse of the
+/// labelling in [`profile_size_repeat_lr`], used by `bench_compare` to
+/// re-measure a baseline row with the backend that produced it.
+pub fn backend_of_label(label: &str) -> &str {
+    label.split("-lr-").nth(1).unwrap_or("wine2")
 }
 
 /// Stamp the modeled per-step hardware times (from the cycle counters
@@ -119,8 +144,18 @@ fn set_gflops(report: &mut StepReport) {
     }
     let wave_seconds = phase_total(report, phase::WAVE);
     if wave_seconds > 0.0 {
-        let flops = mdm_core::flops::FLOPS_PER_WAVE_DFT * counter(report, "wine_dft_ops")
-            + mdm_core::flops::FLOPS_PER_WAVE_IDFT * counter(report, "wine_idft_ops");
+        let (dft, idft) = (
+            counter(report, "wine_dft_ops"),
+            counter(report, "wine_idft_ops"),
+        );
+        // Paper-credited DFT/IDFT pricing when the wave engine counts
+        // particle–wave ops; mesh backends (PME, PSWF) stamp their
+        // estimated cost on `longrange_flops` instead.
+        let flops = if dft + idft > 0.0 {
+            mdm_core::flops::FLOPS_PER_WAVE_DFT * dft + mdm_core::flops::FLOPS_PER_WAVE_IDFT * idft
+        } else {
+            counter(report, "longrange_flops")
+        };
         report.set_gflops(phase::WAVE, flops / wave_seconds / 1e9);
     }
 }
@@ -153,8 +188,21 @@ pub fn profile_size_repeat(cells: usize, steps: u64, repeat: u64) -> StepReport 
 /// [`profile_size_repeat`] with the real-space mode chosen (see
 /// [`build_sim_mode`]); what `profile_step --n3l` runs.
 pub fn profile_size_repeat_mode(cells: usize, steps: u64, repeat: u64, n3l: bool) -> StepReport {
+    profile_size_repeat_lr(cells, steps, repeat, n3l, "wine2")
+}
+
+/// [`profile_size_repeat_mode`] with the wavenumber backend chosen by
+/// name; non-default backends get `-lr-{name}` appended to the report
+/// label so baseline rows stay distinguishable.
+pub fn profile_size_repeat_lr(
+    cells: usize,
+    steps: u64,
+    repeat: u64,
+    n3l: bool,
+    longrange: &str,
+) -> StepReport {
     assert!(repeat >= 1, "need at least one repetition");
-    let mut sim = build_sim_mode(cells, n3l);
+    let mut sim = build_sim_lr(cells, n3l, longrange);
     measure_best_of(&mut sim, steps, repeat, true)
 }
 
@@ -181,8 +229,14 @@ fn measure_best_of(
     }
     let (total, profile) = best.expect("repeat >= 1");
 
+    let lr = sim.force_field().longrange().name();
+    let label = if lr == "wine2" {
+        format!("nacl-{n}")
+    } else {
+        format!("nacl-{n}-lr-{lr}")
+    };
     let mut report = StepReport::from_profile(
-        format!("nacl-{n}"),
+        label,
         n as u64,
         steps,
         total,

@@ -33,6 +33,37 @@ pub struct RecipResult {
     pub structure_factors: Vec<(f64, f64)>,
 }
 
+/// Lightweight result of the scratch-reusing path: no structure-factor
+/// handoff, so the buffers stay inside [`RecipScratch`] across steps.
+#[derive(Clone, Debug)]
+pub struct RecipEval {
+    /// Reciprocal-space energy (eV).
+    pub energy: f64,
+    /// Per-particle forces (eV/Å).
+    pub forces: Vec<Vec3>,
+    /// Reciprocal-space virial (eV).
+    pub virial: f64,
+}
+
+/// Reusable intermediate buffers for [`recip_space_cached`]. A backend
+/// holds one of these across steps so the per-call `Vec` churn of the
+/// original `recip_space` (fractional coordinates, structure factors,
+/// weighted IDFT coefficients — three allocations per step) disappears
+/// after the first call: every later step reuses the grown capacity.
+#[derive(Default)]
+pub struct RecipScratch {
+    fractional: Vec<Vec3>,
+    sf: Vec<(f64, f64)>,
+    coeffs: Vec<(Vec3, f64, f64)>,
+}
+
+impl RecipScratch {
+    /// The structure factors `(Sₙ, Cₙ)` from the most recent evaluation.
+    pub fn structure_factors(&self) -> &[(f64, f64)] {
+        &self.sf
+    }
+}
+
 /// The Gaussian spectral coefficient `aₙ' = e^(−π²n²/α²)/n²` (the
 /// paper's `aₙ` of eq. 12, nondimensionalised by `L²`).
 #[inline]
@@ -48,12 +79,10 @@ pub fn structure_factors(
     charges: &[f64],
     waves: &[KVector],
 ) -> Vec<(f64, f64)> {
-    let _span = mdm_profile::span("dft");
-    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
-    waves
-        .iter()
-        .map(|k| dft_one_wave(k, &fractional, charges))
-        .collect()
+    let mut scratch = RecipScratch::default();
+    fill_fractional(simbox, positions, &mut scratch.fractional);
+    fill_structure_factors(&scratch.fractional, charges, waves, false, &mut scratch.sf);
+    scratch.sf
 }
 
 /// Parallel variant of [`structure_factors`] (Rayon over waves — each
@@ -64,12 +93,39 @@ pub fn structure_factors_parallel(
     charges: &[f64],
     waves: &[KVector],
 ) -> Vec<(f64, f64)> {
+    let mut scratch = RecipScratch::default();
+    fill_fractional(simbox, positions, &mut scratch.fractional);
+    fill_structure_factors(&scratch.fractional, charges, waves, true, &mut scratch.sf);
+    scratch.sf
+}
+
+fn fill_fractional(simbox: SimBox, positions: &[Vec3], out: &mut Vec<Vec3>) {
+    out.clear();
+    out.extend(positions.iter().map(|&r| simbox.fractional(r)));
+}
+
+/// Fill `sf` in place. Each wave's particle sum is serial regardless of
+/// `parallel`, and each slot is written exactly once, so the result is
+/// bitwise identical at every thread count.
+fn fill_structure_factors(
+    fractional: &[Vec3],
+    charges: &[f64],
+    waves: &[KVector],
+    parallel: bool,
+    sf: &mut Vec<(f64, f64)>,
+) {
     let _span = mdm_profile::span("dft");
-    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
-    waves
-        .par_iter()
-        .map(|k| dft_one_wave(k, &fractional, charges))
-        .collect()
+    sf.clear();
+    sf.resize(waves.len(), (0.0, 0.0));
+    if parallel {
+        sf.par_iter_mut()
+            .zip(waves)
+            .for_each(|(slot, k)| *slot = dft_one_wave(k, fractional, charges));
+    } else {
+        for (slot, k) in sf.iter_mut().zip(waves) {
+            *slot = dft_one_wave(k, fractional, charges);
+        }
+    }
 }
 
 #[inline]
@@ -93,9 +149,14 @@ pub fn recip_space(
     alpha: f64,
     waves: &[KVector],
 ) -> RecipResult {
-    let _span = mdm_profile::span("ewald_recip");
-    let sf = structure_factors(simbox, positions, charges, waves);
-    finish(simbox, positions, charges, alpha, waves, sf, false)
+    let mut scratch = RecipScratch::default();
+    let eval = recip_space_cached(simbox, positions, charges, alpha, waves, false, &mut scratch);
+    RecipResult {
+        energy: eval.energy,
+        forces: eval.forces,
+        virial: eval.virial,
+        structure_factors: scratch.sf,
+    }
 }
 
 /// Full wavenumber-space evaluation, Rayon-parallel in both phases.
@@ -106,27 +167,41 @@ pub fn recip_space_parallel(
     alpha: f64,
     waves: &[KVector],
 ) -> RecipResult {
-    let _span = mdm_profile::span("ewald_recip");
-    let sf = structure_factors_parallel(simbox, positions, charges, waves);
-    finish(simbox, positions, charges, alpha, waves, sf, true)
+    let mut scratch = RecipScratch::default();
+    let eval = recip_space_cached(simbox, positions, charges, alpha, waves, true, &mut scratch);
+    RecipResult {
+        energy: eval.energy,
+        forces: eval.forces,
+        virial: eval.virial,
+        structure_factors: scratch.sf,
+    }
 }
 
-fn finish(
+/// Full wavenumber-space evaluation against caller-held scratch — the
+/// per-step entry point used by the `ExactEwald` long-range backend.
+/// Arithmetic and iteration order are identical to [`recip_space`] /
+/// [`recip_space_parallel`] (which are thin wrappers over this), so the
+/// results are bitwise the same; only the buffer provenance differs.
+pub fn recip_space_cached(
     simbox: SimBox,
     positions: &[Vec3],
     charges: &[f64],
     alpha: f64,
     waves: &[KVector],
-    sf: Vec<(f64, f64)>,
     parallel: bool,
-) -> RecipResult {
+    scratch: &mut RecipScratch,
+) -> RecipEval {
+    let _span = mdm_profile::span("ewald_recip");
+    fill_fractional(simbox, positions, &mut scratch.fractional);
+    fill_structure_factors(&scratch.fractional, charges, waves, parallel, &mut scratch.sf);
+
     let pi = std::f64::consts::PI;
     let l = simbox.l();
 
     // Energy and virial from the structure factors.
     let mut energy = 0.0;
     let mut virial = 0.0;
-    for (k, &(s, c)) in waves.iter().zip(&sf) {
+    for (k, &(s, c)) in waves.iter().zip(&scratch.sf) {
         let n_sq = k.n_sq as f64;
         let a = spectral_coefficient(alpha, n_sq);
         let e_k = COULOMB_EV_A / (pi * l) * a * (c * c + s * s);
@@ -138,26 +213,26 @@ fn finish(
 
     // IDFT phase: per-particle force synthesis. Precompute aₙ'·n⃗ and the
     // (aₙ'-weighted) structure factors once.
-    let coeffs: Vec<(Vec3, f64, f64)> = waves
-        .iter()
-        .zip(&sf)
-        .map(|(k, &(s, c))| {
+    scratch.coeffs.clear();
+    scratch
+        .coeffs
+        .extend(waves.iter().zip(&scratch.sf).map(|(k, &(s, c))| {
             let a = spectral_coefficient(alpha, k.n_sq as f64);
             (
                 Vec3::new(k.n[0] as f64, k.n[1] as f64, k.n[2] as f64),
                 a * s,
                 a * c,
             )
-        })
-        .collect();
+        }));
     let prefactor = 4.0 * COULOMB_EV_A / (l * l);
     let tau = std::f64::consts::TAU;
-    let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+    let coeffs = &scratch.coeffs;
+    let fractional = &scratch.fractional;
 
     let idft = |i: usize| -> Vec3 {
         let r = fractional[i];
         let mut f = Vec3::ZERO;
-        for (n, a_s, a_c) in &coeffs {
+        for (n, a_s, a_c) in coeffs {
             let theta = tau * n.dot(r);
             let (sin, cos) = theta.sin_cos();
             // aₙ'·(Cₙ sinθ − Sₙ cosθ)·n⃗
@@ -175,11 +250,10 @@ fn finish(
         }
     };
 
-    RecipResult {
+    RecipEval {
         energy,
         forces,
         virial,
-        structure_factors: sf,
     }
 }
 

@@ -10,7 +10,8 @@
 
 use crate::boxsim::SimBox;
 use crate::celllist::CellList;
-use crate::ewald::{recip, EwaldParams, EwaldSum};
+use crate::ewald::{EwaldParams, EwaldSum};
+use crate::longrange::{ExactEwald, LongRangeBackend};
 use crate::potentials::{ShortRangePotential, TosiFumi};
 use crate::system::System;
 use crate::units::COULOMB_EV_A;
@@ -48,21 +49,72 @@ pub trait ForceField {
 /// short-range terms, all in `f64`.
 ///
 /// The real-space Coulomb and the short-range terms share one cell-list
-/// pass (they share `r_cut` in the paper too).
+/// pass (they share `r_cut` in the paper too). The wavenumber phase is
+/// a pluggable [`LongRangeBackend`] — exact Ewald by default, swappable
+/// for PME or PSWF fast Ewald at construction time.
 pub struct EwaldTosiFumi {
     ewald: EwaldSum,
     short: TosiFumi,
+    longrange: Box<dyn LongRangeBackend>,
     parallel: bool,
 }
 
 impl EwaldTosiFumi {
-    /// Build with explicit Ewald parameters.
+    /// Build with explicit Ewald parameters and the exact-Ewald
+    /// wavenumber backend (bitwise the historical behaviour).
     pub fn new(params: EwaldParams, short: TosiFumi) -> Self {
+        let ewald = EwaldSum::new(params);
+        let longrange = Box::new(ExactEwald::with_waves(
+            params.alpha,
+            ewald.waves().to_vec(),
+        ));
+        Self {
+            ewald,
+            short,
+            longrange,
+            parallel: true,
+        }
+    }
+
+    /// Build with an explicit wavenumber backend. The backend's α must
+    /// match `params.alpha` — the real-space pass and self-energy use
+    /// `params`, and the Ewald identity only holds if both phases split
+    /// at the same κ.
+    pub fn with_longrange(
+        params: EwaldParams,
+        short: TosiFumi,
+        longrange: Box<dyn LongRangeBackend>,
+    ) -> Self {
+        assert!(
+            (longrange.alpha() - params.alpha).abs() < 1e-12,
+            "backend alpha {} != params alpha {}",
+            longrange.alpha(),
+            params.alpha
+        );
         Self {
             ewald: EwaldSum::new(params),
             short,
+            longrange,
             parallel: true,
         }
+    }
+
+    /// Swap the wavenumber backend (same α contract as
+    /// [`Self::with_longrange`]).
+    pub fn set_longrange(&mut self, longrange: Box<dyn LongRangeBackend>) {
+        assert!(
+            (longrange.alpha() - self.ewald.params().alpha).abs() < 1e-12,
+            "backend alpha {} != params alpha {}",
+            longrange.alpha(),
+            self.ewald.params().alpha
+        );
+        self.longrange = longrange;
+        self.longrange.set_parallel(self.parallel);
+    }
+
+    /// The active wavenumber backend.
+    pub fn longrange(&self) -> &dyn LongRangeBackend {
+        self.longrange.as_ref()
     }
 
     /// The NaCl default for a given box side: `α` chosen so the
@@ -97,9 +149,11 @@ impl EwaldTosiFumi {
         )
     }
 
-    /// Toggle Rayon parallel kernels (on by default).
+    /// Toggle Rayon parallel kernels (on by default). Forwards to the
+    /// wavenumber backend.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+        self.longrange.set_parallel(parallel);
     }
 
     /// Access the Ewald configuration.
@@ -202,11 +256,7 @@ impl ForceField for EwaldTosiFumi {
         let (e_real, e_short, mut forces, virial_real) =
             self.fused_real_pass(simbox, positions, charges, system.types());
 
-        let recip_out = if self.parallel {
-            recip::recip_space_parallel(simbox, positions, charges, params.alpha, self.ewald.waves())
-        } else {
-            recip::recip_space(simbox, positions, charges, params.alpha, self.ewald.waves())
-        };
+        let recip_out = self.longrange.compute(simbox, positions, charges);
         for (f, df) in forces.iter_mut().zip(&recip_out.forces) {
             *f += *df;
         }
@@ -228,8 +278,11 @@ impl ForceField for EwaldTosiFumi {
     fn describe(&self) -> String {
         let p = self.ewald.params();
         format!(
-            "software Ewald+TosiFumi (alpha={}, r_cut={} A, n_max={})",
-            p.alpha, p.r_cut, p.n_max
+            "software Ewald+TosiFumi (alpha={}, r_cut={} A, n_max={}, longrange={})",
+            p.alpha,
+            p.r_cut,
+            p.n_max,
+            self.longrange.name()
         )
     }
 }
@@ -242,6 +295,7 @@ impl ForceField for EwaldTosiFumi {
 pub struct ConventionalEwaldTosiFumi {
     ewald: EwaldSum,
     short: TosiFumi,
+    longrange: ExactEwald,
     skin: f64,
     list: Option<crate::neighbors::NeighborList>,
     rebuilds: u64,
@@ -252,9 +306,15 @@ impl ConventionalEwaldTosiFumi {
     /// Build with explicit Ewald parameters and skin radius (Å).
     pub fn new(params: EwaldParams, short: TosiFumi, skin: f64) -> Self {
         assert!(skin >= 0.0);
+        let ewald = EwaldSum::new(params);
+        // The "conventional computer" baseline is single-threaded by
+        // definition (Table 4 compares against one CPU).
+        let mut longrange = ExactEwald::with_waves(params.alpha, ewald.waves().to_vec());
+        longrange.set_parallel(false);
         Self {
-            ewald: EwaldSum::new(params),
+            ewald,
             short,
+            longrange,
             skin,
             list: None,
             rebuilds: 0,
@@ -323,8 +383,7 @@ impl ForceField for ConventionalEwaldTosiFumi {
             virial += f.dot(d);
         });
 
-        let recip_out =
-            recip::recip_space(simbox, positions, charges, params.alpha, self.ewald.waves());
+        let recip_out = self.longrange.compute(simbox, positions, charges);
         for (f, df) in forces.iter_mut().zip(&recip_out.forces) {
             *f += *df;
         }

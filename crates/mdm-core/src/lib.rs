@@ -35,10 +35,12 @@ pub mod integrate;
 pub mod io;
 pub mod kvectors;
 pub mod lattice;
+pub mod longrange;
 pub mod neighbors;
 pub mod observables;
 pub mod pme;
 pub mod potentials;
+pub mod pswf;
 pub mod special;
 pub mod system;
 pub mod thermostat;
@@ -48,5 +50,6 @@ pub mod velocities;
 
 pub use boxsim::SimBox;
 pub use forcefield::{ForceField, ForceResult};
+pub use longrange::{LongRangeBackend, LongRangeCounters, LongRangeResult};
 pub use system::{Species, System};
 pub use vec3::Vec3;

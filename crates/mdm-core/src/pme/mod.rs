@@ -26,10 +26,20 @@ pub struct SpmeResult {
     pub energy: f64,
     /// Per-particle reciprocal forces (eV/Å).
     pub forces: Vec<Vec3>,
+    /// Reciprocal-space virial (eV), accumulated in Fourier space as
+    /// `Σₘ Eₘ·(1 − 2π²n²/α²)` — the same per-mode factor the exact
+    /// recip sum uses, so it is comparable to
+    /// [`crate::ewald::recip::RecipResult::virial`] at the mesh's
+    /// accuracy level.
+    pub virial: f64,
 }
 
+/// Largest supported B-spline order (weights live in stack arrays).
+const MAX_ORDER: usize = 8;
+
 /// A configured SPME reciprocal-space engine: mesh size, spline order,
-/// and the precomputed spectral influence function.
+/// the precomputed spectral influence function, and the charge-grid /
+/// fractional-coordinate scratch reused across steps.
 pub struct SpmeRecip {
     mesh: usize,
     order: usize,
@@ -37,7 +47,11 @@ pub struct SpmeRecip {
     /// `θ̂(m) = (C/(πL))·f(m)·B(m)` over the full mesh (zero at m = 0),
     /// precomputed for a given box side.
     influence: Vec<f64>,
+    /// Per-mode virial factor `1 − 2π²n²/α²` (zero where θ̂ is zero).
+    virial_factor: Vec<f64>,
     l: f64,
+    grid: Grid3,
+    fractional: Vec<Vec3>,
 }
 
 impl SpmeRecip {
@@ -47,10 +61,11 @@ impl SpmeRecip {
     /// classic choice).
     pub fn new(l: f64, alpha: f64, mesh: usize, order: usize) -> Self {
         assert!(mesh.is_power_of_two() && mesh >= 4);
-        assert!((3..=8).contains(&order));
+        assert!((3..=MAX_ORDER).contains(&order));
         assert!(order < mesh, "spline support must fit the mesh");
         let pi = std::f64::consts::PI;
         let mut influence = vec![0.0f64; mesh * mesh * mesh];
+        let mut virial_factor = vec![0.0f64; mesh * mesh * mesh];
         let half = mesh as i64 / 2;
         let fold = |m: usize| -> f64 {
             let m = m as i64;
@@ -68,8 +83,9 @@ impl SpmeRecip {
                     let b = b_mod_sq(order, mesh, mx)
                         * b_mod_sq(order, mesh, my)
                         * b_mod_sq(order, mesh, mz);
-                    influence[(mz * mesh + my) * mesh + mx] =
-                        COULOMB_EV_A / (pi * l) * f * b;
+                    let idx = (mz * mesh + my) * mesh + mx;
+                    influence[idx] = COULOMB_EV_A / (pi * l) * f * b;
+                    virial_factor[idx] = 1.0 - 2.0 * pi * pi * n_sq / (alpha * alpha);
                 }
             }
         }
@@ -78,7 +94,10 @@ impl SpmeRecip {
             order,
             alpha,
             influence,
+            virial_factor,
             l,
+            grid: Grid3::new(mesh),
+            fractional: Vec::new(),
         }
     }
 
@@ -97,12 +116,14 @@ impl SpmeRecip {
         self.alpha
     }
 
-    /// Evaluate reciprocal energy and forces.
+    /// Evaluate reciprocal energy, forces, and virial. `&mut self`
+    /// because the charge grid and fractional-coordinate scratch are
+    /// cached in the engine and reused across steps.
     ///
     /// # Panics
     /// Panics if the box side differs from the constructed one (the
     /// influence function is box-specific).
-    pub fn compute(&self, simbox: SimBox, positions: &[Vec3], charges: &[f64]) -> SpmeResult {
+    pub fn compute(&mut self, simbox: SimBox, positions: &[Vec3], charges: &[f64]) -> SpmeResult {
         assert_eq!(positions.len(), charges.len());
         assert!(
             (simbox.l() - self.l).abs() < 1e-9,
@@ -116,30 +137,34 @@ impl SpmeRecip {
         // --- Spread charges with order-n B-splines. ---
         // Per particle per axis: grid points p = floor(u)-n+1 ..= floor(u),
         // weight M_n(u - p).
-        let mut grid = Grid3::new(k);
-        let weights_of = |u: f64| -> (i64, Vec<f64>, Vec<f64>) {
+        self.grid.clear();
+        let grid = &mut self.grid;
+        let weights_of = |u: f64, w: &mut [f64; MAX_ORDER], dw: &mut [f64; MAX_ORDER]| -> i64 {
             let base = u.floor() as i64;
-            let mut w = Vec::with_capacity(n);
-            let mut dw = Vec::with_capacity(n);
             for j in 0..n {
                 let p = base - j as i64;
-                w.push(m_spline(n, u - p as f64));
-                dw.push(m_spline_deriv(n, u - p as f64));
+                w[j] = m_spline(n, u - p as f64);
+                dw[j] = m_spline_deriv(n, u - p as f64);
             }
-            (base, w, dw)
+            base
         };
-        let fractional: Vec<Vec3> = positions.iter().map(|&r| simbox.fractional(r)).collect();
+        self.fractional.clear();
+        self.fractional
+            .extend(positions.iter().map(|&r| simbox.fractional(r)));
+        let fractional = &self.fractional;
+        let (mut wx, mut wy, mut wz) = ([0.0; MAX_ORDER], [0.0; MAX_ORDER], [0.0; MAX_ORDER]);
+        let (mut dwx, mut dwy, mut dwz) = (wx, wy, wz);
         let spread_span = mdm_profile::span("spread");
         for (f, &q) in fractional.iter().zip(charges) {
-            let (bx, wx, _) = weights_of(f.x * kf);
-            let (by, wy, _) = weights_of(f.y * kf);
-            let (bz, wz, _) = weights_of(f.z * kf);
-            for (jz, wz_j) in wz.iter().enumerate() {
+            let bx = weights_of(f.x * kf, &mut wx, &mut dwx);
+            let by = weights_of(f.y * kf, &mut wy, &mut dwy);
+            let bz = weights_of(f.z * kf, &mut wz, &mut dwz);
+            for (jz, wz_j) in wz[..n].iter().enumerate() {
                 let pz = (bz - jz as i64).rem_euclid(k as i64) as usize;
-                for (jy, wy_j) in wy.iter().enumerate() {
+                for (jy, wy_j) in wy[..n].iter().enumerate() {
                     let py = (by - jy as i64).rem_euclid(k as i64) as usize;
                     let row = q * wz_j * wy_j;
-                    for (jx, wx_j) in wx.iter().enumerate() {
+                    for (jx, wx_j) in wx[..n].iter().enumerate() {
                         let px = (bx - jx as i64).rem_euclid(k as i64) as usize;
                         grid.get_mut(px, py, pz).re += row * wx_j;
                     }
@@ -149,11 +174,22 @@ impl SpmeRecip {
 
         drop(spread_span);
 
-        // --- Convolve with the influence function in Fourier space. ---
+        // --- Convolve with the influence function in Fourier space,
+        //     accumulating the virial from |Q̂|² before the multiply
+        //     (E = ½ Σₘ θ̂|Q̂|² equals the gather energy identically, so
+        //     the per-mode virial factors compose the same way as in
+        //     the exact recip sum). ---
+        let mut virial = 0.0;
         {
             let _span = mdm_profile::span("fft");
             grid.fft3(false);
-            for (c, &theta) in grid.data_mut().iter_mut().zip(&self.influence) {
+            for ((c, &theta), &vf) in grid
+                .data_mut()
+                .iter_mut()
+                .zip(&self.influence)
+                .zip(&self.virial_factor)
+            {
+                virial += 0.5 * theta * c.norm_sq() * vf;
                 *c = Complex::new(c.re * theta, c.im * theta);
             }
             grid.fft3(true); // unnormalised inverse: matches E = ½ Σ Q·φ
@@ -165,9 +201,9 @@ impl SpmeRecip {
         let mut forces = vec![Vec3::ZERO; positions.len()];
         let du_dr = kf / self.l;
         for (i, (f, &q)) in fractional.iter().zip(charges).enumerate() {
-            let (bx, wx, dwx) = weights_of(f.x * kf);
-            let (by, wy, dwy) = weights_of(f.y * kf);
-            let (bz, wz, dwz) = weights_of(f.z * kf);
+            let bx = weights_of(f.x * kf, &mut wx, &mut dwx);
+            let by = weights_of(f.y * kf, &mut wy, &mut dwy);
+            let bz = weights_of(f.z * kf, &mut wz, &mut dwz);
             let mut force = Vec3::ZERO;
             for jz in 0..n {
                 let pz = (bz - jz as i64).rem_euclid(k as i64) as usize;
@@ -196,7 +232,24 @@ impl SpmeRecip {
         for f in &mut forces {
             *f -= correction;
         }
-        SpmeResult { energy, forces }
+        SpmeResult {
+            energy,
+            forces,
+            virial,
+        }
+    }
+
+    /// Estimated floating-point work of one [`Self::compute`] call for
+    /// `n_particles`: two K³ FFTs at `5·K³·log₂K³`, the convolve pass,
+    /// and the O(N·order³) spread/gather stencils. Used by the
+    /// long-range backend's flop counters (the mesh path has no
+    /// paper-credited DFT/IDFT ops to price).
+    pub fn estimated_flops(&self, n_particles: usize) -> f64 {
+        let k3 = (self.mesh * self.mesh * self.mesh) as f64;
+        let fft = 2.0 * 5.0 * k3 * k3.log2();
+        let convolve = 9.0 * k3;
+        let stencil = (n_particles * self.order * self.order * self.order) as f64 * 20.0;
+        fft + convolve + stencil
     }
 }
 
@@ -323,7 +376,7 @@ mod tests {
         // Exact reference needs all significant waves: n_max ~ 2α.
         let waves = half_space_vectors(2.2 * alpha);
         let exact = recip_space(s.simbox(), s.positions(), s.charges(), alpha, &waves);
-        let spme = SpmeRecip::new(l, alpha, 32, 4);
+        let mut spme = SpmeRecip::new(l, alpha, 32, 4);
         let got = spme.compute(s.simbox(), s.positions(), s.charges());
         let rel = ((got.energy - exact.energy) / exact.energy).abs();
         assert!(rel < 2e-3, "SPME energy {} vs exact {} (rel {rel})", got.energy, exact.energy);
@@ -336,7 +389,7 @@ mod tests {
         let alpha = 7.0;
         let waves = half_space_vectors(2.2 * alpha);
         let exact = recip_space(s.simbox(), s.positions(), s.charges(), alpha, &waves);
-        let spme = SpmeRecip::new(l, alpha, 32, 4);
+        let mut spme = SpmeRecip::new(l, alpha, 32, 4);
         let got = spme.compute(s.simbox(), s.positions(), s.charges());
         let scale = exact.forces.iter().map(|f| f.norm()).fold(1e-300f64, f64::max);
         for (i, (a, b)) in got.forces.iter().zip(&exact.forces).enumerate() {
@@ -353,7 +406,7 @@ mod tests {
         let waves = half_space_vectors(2.2 * alpha);
         let exact = recip_space(s.simbox(), s.positions(), s.charges(), alpha, &waves);
         let err_of = |mesh: usize, order: usize| {
-            let spme = SpmeRecip::new(l, alpha, mesh, order);
+            let mut spme = SpmeRecip::new(l, alpha, mesh, order);
             let got = spme.compute(s.simbox(), s.positions(), s.charges());
             ((got.energy - exact.energy) / exact.energy).abs()
         };
@@ -368,7 +421,7 @@ mod tests {
     #[test]
     fn forces_sum_to_zero() {
         let s = perturbed();
-        let spme = SpmeRecip::new(s.simbox().l(), 7.0, 32, 4);
+        let mut spme = SpmeRecip::new(s.simbox().l(), 7.0, 32, 4);
         let got = spme.compute(s.simbox(), s.positions(), s.charges());
         let net: Vec3 = got.forces.iter().copied().sum();
         // The raw SPME forces violate Newton's third law at the
@@ -420,7 +473,7 @@ mod tests {
     fn energy_is_translation_invariant() {
         let s = perturbed();
         let l = s.simbox().l();
-        let spme = SpmeRecip::new(l, 7.0, 32, 4);
+        let mut spme = SpmeRecip::new(l, 7.0, 32, 4);
         let e0 = spme.compute(s.simbox(), s.positions(), s.charges()).energy;
         let shifted: Vec<Vec3> = s
             .positions()

@@ -27,9 +27,11 @@ use mdgrape2::pipeline::PipelineMode;
 use mdgrape2::system::{Mdgrape2Config, Mdgrape2System, RealSpaceMode};
 use mdgrape2::tables::GFunction;
 use mdgrape2::timing::MdgCounters;
+use mdm_core::boxsim::SimBox;
 use mdm_core::ewald::EwaldParams;
 use mdm_core::forcefield::{ForceField, ForceResult};
 use mdm_core::kvectors::{half_space_vectors, KVector};
+use mdm_core::longrange::{LongRangeBackend, LongRangeCounters, LongRangeResult};
 use mdm_core::potentials::TosiFumi;
 use mdm_core::system::System;
 use mdm_core::units::COULOMB_EV_A;
@@ -55,13 +57,127 @@ impl StepCounters {
     }
 }
 
+/// The WINE-2 board emulator behind the [`LongRangeBackend`] interface
+/// — the adapter that lets the MDM driver swap its wavenumber engine
+/// for any software backend (and vice versa: software force fields can
+/// run on the emulated board).
+pub struct Wine2Backend {
+    wine: Wine2System,
+    alpha: f64,
+    waves: Vec<KVector>,
+    last: WineCounters,
+    warm: bool,
+}
+
+impl Wine2Backend {
+    /// Build for the given Ewald parameterisation on `clusters`
+    /// emulated clusters (results are cluster-count independent; only
+    /// the concurrency accounting changes).
+    pub fn new(params: &EwaldParams, clusters: usize) -> Self {
+        Self {
+            wine: Wine2System::new(Wine2Config { clusters }),
+            alpha: params.alpha,
+            waves: half_space_vectors(params.n_max),
+            last: WineCounters::default(),
+            warm: false,
+        }
+    }
+
+    /// The cached wave table (enumerated once, reused every step).
+    pub fn waves(&self) -> &[KVector] {
+        &self.waves
+    }
+
+    /// Hardware counters of the last evaluation.
+    pub fn last_wine_counters(&self) -> WineCounters {
+        self.last
+    }
+
+    /// The emulated board.
+    pub fn wine(&self) -> &Wine2System {
+        &self.wine
+    }
+}
+
+impl LongRangeBackend for Wine2Backend {
+    fn name(&self) -> &'static str {
+        "wine2"
+    }
+
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn compute(
+        &mut self,
+        simbox: SimBox,
+        positions: &[Vec3],
+        charges: &[f64],
+    ) -> LongRangeResult {
+        if self.warm {
+            mdm_profile::counter("longrange_scratch_reuses", 1);
+        } else {
+            self.warm = true;
+        }
+        let out = self
+            .wine
+            .compute_wavepart_with_waves(simbox, positions, charges, self.alpha, &self.waves)
+            .expect("wavepart");
+        self.last = out.counters;
+        let flops = out.counters.credited_flops();
+        mdm_profile::counter("longrange_flops", flops as u64);
+        LongRangeResult {
+            energy: out.energy,
+            forces: out.forces,
+            // The board reports no virial; pressure users should pick a
+            // software backend.
+            virial: f64::NAN,
+            counters: LongRangeCounters {
+                dft_ops: out.counters.dft_ops,
+                idft_ops: out.counters.idft_ops,
+                waves: out.counters.waves,
+                flops,
+                cycles: out.counters.cycles,
+                bus_bytes: out.counters.bus_bytes_per_cluster,
+            },
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "WINE-2 emulator ({} clusters, alpha={}, {} waves)",
+            self.wine.config().clusters,
+            self.alpha,
+            self.waves.len()
+        )
+    }
+}
+
+/// Every backend the MDM driver can select by name: the emulated board
+/// plus all of [`mdm_core::longrange::SOFTWARE_BACKENDS`].
+pub const LONGRANGE_BACKENDS: &[&str] = &["wine2", "ewald", "ewald-serial", "pme", "pswf"];
+
+/// Build a long-range backend by name — `"wine2"` for the emulated
+/// board (sized to `wine_clusters`), else whatever the software
+/// factory knows. `None` for an unknown name.
+pub fn longrange_by_name(
+    name: &str,
+    params: &EwaldParams,
+    l: f64,
+    wine_clusters: usize,
+) -> Option<Box<dyn LongRangeBackend>> {
+    match name {
+        "wine2" => Some(Box::new(Wine2Backend::new(params, wine_clusters))),
+        _ => mdm_core::longrange::by_name(name, params, l),
+    }
+}
+
 /// Force field evaluated on the emulated MDM.
 pub struct MdmForceField {
-    wine: Wine2System,
+    longrange: Box<dyn LongRangeBackend>,
     mdg: Mdgrape2System,
     params: EwaldParams,
     short: TosiFumi,
-    waves: Vec<KVector>,
     /// Prebuilt function-table images (the §4 utility program output).
     force_tables: [FunctionEvaluator; 4],
     energy_tables: [FunctionEvaluator; 4],
@@ -103,11 +219,8 @@ impl MdmForceField {
             GFunction::Dispersion6Energy.build_evaluator()?,
             GFunction::Dispersion8Energy.build_evaluator()?,
         ];
-        let waves = half_space_vectors(params.n_max);
         Ok(Self {
-            wine: Wine2System::new(Wine2Config {
-                clusters: wine_clusters,
-            }),
+            longrange: Box::new(Wine2Backend::new(&params, wine_clusters)),
             mdg: Mdgrape2System::new(
                 Mdgrape2Config {
                     clusters: mdg_clusters,
@@ -117,7 +230,6 @@ impl MdmForceField {
             ),
             params,
             short: TosiFumi::nacl(),
-            waves,
             force_tables,
             energy_tables,
             potential_interval: 1,
@@ -178,6 +290,25 @@ impl MdmForceField {
     /// The Ewald parameters.
     pub fn params(&self) -> &EwaldParams {
         &self.params
+    }
+
+    /// Swap the wavenumber backend — `wine2` (the default), `ewald`,
+    /// `pme`, `pswf`, … The backend's α must match the driver's
+    /// parameters, same contract as
+    /// [`mdm_core::forcefield::EwaldTosiFumi::with_longrange`].
+    pub fn set_longrange(&mut self, longrange: Box<dyn LongRangeBackend>) {
+        assert!(
+            (longrange.alpha() - self.params.alpha).abs() < 1e-12,
+            "backend alpha {} != params alpha {}",
+            longrange.alpha(),
+            self.params.alpha
+        );
+        self.longrange = longrange;
+    }
+
+    /// The active wavenumber backend.
+    pub fn longrange(&self) -> &dyn LongRangeBackend {
+        self.longrange.as_ref()
     }
 
     /// Hardware counters of the last `compute` call.
@@ -342,23 +473,25 @@ impl ForceField for MdmForceField {
             self.last_counters.mdg.merge(&out.counters);
         }
 
-        // --- WINE-2: wavenumber part. ---
+        // --- Wavenumber part (WINE-2 by default, any backend by name). ---
         let wave = {
             let _wave = mdm_profile::span(mdm_profile::phase::WAVE);
-            self.wine
-                .compute_wavepart_with_waves(
-                    simbox,
-                    system.positions(),
-                    system.charges(),
-                    self.params.alpha,
-                    &self.waves,
-                )
-                .expect("wavepart")
+            self.longrange
+                .compute(simbox, system.positions(), system.charges())
         };
         for (f, df) in forces.iter_mut().zip(&wave.forces) {
             *f += *df;
         }
-        self.last_counters.wine = wave.counters;
+        self.last_counters.wine = WineCounters {
+            dft_ops: wave.counters.dft_ops,
+            idft_ops: wave.counters.idft_ops,
+            cycles: wave.counters.cycles,
+            bus_bytes_per_cluster: wave.counters.bus_bytes,
+            waves: wave.counters.waves,
+            // Mesh backends report zero ops — then nothing ran on the
+            // emulated board this step.
+            particles: if wave.counters.dft_ops > 0 { n as u64 } else { 0 },
+        };
 
         // --- Host: self-energy. ---
         let e_self = {
@@ -409,8 +542,8 @@ impl ForceField for MdmForceField {
 
     fn describe(&self) -> String {
         format!(
-            "MDM machine (WINE-2 {} clusters, MDGRAPE-2 {} clusters, alpha={}, r_cut={:.2} A, n_max={:.1})",
-            self.wine.config().clusters,
+            "MDM machine (wave: {}, MDGRAPE-2 {} clusters, alpha={}, r_cut={:.2} A, n_max={:.1})",
+            self.longrange.describe(),
             self.mdg.config().clusters,
             self.params.alpha,
             self.params.r_cut,

@@ -33,6 +33,6 @@ pub mod perfmodel;
 pub mod telemetry;
 pub mod topology;
 
-pub use driver::MdmForceField;
+pub use driver::{longrange_by_name, MdmForceField, Wine2Backend, LONGRANGE_BACKENDS};
 pub use machines::MachineModel;
 pub use perfmodel::{PerformanceModel, Table4Column};

@@ -173,12 +173,33 @@ impl SpeedMeter {
         idft_ops: u64,
         measured_error: Option<f64>,
     ) -> SpeedSample {
+        self.sample_with_wave_flops(
+            step,
+            wall_seconds,
+            pair_ops,
+            mdm_core::flops::FLOPS_PER_WAVE_DFT * dft_ops as f64
+                + mdm_core::flops::FLOPS_PER_WAVE_IDFT * idft_ops as f64,
+            measured_error,
+        )
+    }
+
+    /// As [`Self::sample`] with the wavenumber work already priced in
+    /// flops — the form mesh backends (PME, PSWF) use: they have no
+    /// paper-credited DFT/IDFT ops, so the `longrange_flops` counter
+    /// their backend stamps is the honest wave cost.
+    pub fn sample_with_wave_flops(
+        &self,
+        step: u64,
+        wall_seconds: f64,
+        pair_ops: u64,
+        wave_flops: f64,
+        measured_error: Option<f64>,
+    ) -> SpeedSample {
         SpeedSample {
             step,
             wall_seconds,
             real_flops: mdm_core::flops::FLOPS_PER_REAL_PAIR * pair_ops as f64,
-            wave_flops: mdm_core::flops::FLOPS_PER_WAVE_DFT * dft_ops as f64
-                + mdm_core::flops::FLOPS_PER_WAVE_IDFT * idft_ops as f64,
+            wave_flops,
             conventional_flops: self.conventional_flops,
             conventional_flops_measured: measured_error
                 .map(|e| self.conventional_flops_at_error(e)),
@@ -313,14 +334,28 @@ pub fn run_instrumented<F: ForceField, W: Write>(
 
         if let Some(meter) = inst.meter {
             let counter = |name: &str| profile.counters.get(name).copied().unwrap_or(0);
-            let speed = meter.sample(
-                record.step,
-                wall,
-                counter("mdg_coulomb_pair_ops"),
-                counter("wine_dft_ops"),
-                counter("wine_idft_ops"),
-                last_error,
-            );
+            let (dft, idft) = (counter("wine_dft_ops"), counter("wine_idft_ops"));
+            // Backends with paper-credited particle–wave ops are priced
+            // by the §2 constants; mesh backends stamp their estimated
+            // flop cost on `longrange_flops` instead.
+            let speed = if dft + idft > 0 {
+                meter.sample(
+                    record.step,
+                    wall,
+                    counter("mdg_coulomb_pair_ops"),
+                    dft,
+                    idft,
+                    last_error,
+                )
+            } else {
+                meter.sample_with_wave_flops(
+                    record.step,
+                    wall,
+                    counter("mdg_coulomb_pair_ops"),
+                    counter("longrange_flops") as f64,
+                    last_error,
+                )
+            };
             event
                 .observables
                 .insert("raw_tflops".to_string(), speed.raw_tflops());

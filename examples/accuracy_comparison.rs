@@ -114,7 +114,7 @@ fn main() {
         &half_space_vectors(2.2 * alpha),
     );
     for (mesh, order) in [(16usize, 4usize), (32, 4), (32, 6), (64, 6)] {
-        let spme = SpmeRecip::new(crystal.simbox().l(), alpha, mesh, order);
+        let mut spme = SpmeRecip::new(crystal.simbox().l(), alpha, mesh, order);
         let got = spme.compute(crystal.simbox(), crystal.positions(), crystal.charges());
         let e_rel = ((got.energy - exact_full.energy) / exact_full.energy).abs();
         let f_scale = exact_full

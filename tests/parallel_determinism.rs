@@ -148,3 +148,43 @@ fn parallel_sum_reduction_agrees_to_tolerance() {
     let rel = ((serial - threaded) / serial).abs();
     assert!(rel < 1e-12, "sum reassociation error too large: {rel}");
 }
+
+/// Every selectable long-range backend — the emulated WINE-2 board, the
+/// exact software recip (parallel and serial), SPME, and the PSWF fast
+/// Ewald — through the full `MdmForceField` step. The wine2/ewald paths
+/// have their own `par_iter` kernels (ordered maps → bitwise); the mesh
+/// backends are serial by design, so this also pins that the shared
+/// real-space pass around them stays bitwise under threading.
+#[test]
+fn every_longrange_backend_identical_across_thread_counts() {
+    let system = molten_snapshot(2);
+    let l = system.simbox().l();
+
+    for &backend in mdm::host::LONGRANGE_BACKENDS {
+        let eval = |threads: usize| -> ForceResult {
+            with_num_threads(threads, || {
+                let mut ff = MdmForceField::nacl_default(l).expect("tables build");
+                let params = *ff.params();
+                ff.set_longrange(
+                    mdm::host::longrange_by_name(backend, &params, l, 2)
+                        .expect("known backend"),
+                );
+                ff.compute(&system)
+            })
+        };
+        let serial = eval(1);
+        let threaded = eval(4);
+
+        assert_eq!(serial.forces, threaded.forces, "{backend}: forces diverged");
+        assert_eq!(
+            serial.potential.to_bits(),
+            threaded.potential.to_bits(),
+            "{backend}: potential"
+        );
+        assert_eq!(
+            serial.virial.to_bits(),
+            threaded.virial.to_bits(),
+            "{backend}: virial"
+        );
+    }
+}
