@@ -45,6 +45,32 @@ impl MdgCounters {
         self.bus_bytes_per_cluster as f64 / CLUSTER_BUS_BYTES_PER_S
     }
 
+    /// Fraction of pipeline slots doing useful pair work: `pair_ops /
+    /// (cycles × total_pipelines)`. `cycles` is the busy time of the
+    /// most-loaded board while boards run concurrently, so imbalance
+    /// (some boards idle while the slowest finishes) and ragged tail
+    /// cells both show up as occupancy < 1. This is the per-step
+    /// utilization gauge the driver samples (`mdg.occupancy`).
+    pub fn pipeline_occupancy(&self, total_pipelines: u64) -> f64 {
+        let slots = self.cycles as f64 * total_pipelines as f64;
+        if slots <= 0.0 {
+            return 0.0;
+        }
+        self.pair_ops as f64 / slots
+    }
+
+    /// Achieved j-store upload bandwidth in bytes/s, given the wall
+    /// clock the uploads actually took (the driver measures the
+    /// `comm.upload` spans). The modeled ceiling is
+    /// [`CLUSTER_BUS_BYTES_PER_S`]; the emulated ratio shows how far
+    /// the software bus is from PCI.
+    pub fn upload_bandwidth(&self, upload_wall_seconds: f64) -> f64 {
+        if upload_wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bus_bytes_per_cluster as f64 / upload_wall_seconds
+    }
+
     /// Merge counters from passes executed back to back.
     pub fn merge(&mut self, other: &MdgCounters) {
         self.pair_ops += other.pair_ops;
@@ -126,6 +152,36 @@ mod tests {
         assert_eq!(a.pair_ops, 30);
         assert_eq!(a.cycles, 12);
         assert_eq!(a.bus_bytes_per_cluster, 150);
+    }
+
+    #[test]
+    fn pipeline_occupancy_is_work_over_slots() {
+        let c = MdgCounters {
+            pair_ops: 600,
+            cycles: 100,
+            ..Default::default()
+        };
+        // 8 pipelines × 100 cycles = 800 slots, 600 of them busy.
+        assert!((c.pipeline_occupancy(8) - 0.75).abs() < 1e-12);
+        // Perfectly packed pipelines reach exactly 1.
+        let full = MdgCounters {
+            pair_ops: 800,
+            cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(full.pipeline_occupancy(8), 1.0);
+        // No cycles (empty pass) reads as idle, not a division blowup.
+        assert_eq!(MdgCounters::default().pipeline_occupancy(8), 0.0);
+    }
+
+    #[test]
+    fn upload_bandwidth_is_bytes_over_wall() {
+        let c = MdgCounters {
+            bus_bytes_per_cluster: 132_000_000,
+            ..Default::default()
+        };
+        assert!((c.upload_bandwidth(1.0) - CLUSTER_BUS_BYTES_PER_S).abs() < 1.0);
+        assert_eq!(c.upload_bandwidth(0.0), 0.0);
     }
 
     #[test]

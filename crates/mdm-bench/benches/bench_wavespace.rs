@@ -48,7 +48,7 @@ fn bench_wavespace(c: &mut Criterion) {
     // while the brute-force DFT grows as α³.
     for &(n_max, mesh) in &[(4.0f64, 16usize), (8.0, 32), (12.0, 32)] {
         let n_wv = half_space_vectors(n_max).len();
-        let spme = SpmeRecip::new(s.simbox().l(), alpha, mesh, 4);
+        let mut spme = SpmeRecip::new(s.simbox().l(), alpha, mesh, 4);
         group.bench_with_input(BenchmarkId::new("spme_mesh", n_wv), &n_wv, |b, _| {
             b.iter(|| spme.compute(s.simbox(), s.positions(), s.charges()).energy)
         });

@@ -27,12 +27,12 @@
 //! relative force error of *any* backend exceeds `TOL` (the CI
 //! accuracy gate — every backend must deliver, not just the board).
 
-use mdm_bench::stepprof::build_sim_lr;
+use mdm_bench::stepprof::{build_sim_lr, default_ledger_path};
 use mdm_core::accuracy::ForceErrorProbe;
 use mdm_core::observables::PhysicsWatchdogs;
 use mdm_host::machines::MachineModel;
 use mdm_host::perfmodel::{PerformanceModel, SystemSpec};
-use mdm_host::telemetry::{mdm_manifest, run_instrumented, Instruments, SpeedMeter};
+use mdm_host::telemetry::{mdm_manifest, run_instrumented, Instruments, LedgerSink, SpeedMeter};
 use mdm_profile::accuracy::AccuracyReport;
 use mdm_profile::events::FlightRecorder;
 use mdm_profile::json::Value;
@@ -105,6 +105,7 @@ fn run_backend(
     // so the recorded steps start from a clean registry but the seam
     // summary below still sees it.
     let generation_profile = mdm_profile::take();
+    let ledger_path = default_ledger_path();
     let run = run_instrumented(
         &mut sim,
         steps,
@@ -113,9 +114,18 @@ fn run_backend(
             watchdogs: Some(&mut dogs),
             probe: Some(&probe),
             meter: Some(&meter),
+            ledger: Some(LedgerSink {
+                path: &ledger_path,
+                tool: "accuracy_report",
+                label: &label,
+            }),
         },
     )
-    .expect("in-memory recording cannot fail on io");
+    .unwrap_or_else(|e| panic!("append ledger row to {}: {e}", ledger_path.display()));
+    eprintln!(
+        "ledger: appended accuracy_report:{label} to {}",
+        ledger_path.display()
+    );
 
     println!("== {backend}: {describe} ==");
     println!(

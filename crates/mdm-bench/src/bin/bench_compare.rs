@@ -32,7 +32,8 @@
 //!   local runs.
 
 use mdm_bench::stepprof::{
-    backend_of_label, cells_for_particles, profile_size_repeat_lr, DEFAULT_REPEAT,
+    append_to_ledger, backend_of_label, cells_for_particles, profile_size_repeat_lr,
+    DEFAULT_REPEAT,
 };
 use mdm_profile::compare::CompareReport;
 use mdm_profile::report::{BenchFile, StepReport};
@@ -138,6 +139,12 @@ fn main() -> ExitCode {
         version: baseline.version,
         reports,
     };
+
+    // Every fresh re-measurement becomes ledger history — this is what
+    // feeds the cross-run `mdm_report` trend per label.
+    for report in &current.reports {
+        append_to_ledger("bench_compare", report);
+    }
 
     let report = CompareReport::compare(&baseline, &current, tolerance, min_seconds);
     println!("bench_compare: fresh measurement vs {baseline_path}");

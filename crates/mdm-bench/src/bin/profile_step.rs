@@ -46,8 +46,8 @@
 //!   verdicts).
 
 use mdm_bench::stepprof::{
-    cells_for_particles, modeled_step, profile_size_recorded, profile_size_repeat_lr,
-    DEFAULT_REPEAT,
+    append_to_ledger, cells_for_particles, modeled_step, profile_size_recorded,
+    profile_size_repeat_lr, DEFAULT_REPEAT,
 };
 use mdm_profile::report::{BenchFile, StepReport};
 
@@ -269,6 +269,7 @@ fn main() {
     println!();
     for report in &reports {
         print_report(report);
+        append_to_ledger("profile_step", report);
     }
 
     if json {

@@ -13,11 +13,15 @@
 //! | `figure3` | Figures 1/3–11 — the machine block-diagram hierarchy |
 //! | `ablation` | §6.1's upgrade list quantified factor by factor |
 //! | `profile_step` | Table 4's `t_step = max(t_wine, t_mdg) + t_comm + t_host` measured live on the emulator vs modeled from cycle counters; `--json` writes the `BENCH_step.json` baseline |
+//! | `accuracy_report` | §5 accuracy/speed sweep per long-range backend |
+//! | `bench_compare` | re-measures the `BENCH_step.json` labels and gates on slowdown |
+//! | `mdm_report` | cross-run regression dashboard: trends, utilization, and accuracy from `results/ledger.jsonl` + the committed baseline (exits non-zero on regression) |
 //!
 //! plus Criterion microbenchmarks (`cargo bench`) for the kernel-level
 //! shape claims (real-space work inflation, emulator overheads, α
 //! crossover, cell-list scaling).
 
+pub mod dashboard;
 pub mod figure2;
 pub mod stepprof;
 

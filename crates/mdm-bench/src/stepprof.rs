@@ -9,11 +9,13 @@ use mdm_core::observables::PhysicsWatchdogs;
 use mdm_core::velocities::maxwell_boltzmann;
 use mdm_host::driver::MdmForceField;
 use mdm_host::machines::MachineModel;
-use mdm_host::telemetry::{mdm_manifest, run_recorded};
+use mdm_host::telemetry::{env_stamp, mdm_manifest, run_recorded};
 use mdm_profile::events::FlightRecorder;
+use mdm_profile::ledger::RunRecord;
 use mdm_profile::phase;
 use mdm_profile::report::StepReport;
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Molten-salt temperature for the velocity draw (NaCl melts at
@@ -292,6 +294,77 @@ pub fn profile_size_recorded<W: Write>(
     Ok(report)
 }
 
+/// The run ledger every bench binary appends to: one row per
+/// invocation per size, at the repo root (`results/ledger.jsonl`).
+/// The `MDM_LEDGER` environment variable overrides the location (CI
+/// points it at the workspace; tests at a temp dir).
+pub fn default_ledger_path() -> PathBuf {
+    std::env::var("MDM_LEDGER")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+                .join("results/ledger.jsonl")
+        })
+}
+
+/// Reduce an aggregate [`StepReport`] to its one-line ledger row.
+///
+/// Speed/accuracy aggregates stay `None` — they belong to the metered
+/// entry points (`accuracy_report`, `run_instrumented`); a step profile
+/// contributes the regression metric, the Table 4 phase decomposition,
+/// throughput, and utilization gauges. The emulated MDM force field
+/// reports no virial, so `pressure_supported` is false by construction.
+pub fn ledger_row(tool: &str, report: &StepReport) -> RunRecord {
+    let mut record = RunRecord {
+        tool: tool.to_string(),
+        label: report.label.clone(),
+        threads: rayon::current_num_threads() as u64,
+        n_particles: report.n_particles,
+        steps: report.steps,
+        wall_seconds_per_step: report.total_seconds,
+        phases: report
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.measured_seconds))
+            .collect(),
+        gflops: report.gflops.clone(),
+        gauges: report.gauges.clone(),
+        pressure_supported: false,
+        ..RunRecord::default()
+    };
+    // Reconstruct the raw step throughput from the per-phase rates:
+    // each Gflops entry is flops over that phase's wall, so
+    // rate x phase seconds recovers the flops, and the sum over the
+    // step wall is the Table 4 "calculation speed" for this run.
+    if !report.gflops.is_empty() && report.total_seconds > 0.0 {
+        let flops: f64 = report
+            .gflops
+            .iter()
+            .filter_map(|(phase, g)| {
+                let seconds = record.phases.get(phase)?;
+                Some(g * 1e9 * seconds)
+            })
+            .sum();
+        if flops > 0.0 {
+            record.raw_tflops = Some(flops / report.total_seconds / 1e12);
+        }
+    }
+    record.stamp_now();
+    record.stamp_env(&env_stamp());
+    record
+}
+
+/// Append `report`'s ledger row to [`default_ledger_path`]. An io
+/// failure is reported, not fatal — the measurement the caller just
+/// printed matters more than the bookkeeping.
+pub fn append_to_ledger(tool: &str, report: &StepReport) {
+    let path = default_ledger_path();
+    match mdm_profile::ledger::append_record(&path, &ledger_row(tool, report)) {
+        Ok(()) => eprintln!("ledger: appended {tool}:{} to {}", report.label, path.display()),
+        Err(e) => eprintln!("ledger: SKIPPED {tool}:{} ({}: {e})", report.label, path.display()),
+    }
+}
+
 /// Modeled step time by the Table 4 rule:
 /// `max(t_wine, t_mdg) + t_comm + t_host`.
 pub fn modeled_step(report: &StepReport) -> f64 {
@@ -341,5 +414,36 @@ mod tests {
         assert_eq!(steps.len(), 1);
         assert!(steps[0].phases.contains_key("real"));
         assert!(steps[0].observables.contains_key("temperature_k"));
+    }
+
+    #[test]
+    fn ledger_row_reduces_a_report() {
+        let report = profile_size(3, 1);
+        let row = ledger_row("profile_step", &report);
+        assert_eq!(row.tool, "profile_step");
+        assert_eq!(row.label, report.label);
+        assert_eq!(row.n_particles, 8 * 27);
+        assert!((row.wall_seconds_per_step - report.total_seconds).abs() < 1e-12);
+        assert!(row.phases.contains_key("real"));
+        assert!(row.phases.contains_key("wave"));
+        // The driver's per-device gauges flow through to the row.
+        assert!(row.gauges.contains_key("mdg.occupancy"));
+        assert!(row.gauges.contains_key("wine.occupancy"));
+        assert!(!row.pressure_supported);
+        // Raw throughput is rebuilt from the per-phase Gflops rates and
+        // must stay below the sum of the rates (phases share the wall).
+        let rate_sum_tflops: f64 = report.gflops.values().sum::<f64>() / 1e3;
+        let raw = row.raw_tflops.expect("report with gflops gets a raw rate");
+        assert!(raw > 0.0);
+        assert!(raw <= rate_sum_tflops + 1e-12);
+        assert!(row.threads >= 1);
+        assert!(row.timestamp_s > 0);
+        // The row round-trips through the ledger line format.
+        let line = row.to_json().to_compact();
+        let back = RunRecord::from_json(
+            &mdm_profile::json::Value::parse(&line).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, row);
     }
 }

@@ -126,6 +126,10 @@ impl LongRangeBackend for Wine2Backend {
         self.last = out.counters;
         let flops = out.counters.credited_flops();
         mdm_profile::counter("longrange_flops", flops as u64);
+        // DFT/IDFT busy fraction of the whole pipeline array this
+        // evaluation — the `wine.occupancy` utilization gauge.
+        let pipes = (self.wine.config().chips() * wine2::chip::PIPELINES_PER_CHIP) as u64;
+        mdm_profile::gauge("wine.occupancy", out.counters.pipeline_occupancy(pipes));
         LongRangeResult {
             energy: out.energy,
             forces: out.forces,
@@ -444,6 +448,10 @@ impl ForceField for MdmForceField {
         };
 
         // --- MDGRAPE-2: four force passes. ---
+        // Wall clock over every MDGRAPE-2 section this step (force and
+        // potential passes, table/coefficient uploads) — the window the
+        // j-store upload-bandwidth gauge is measured over.
+        let mdg_section_start = std::time::Instant::now();
         let coeffs = self.force_coefficients(system, kappa);
         let mut forces = vec![Vec3::ZERO; n];
         for (pass, (table, coeff)) in self.force_tables.clone().iter().zip(&coeffs).enumerate() {
@@ -511,6 +519,24 @@ impl ForceField for MdmForceField {
             self.steps_since_potential += 1;
         }
         let (e_real, e_short) = self.last_potential.expect("potential computed at least once");
+
+        // Per-device utilization gauges (sampled once per step, so the
+        // trace exporter can draw them as counter tracks and the run
+        // ledger can summarize them). Occupancy is work over pipeline
+        // slots of the busy window; the upload gauge is the modeled bus
+        // bytes over the measured wall clock of the MDGRAPE-2 section —
+        // the bandwidth the emulated bus actually sustained.
+        let mdg_pipes = (self.mdg.config().boards()
+            * mdgrape2::board::PIPELINES_PER_BOARD) as u64;
+        mdm_profile::gauge(
+            "mdg.occupancy",
+            self.last_counters.mdg.pipeline_occupancy(mdg_pipes),
+        );
+        let mdg_wall = mdg_section_start.elapsed().as_secs_f64();
+        mdm_profile::gauge(
+            "comm.jstore_upload_mbps",
+            self.last_counters.mdg.upload_bandwidth(mdg_wall) / 1e6,
+        );
 
         // Engine counters beside the wall-clock spans — the modeled leg
         // of the measured-vs-modeled comparison.

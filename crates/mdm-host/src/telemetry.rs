@@ -35,17 +35,38 @@ use mdm_core::observables::PhysicsWatchdogs;
 use mdm_core::special::erfc;
 use mdm_profile::accuracy::{ForceErrorSample, SpeedSample};
 use mdm_profile::events::{FlightRecorder, RunManifest, StepEvent};
+use mdm_profile::ledger::{self, EnvStamp, RunRecord};
+use mdm_profile::timeseries::TimeSeries;
 use std::io::{self, Write};
+use std::path::Path;
 use std::time::Instant;
 
 use crate::driver::MdmForceField;
 use crate::machines::MachineModel;
 use crate::perfmodel::{PerformanceModel, SystemSpec};
 
+/// Detect the environment stamp (git SHA, hostname, nproc) for this
+/// checkout: walk up from the crate's manifest dir to the `.git` root.
+/// The `MDM_GIT_SHA` environment variable overrides detection — see
+/// [`EnvStamp::detect`].
+pub fn env_stamp() -> EnvStamp {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest_dir
+        .ancestors()
+        .find(|p| p.join(".git").exists())
+        .unwrap_or(manifest_dir);
+    EnvStamp::detect(root)
+}
+
 /// Build the flight-recorder manifest for a run driven by the emulated
 /// MDM force field: the Ewald parameters land in `params` under
 /// `alpha`, `r_cut`, `n_max` (plus the accuracy pair `s_r`/`s_k` for
-/// the box side `l`).
+/// the box side `l`), and the environment stamp (git SHA, hostname,
+/// nproc, effective thread count) makes the stream attributable.
+///
+/// `pressure_supported` is probed from the current force evaluation:
+/// the emulated WINE-2 board reports no virial (NaN), so MDM runs
+/// declare pressure *unsupported* instead of streaming NaN readings.
 pub fn mdm_manifest(
     label: &str,
     command: &str,
@@ -55,6 +76,7 @@ pub fn mdm_manifest(
     let params = sim.force_field().params();
     let l = sim.system().simbox().l();
     let (s_r, s_k) = params.accuracy_parameters(l);
+    let env = env_stamp();
     RunManifest {
         label: label.to_string(),
         command: command.to_string(),
@@ -62,6 +84,11 @@ pub fn mdm_manifest(
         dt_fs: sim.dt(),
         forcefield: "MDM emulated Ewald (MDGRAPE-2 real + WINE-2 wave + host)".to_string(),
         seed,
+        git_sha: env.git_sha,
+        hostname: env.hostname,
+        nproc: env.nproc,
+        threads: rayon::current_num_threads() as u64,
+        pressure_supported: sim.current_forces().virial.is_finite(),
         params: [
             ("alpha".to_string(), params.alpha),
             ("r_cut".to_string(), params.r_cut),
@@ -207,6 +234,21 @@ impl SpeedMeter {
     }
 }
 
+/// Where [`run_instrumented`] should append its one-line run summary.
+///
+/// `tool` and `label` are the trend-grouping key the dashboard uses;
+/// the rest of the [`RunRecord`] is derived from the run itself.
+#[derive(Clone, Copy, Debug)]
+pub struct LedgerSink<'a> {
+    /// Ledger file (JSONL, crash-safe append — see
+    /// [`mdm_profile::ledger::append_record`]).
+    pub path: &'a Path,
+    /// `tool` column of the record (e.g. `"run_instrumented"`).
+    pub tool: &'a str,
+    /// `label` column (e.g. `"nacl-4096"`).
+    pub label: &'a str,
+}
+
 /// The optional probes threaded through [`run_instrumented`].
 ///
 /// Everything defaults to off; [`run_recorded`] is the
@@ -223,6 +265,10 @@ pub struct Instruments<'a> {
     /// Live flop meter; emits `raw_tflops` / `effective_tflops`
     /// observables from the step's drained interaction counters.
     pub meter: Option<&'a SpeedMeter>,
+    /// When set, one [`RunRecord`] summarizing the run is appended to
+    /// this ledger on completion. `None` (the default) writes nothing,
+    /// so library and test callers never touch `results/ledger.jsonl`.
+    pub ledger: Option<LedgerSink<'a>>,
 }
 
 /// What an instrumented run leaves behind in memory (the JSONL stream
@@ -244,6 +290,14 @@ pub struct RecordedRun {
     pub force_errors: Vec<ForceErrorSample>,
     /// One speed sample per step (empty without a meter).
     pub speeds: Vec<SpeedSample>,
+    /// Wall-clock seconds summed over the measured steps (probe and
+    /// recording overhead excluded, matching each event's
+    /// `wall_seconds`).
+    pub wall_seconds: f64,
+    /// Per-step utilization samples: every gauge of every step event
+    /// (device occupancy from the drained profile plus the derived
+    /// wall-fraction gauges), keyed by gauge name.
+    pub timeseries: TimeSeries,
 }
 
 /// Advance `steps` steps, writing one flight-recorder line per step.
@@ -299,11 +353,14 @@ pub fn run_instrumented<F: ForceField, W: Write>(
     let mut violations = 0u64;
     let mut force_errors = Vec::new();
     let mut speeds = Vec::new();
+    let mut wall_total = 0.0;
+    let mut timeseries = TimeSeries::default();
     let mut last_error: Option<f64> = None;
     for _ in 0..steps {
         let wall_start = Instant::now();
         let record = sim.step();
         let wall = wall_start.elapsed().as_secs_f64();
+        wall_total += wall;
 
         let probe_sample = match inst.probe {
             Some(probe) if probe.should_fire(record.step) => Some(probe.measure(
@@ -316,6 +373,10 @@ pub fn run_instrumented<F: ForceField, W: Write>(
 
         let profile = mdm_profile::take();
         let mut event = StepEvent::from_profile(record.step, wall, &profile);
+        stamp_wall_fraction_gauges(&mut event, &profile, wall);
+        for (name, value) in &event.gauges {
+            timeseries.record(name, record.step, *value);
+        }
         event.observables.extend([
             ("time_fs".to_string(), record.time),
             ("temperature_k".to_string(), record.temperature),
@@ -323,6 +384,17 @@ pub fn run_instrumented<F: ForceField, W: Write>(
             ("potential_ev".to_string(), record.potential),
             ("total_ev".to_string(), record.total),
         ]);
+        // Pressure only where the backend reports a real virial — the
+        // emulated WINE-2 board does not (its manifest says
+        // `pressure_supported: false`), and an unsupported observable
+        // is *absent*, never a streamed NaN.
+        let virial = sim.current_forces().virial;
+        if virial.is_finite() {
+            event.observables.insert(
+                "pressure_gpa".to_string(),
+                mdm_core::observables::pressure_gpa(sim.system(), virial),
+            );
+        }
 
         if let Some(sample) = probe_sample {
             last_error = Some(sample.relative());
@@ -379,13 +451,120 @@ pub fn run_instrumented<F: ForceField, W: Write>(
         merged.merge(&profile);
         records.push(record);
     }
-    Ok(RecordedRun {
+    let run = RecordedRun {
         records,
         profile: merged,
         violations,
         force_errors,
         speeds,
-    })
+        wall_seconds: wall_total,
+        timeseries,
+    };
+    if let Some(sink) = inst.ledger {
+        ledger::append_record(sink.path, &ledger_record(sink.tool, sink.label, sim, &run))?;
+    }
+    Ok(run)
+}
+
+/// Derived per-step utilization gauges. These are computed *after* the
+/// registry drain, so they go straight onto the event (and the timeline
+/// counter track) — a `gauge()` call here would leak into the *next*
+/// step's profile.
+fn stamp_wall_fraction_gauges(event: &mut StepEvent, profile: &mdm_profile::Profile, wall: f64) {
+    if wall > 0.0 {
+        // The Table 4 decomposition as wall fractions: how much of the
+        // step each device column occupied.
+        for (phase, gauge) in [
+            ("real", "mdg.util_wall"),
+            ("wave", "wine.util_wall"),
+            ("comm", "comm.util_wall"),
+            ("host", "host.util_wall"),
+        ] {
+            if let Some(seconds) = event.phases.get(phase) {
+                let frac = seconds / wall;
+                event.gauges.insert(gauge.to_string(), frac);
+                mdm_profile::timeline_counter(gauge, frac);
+            }
+        }
+    }
+    // Capacity-weighted rayon utilization over the whole step: the
+    // per-region gauge mean over-weights short regions; busy/capacity
+    // from the summed counters does not.
+    let counter = |name: &str| profile.counters.get(name).copied().unwrap_or(0);
+    let (busy, capacity) = (counter("rayon_busy_ns"), counter("rayon_capacity_ns"));
+    if capacity > 0 {
+        let util = busy as f64 / capacity as f64;
+        event.gauges.insert("host.rayon_util".to_string(), util);
+        mdm_profile::timeline_counter("host.rayon_util", util);
+    }
+}
+
+/// Reduce a recorded run to its one-line ledger summary: per-step phase
+/// seconds, measured Gflops, speed/accuracy aggregates, mean gauges,
+/// and the environment stamp.
+pub fn ledger_record<F: ForceField>(
+    tool: &str,
+    label: &str,
+    sim: &Simulation<F>,
+    run: &RecordedRun,
+) -> RunRecord {
+    let steps = run.records.len().max(1) as f64;
+    // The merged profile reduced exactly as one step event would be:
+    // top-level spans become phases (here run totals, so ÷ steps).
+    let aggregate = StepEvent::from_profile(0, run.wall_seconds, &run.profile);
+    let speed_wall: f64 = run.speeds.iter().map(|s| s.wall_seconds).sum();
+    let mut gflops = std::collections::BTreeMap::new();
+    let mut raw_tflops = None;
+    let mut effective_tflops = None;
+    if speed_wall > 0.0 {
+        let real: f64 = run.speeds.iter().map(|s| s.real_flops).sum();
+        let wave: f64 = run.speeds.iter().map(|s| s.wave_flops).sum();
+        gflops.insert("real".to_string(), real / speed_wall / 1e9);
+        gflops.insert("wave".to_string(), wave / speed_wall / 1e9);
+        raw_tflops = Some((real + wave) / speed_wall / 1e12);
+        // Wall-weighted mean of the per-step effective speeds.
+        let effective: f64 = run
+            .speeds
+            .iter()
+            .map(|s| s.effective_flops_per_s() * s.wall_seconds)
+            .sum();
+        effective_tflops = Some(effective / speed_wall / 1e12);
+    }
+    let mut record = RunRecord {
+        tool: tool.to_string(),
+        label: label.to_string(),
+        threads: rayon::current_num_threads() as u64,
+        n_particles: sim.system().len() as u64,
+        steps: run.records.len() as u64,
+        wall_seconds_per_step: run.wall_seconds / steps,
+        phases: aggregate
+            .phases
+            .iter()
+            .map(|(name, total)| (name.clone(), total / steps))
+            .collect(),
+        gflops,
+        raw_tflops,
+        effective_tflops,
+        worst_force_error: run
+            .force_errors
+            .iter()
+            .map(ForceErrorSample::relative)
+            .fold(None, |worst: Option<f64>, e| {
+                Some(worst.map_or(e, |w| w.max(e)))
+            }),
+        violations: run.violations,
+        pressure_supported: sim.current_forces().virial.is_finite(),
+        gauges: run
+            .timeseries
+            .series
+            .iter()
+            .filter_map(|(name, series)| Some((name.clone(), series.mean()?)))
+            .collect(),
+        ..RunRecord::default()
+    };
+    record.stamp_now();
+    record.stamp_env(&env_stamp());
+    record
 }
 
 #[cfg(test)]
@@ -411,7 +590,8 @@ mod tests {
             dt_fs: sim.dt(),
             forcefield: "software Ewald (Tosi–Fumi)".into(),
             seed: 11,
-            params: Default::default(),
+            pressure_supported: true,
+            ..RunManifest::default()
         }
     }
 
@@ -540,6 +720,7 @@ mod tests {
                 watchdogs: Some(&mut dogs),
                 probe: Some(&probe),
                 meter: Some(&meter),
+                ledger: None,
             },
         )
         .unwrap();
@@ -601,6 +782,7 @@ mod tests {
                 watchdogs: Some(&mut dogs),
                 probe: Some(&probe),
                 meter: None,
+                ledger: None,
             },
         )
         .unwrap();
@@ -627,5 +809,148 @@ mod tests {
         assert!(manifest.params.contains_key("r_cut"));
         assert!(manifest.params.contains_key("n_max"));
         assert!(manifest.params["s_r"] > 0.0);
+    }
+
+    #[test]
+    fn mdm_manifest_is_environment_stamped() {
+        let s = rocksalt_nacl(2, NACL_LATTICE_A);
+        let ff = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+        let sim = Simulation::new(s, ff, 2.0);
+        let manifest = mdm_manifest("nacl-64", "test", &sim, 7);
+        // The test binary runs inside the checkout, so the stamp must
+        // resolve (MDM_GIT_SHA override also yields a sha-like string).
+        assert!(
+            manifest.git_sha.len() >= 7
+                && manifest.git_sha.chars().all(|c| c.is_ascii_hexdigit()),
+            "git_sha: {:?}",
+            manifest.git_sha
+        );
+        assert_ne!(manifest.hostname, "");
+        assert!(manifest.nproc >= 1);
+        assert!(manifest.threads >= 1);
+        // The emulated WINE-2 board reports no virial: pressure is
+        // declared unsupported, not streamed as NaN.
+        assert!(!manifest.pressure_supported);
+    }
+
+    #[test]
+    fn pressure_streams_only_where_the_virial_is_real() {
+        // Software Ewald reports a virial → pressure_gpa is streamed.
+        let mut sim = software_sim(1.0);
+        let manifest = software_manifest(&sim);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        mdm_profile::reset();
+        run_recorded(&mut sim, 2, &mut recorder, None).unwrap();
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        for event in &steps {
+            let p = steps[0].observables["pressure_gpa"];
+            assert!(p.is_finite(), "software pressure must be real: {p}");
+            assert!(event.observables.contains_key("pressure_gpa"));
+        }
+
+        // The MDM emulator does not → the key is absent entirely.
+        let mut sim = mdm_sim();
+        let manifest = mdm_manifest("no-pressure", "cargo test", &sim, 11);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        mdm_profile::reset();
+        run_recorded(&mut sim, 1, &mut recorder, None).unwrap();
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (back, steps) = parse_jsonl(&text).unwrap();
+        assert!(!back.pressure_supported);
+        for event in &steps {
+            assert!(
+                !event.observables.contains_key("pressure_gpa"),
+                "unsupported pressure must be absent, not NaN"
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_run_collects_the_utilization_timeseries() {
+        let mut sim = mdm_sim();
+        let manifest = mdm_manifest("ts-test", "cargo test", &sim, 11);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        mdm_profile::reset();
+        let run = run_recorded(&mut sim, 3, &mut recorder, None).unwrap();
+        assert!(run.wall_seconds > 0.0);
+        // The driver's device gauges and the derived wall fractions
+        // both land in the series, one sample per step.
+        for name in [
+            "mdg.occupancy",
+            "wine.occupancy",
+            "comm.jstore_upload_mbps",
+            "mdg.util_wall",
+            "wine.util_wall",
+        ] {
+            let series = run
+                .timeseries
+                .get(name)
+                .unwrap_or_else(|| panic!("missing series {name}"));
+            assert_eq!(series.len(), 3, "{name}");
+        }
+        let occupancy = run.timeseries.get("mdg.occupancy").unwrap();
+        assert!(occupancy.min().unwrap() > 0.0);
+        assert!(occupancy.max().unwrap() <= 1.0);
+        // Wall fractions are fractions of the measured step.
+        let util = run.timeseries.get("mdg.util_wall").unwrap();
+        assert!(util.max().unwrap() <= 1.0 + 1e-9);
+
+        // The same gauges appear on each streamed step event.
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let (_, steps) = parse_jsonl(&text).unwrap();
+        for event in &steps {
+            assert!(event.gauges.contains_key("mdg.occupancy"));
+            assert!(event.gauges.contains_key("wine.occupancy"));
+        }
+    }
+
+    #[test]
+    fn ledger_sink_appends_one_summary_row() {
+        let path = std::env::temp_dir().join(format!(
+            "mdm_telemetry_ledger_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut sim = mdm_sim();
+        let n = sim.system().len() as u64;
+        let params = *sim.force_field().params();
+        let meter = SpeedMeter::for_run(&params, n, sim.system().simbox().l());
+        let manifest = mdm_manifest("ledger-test", "cargo test", &sim, 11);
+        let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
+        mdm_profile::reset();
+        let run = run_instrumented(
+            &mut sim,
+            2,
+            &mut recorder,
+            Instruments {
+                meter: Some(&meter),
+                ledger: Some(LedgerSink {
+                    path: &path,
+                    tool: "run_instrumented",
+                    label: "ledger-test",
+                }),
+                ..Instruments::default()
+            },
+        )
+        .unwrap();
+        let (rows, skipped) = mdm_profile::ledger::read_ledger(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.tool, "run_instrumented");
+        assert_eq!(row.label, "ledger-test");
+        assert_eq!(row.n_particles, n);
+        assert_eq!(row.steps, 2);
+        assert!((row.wall_seconds_per_step - run.wall_seconds / 2.0).abs() < 1e-12);
+        assert!(row.phases.contains_key("real"));
+        assert!(row.gflops["real"] > 0.0);
+        assert!(row.raw_tflops.unwrap() > 0.0);
+        assert!(row.effective_tflops.unwrap() > 0.0);
+        assert!(!row.pressure_supported);
+        assert!(row.gauges.contains_key("mdg.occupancy"));
+        assert!(row.threads >= 1);
+        assert_eq!(row.git_sha, manifest.git_sha);
+        let _ = std::fs::remove_file(&path);
     }
 }

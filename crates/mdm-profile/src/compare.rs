@@ -273,6 +273,7 @@ mod tests {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             gflops: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 

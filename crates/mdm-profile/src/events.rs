@@ -44,6 +44,40 @@ pub struct RunManifest {
     pub seed: u64,
     /// Named numeric parameters: Ewald α, r_cut, cell counts, n_max, …
     pub params: BTreeMap<String, f64>,
+    /// Git SHA of the code that ran (`"unknown"` when undetectable) —
+    /// the environment stamp that makes cross-machine comparisons in
+    /// the run ledger attributable.
+    pub git_sha: String,
+    /// Hostname of the machine that ran.
+    pub hostname: String,
+    /// Hardware parallelism (`nproc`) of the machine; 0 if unknown.
+    pub nproc: u64,
+    /// Effective worker-thread count the run used.
+    pub threads: u64,
+    /// Whether the force backend reports a real virial. The emulated
+    /// WINE-2 board does not (its `ForceResult::virial` is NaN), so
+    /// pressure is *explicitly unsupported* there rather than streamed
+    /// as NaN into the observables.
+    pub pressure_supported: bool,
+}
+
+impl Default for RunManifest {
+    fn default() -> Self {
+        RunManifest {
+            label: String::new(),
+            command: String::new(),
+            n_particles: 0,
+            dt_fs: 0.0,
+            forcefield: String::new(),
+            seed: 0,
+            params: BTreeMap::new(),
+            git_sha: "unknown".into(),
+            hostname: "unknown".into(),
+            nproc: 0,
+            threads: 0,
+            pressure_supported: false,
+        }
+    }
 }
 
 impl RunManifest {
@@ -67,6 +101,11 @@ impl RunManifest {
             // f64-backed number representation exactly.
             ("seed", Value::from_u64(self.seed)),
             ("params", params),
+            ("git_sha", Value::Str(self.git_sha.clone())),
+            ("hostname", Value::Str(self.hostname.clone())),
+            ("nproc", Value::from_u64(self.nproc)),
+            ("threads", Value::from_u64(self.threads)),
+            ("pressure_supported", Value::Bool(self.pressure_supported)),
         ])
     }
 
@@ -115,6 +154,16 @@ impl RunManifest {
                 .and_then(Value::as_u64)
                 .ok_or("manifest missing `seed`")?,
             params,
+            // Environment-stamp fields arrived after version 1 shipped;
+            // recordings made before them parse with the defaults.
+            git_sha: str_field("git_sha").unwrap_or_else(|_| "unknown".into()),
+            hostname: str_field("hostname").unwrap_or_else(|_| "unknown".into()),
+            nproc: value.get("nproc").and_then(Value::as_u64).unwrap_or(0),
+            threads: value.get("threads").and_then(Value::as_u64).unwrap_or(0),
+            pressure_supported: matches!(
+                value.get("pressure_supported"),
+                Some(Value::Bool(true))
+            ),
         })
     }
 }
@@ -136,6 +185,11 @@ pub struct StepEvent {
     pub observables: BTreeMap<String, f64>,
     /// Watchdog violations attached to this step (usually empty).
     pub violations: Vec<Violation>,
+    /// Gauge name → sampled value for this step (device utilization
+    /// fractions, bandwidths). When a gauge sampled several times in
+    /// one step (once per force pass), this is the step's mean.
+    /// Absent from recordings made before this field existed.
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram name → error-attribution distribution from the
     /// precision seams (Q30 quantization residuals, table-fit
     /// residuals). Absent from recordings made before this field
@@ -163,6 +217,11 @@ impl StepEvent {
             .iter()
             .map(|(name, hist)| (name.clone(), hist.clone()))
             .collect();
+        let gauges = profile
+            .gauges
+            .iter()
+            .map(|(name, stat)| (name.clone(), stat.mean()))
+            .collect();
         Self {
             step,
             wall_seconds,
@@ -170,6 +229,7 @@ impl StepEvent {
             counters,
             observables: BTreeMap::new(),
             violations: Vec::new(),
+            gauges,
             histograms,
         }
     }
@@ -198,6 +258,12 @@ impl StepEvent {
             ("observables", num_map(&self.observables)),
             ("violations", violations),
         ]);
+        if !self.gauges.is_empty() {
+            // Like histograms below: only pay the key when non-empty.
+            if let Value::Obj(map) = &mut value {
+                map.insert("gauges".into(), num_map(&self.gauges));
+            }
+        }
         if !self.histograms.is_empty() {
             // Only pay the key when there is something to say; readers
             // treat a missing key as "no histograms".
@@ -280,6 +346,7 @@ impl StepEvent {
             counters,
             observables: num_map("observables")?,
             violations,
+            gauges: num_map("gauges")?,
             histograms,
         })
     }
@@ -398,6 +465,11 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            git_sha: "0123abcd0123abcd0123abcd0123abcd0123abcd".into(),
+            hostname: "bench-host".into(),
+            nproc: 8,
+            threads: 4,
+            pressure_supported: true,
         }
     }
 
@@ -432,6 +504,12 @@ mod tests {
                 threshold: 1e-3,
                 message: "drift \"high\"\nsecond line".into(),
             }],
+            gauges: [
+                ("mdg.occupancy".to_string(), 0.83),
+                ("wine.occupancy".to_string(), 0.91),
+            ]
+            .into_iter()
+            .collect(),
             histograms: BTreeMap::new(),
         }
     }
@@ -518,6 +596,48 @@ mod tests {
         profile.histograms.insert("t_seam".into(), h);
         let event = StepEvent::from_profile(0, 0.1, &profile);
         assert_eq!(event.histograms["t_seam"].count(), 1);
+    }
+
+    #[test]
+    fn from_profile_reduces_gauges_to_step_means() {
+        let mut profile = Profile::default();
+        // Two samples in one step (one per force pass) → the step
+        // event carries their mean.
+        profile.gauges.insert(
+            "mdg.occupancy".into(),
+            crate::GaugeStat {
+                count: 2,
+                sum: 1.0,
+                min: 0.2,
+                max: 0.8,
+                last: 0.8,
+            },
+        );
+        let event = StepEvent::from_profile(0, 0.1, &profile);
+        assert!((event.gauges["mdg.occupancy"] - 0.5).abs() < 1e-12);
+        // An event with no gauges never pays the key.
+        let bare = StepEvent::from_profile(0, 0.1, &Profile::default());
+        assert!(!bare.to_json().to_compact().contains("gauges"));
+    }
+
+    #[test]
+    fn pre_stamp_manifest_lines_parse_with_defaults() {
+        // A manifest written before the environment-stamp fields
+        // existed: serialize the new struct, strip the new keys, and
+        // make sure the parser still reads it.
+        let mut value = sample_manifest().to_json();
+        if let Value::Obj(map) = &mut value {
+            for key in ["git_sha", "hostname", "nproc", "threads", "pressure_supported"] {
+                map.remove(key);
+            }
+        }
+        let manifest = RunManifest::from_json(&value).unwrap();
+        assert_eq!(manifest.git_sha, "unknown");
+        assert_eq!(manifest.hostname, "unknown");
+        assert_eq!(manifest.nproc, 0);
+        assert_eq!(manifest.threads, 0);
+        assert!(!manifest.pressure_supported);
+        assert_eq!(manifest.label, "nacl-512");
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod compare;
 pub mod events;
 pub mod histogram;
 pub mod json;
+pub mod ledger;
 pub mod report;
+pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
 
@@ -81,6 +83,62 @@ pub struct SpanStat {
     pub total: Duration,
 }
 
+/// Summary of the values a gauge took since the last drain: counters
+/// count *events*, gauges sample *levels* (utilization fractions,
+/// bandwidths), so sum/min/max/last all carry meaning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples (mean = sum / count).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Most recent sample.
+    pub last: f64,
+}
+
+impl GaugeStat {
+    fn from_sample(value: f64) -> Self {
+        GaugeStat {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            last: value,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.last = value;
+    }
+
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &GaugeStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Merge order stands in for time order (profiles merge
+        // step-by-step), so the other side is the newer sample.
+        self.last = other.last;
+    }
+}
+
 /// A drained snapshot of the registry.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Profile {
@@ -88,6 +146,9 @@ pub struct Profile {
     pub spans: HashMap<String, SpanStat>,
     /// Counter name → accumulated value.
     pub counters: HashMap<String, u64>,
+    /// Gauge name → sampled-level summary (device utilization,
+    /// bandwidths — written via [`gauge`]).
+    pub gauges: HashMap<String, GaugeStat>,
     /// Histogram name → log-bucketed distribution (error-attribution
     /// telemetry from the precision seams).
     pub histograms: HashMap<String, LogHistogram>,
@@ -138,6 +199,14 @@ impl Profile {
                 *entry = (*entry).max(*value);
             } else {
                 *entry += value;
+            }
+        }
+        for (name, stat) in &other.gauges {
+            match self.gauges.get_mut(name) {
+                Some(mine) => mine.merge(stat),
+                None => {
+                    self.gauges.insert(name.clone(), *stat);
+                }
             }
         }
         for (name, hist) in &other.histograms {
@@ -301,6 +370,39 @@ pub fn counter_max(name: &'static str, value: u64) {
     });
 }
 
+/// Sample the named gauge: a *level* (utilization fraction, achieved
+/// bandwidth) rather than an event count. The registry keeps a
+/// [`GaugeStat`] summary; when a timeline is recording, the sample
+/// additionally becomes a Perfetto counter-track point (see
+/// [`trace::chrome_trace`]), so utilization renders as a curve beside
+/// the span tracks. One registry lock per call — per-phase/per-step
+/// cadence, not inner loops.
+pub fn gauge(name: &'static str, value: f64) {
+    if TIMELINE_ENABLED.load(Ordering::Relaxed) {
+        record_timeline_counter(name, value);
+    }
+    with_registry(|profile| match profile.gauges.get_mut(name) {
+        Some(stat) => stat.record(value),
+        None => {
+            profile
+                .gauges
+                .insert(name.to_string(), GaugeStat::from_sample(value));
+        }
+    });
+}
+
+/// Record a counter-track point on the timeline *only* — no registry
+/// entry. For gauges derived from an already-drained [`Profile`]
+/// (e.g. the per-step wall-clock fractions `run_instrumented` computes
+/// after [`take`]): writing those back through [`gauge`] would leak
+/// them into the *next* step's drain, so they go straight to the
+/// timeline. A no-op unless a timeline is recording.
+pub fn timeline_counter(name: &str, value: f64) {
+    if TIMELINE_ENABLED.load(Ordering::Relaxed) {
+        record_timeline_counter(name, value);
+    }
+}
+
 /// Record one sample into the named registry histogram, creating it
 /// with [`LogHistogram::error_default`] geometry on first use.
 ///
@@ -367,16 +469,32 @@ pub struct TimelineEvent {
     pub thread: u64,
 }
 
+/// One gauge sample placed on the wall clock: renders as a point on a
+/// Perfetto counter track (`"ph": "C"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineCounter {
+    /// Gauge name (same key as [`Profile::gauges`]).
+    pub name: String,
+    /// Microseconds from timeline start to the sample.
+    pub ts_us: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// The events captured between [`timeline_start`] and [`timeline_stop`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Timeline {
     /// Completed span occurrences, in drop order.
     pub events: Vec<TimelineEvent>,
+    /// Gauge samples ([`gauge`] / [`timeline_counter`] calls made
+    /// while recording), in sample order.
+    pub counters: Vec<TimelineCounter>,
 }
 
 struct TimelineState {
     epoch: Instant,
     events: Vec<TimelineEvent>,
+    counters: Vec<TimelineCounter>,
 }
 
 /// Cheap gate checked on every span drop; the mutex is only touched
@@ -429,6 +547,7 @@ pub fn timeline_start() {
     *guard = Some(TimelineState {
         epoch: Instant::now(),
         events: Vec::new(),
+        counters: Vec::new(),
     });
     drop(guard);
     TIMELINE_ENABLED.store(true, Ordering::Relaxed);
@@ -442,6 +561,7 @@ pub fn timeline_stop() -> Timeline {
     match guard.take() {
         Some(state) => Timeline {
             events: state.events,
+            counters: state.counters,
         },
         None => Timeline::default(),
     }
@@ -459,6 +579,18 @@ fn record_timeline_event(path: &str, start: Instant, elapsed: Duration) {
             start_us,
             dur_us: elapsed.as_secs_f64() * 1e6,
             thread,
+        });
+    }
+}
+
+fn record_timeline_counter(name: &str, value: f64) {
+    let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(state) = guard.as_mut() {
+        let ts_us = state.epoch.elapsed().as_secs_f64() * 1e6;
+        state.counters.push(TimelineCounter {
+            name: name.to_string(),
+            ts_us,
+            value,
         });
     }
 }
@@ -688,6 +820,33 @@ mod tests {
     }
 
     #[test]
+    fn gauges_summarize_and_merge() {
+        gauge("t13_util", 0.25);
+        gauge("t13_util", 0.75);
+        gauge("t13_util", 0.50);
+        let stat = snapshot().gauges["t13_util"];
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.min, 0.25);
+        assert_eq!(stat.max, 0.75);
+        assert_eq!(stat.last, 0.50);
+        assert!((stat.mean() - 0.50).abs() < 1e-12);
+
+        // Profile::merge folds gauges: extrema widen, merge order
+        // carries `last`, the mean stays sample-weighted.
+        let mut a = Profile::default();
+        a.gauges.insert("t13_m".into(), GaugeStat::from_sample(0.2));
+        let mut b = Profile::default();
+        b.gauges.insert("t13_m".into(), GaugeStat::from_sample(0.8));
+        b.gauges.insert("t13_only_b".into(), GaugeStat::from_sample(0.4));
+        a.merge(&b);
+        let merged = a.gauges["t13_m"];
+        assert_eq!(merged.count, 2);
+        assert_eq!((merged.min, merged.max, merged.last), (0.2, 0.8, 0.8));
+        assert!((merged.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(a.gauges["t13_only_b"].count, 1);
+    }
+
+    #[test]
     fn timeline_records_span_occurrences() {
         // Single test exercising the global timeline (other timeline
         // users build `Timeline` values directly), so concurrent tests
@@ -699,7 +858,20 @@ mod tests {
             let _inner = span("t11_inner");
             spin(Duration::from_millis(1));
         }
+        gauge("t11_gauge", 0.5);
+        timeline_counter("t11_derived", 0.9);
         let timeline = timeline_stop();
+        // Both the registry gauge and the timeline-only counter landed
+        // as counter samples; only the former entered the registry.
+        let counters: Vec<&TimelineCounter> = timeline
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("t11_"))
+            .collect();
+        assert_eq!(counters.len(), 2, "counters: {:?}", timeline.counters);
+        assert!(counters.iter().all(|c| c.ts_us >= 0.0));
+        assert!(snapshot().gauges.contains_key("t11_gauge"));
+        assert!(!snapshot().gauges.contains_key("t11_derived"));
         let mine: Vec<&TimelineEvent> = timeline
             .events
             .iter()

@@ -51,6 +51,10 @@ pub struct StepReport {
     /// (59 flops/pair, 29/35 flops/particle–wave). Absent from
     /// baselines written before this field existed.
     pub gflops: BTreeMap<String, f64>,
+    /// Gauge name → mean sampled value over the window (device
+    /// occupancy, bus bandwidth, rayon utilization — see
+    /// [`crate::gauge`]). Absent from older baselines.
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl StepReport {
@@ -86,6 +90,11 @@ impl StepReport {
             .iter()
             .map(|(name, &value)| (name.clone(), value))
             .collect();
+        let gauges = profile
+            .gauges
+            .iter()
+            .map(|(name, stat)| (name.clone(), stat.mean()))
+            .collect();
         Self {
             label: label.into(),
             n_particles,
@@ -95,6 +104,7 @@ impl StepReport {
             spans,
             counters,
             gflops: BTreeMap::new(),
+            gauges,
         }
     }
 
@@ -167,6 +177,15 @@ impl StepReport {
                     self.gflops
                         .iter()
                         .map(|(name, &value)| (name.clone(), Value::Num(value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Value::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(name, &value)| (name.clone(), Value::from_f64(value)))
                         .collect(),
                 ),
             ),
@@ -262,6 +281,20 @@ impl StepReport {
             None => BTreeMap::new(),
             _ => return Err("'gflops' must be an object".into()),
         };
+        // Same tolerance as gflops: older baselines lack the key.
+        let gauges = match value.get("gauges") {
+            Some(Value::Obj(map)) => map
+                .iter()
+                .map(|(name, v)| {
+                    Ok((
+                        name.clone(),
+                        v.as_f64().ok_or("gauges must be numbers")?,
+                    ))
+                })
+                .collect::<Result<_, String>>()?,
+            None => BTreeMap::new(),
+            _ => return Err("'gauges' must be an object".into()),
+        };
         Ok(Self {
             label: str_field("label")?,
             n_particles: int_field("n_particles")?,
@@ -271,6 +304,7 @@ impl StepReport {
             spans,
             counters,
             gflops,
+            gauges,
         })
     }
 }
@@ -433,5 +467,33 @@ mod tests {
         }
         let old = StepReport::from_json(&value).unwrap();
         assert!(old.gflops.is_empty());
+    }
+
+    #[test]
+    fn gauges_round_trip_and_old_baselines_parse() {
+        let mut profile = sample_profile();
+        profile.gauges.insert(
+            "mdg.occupancy".into(),
+            crate::GaugeStat {
+                count: 2,
+                sum: 1.6,
+                min: 0.7,
+                max: 0.9,
+                last: 0.9,
+            },
+        );
+        let report =
+            StepReport::from_profile("nacl-512", 512, 2, 1.0, &profile, &["real"]);
+        assert!((report.gauges["mdg.occupancy"] - 0.8).abs() < 1e-12);
+        let text = report.to_json().to_pretty();
+        let back = StepReport::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+
+        // A pre-gauges baseline still parses as gauge-less.
+        let mut value = Value::parse(&text).unwrap();
+        if let Value::Obj(map) = &mut value {
+            map.remove("gauges");
+        }
+        assert!(StepReport::from_json(&value).unwrap().gauges.is_empty());
     }
 }

@@ -1,0 +1,244 @@
+//! Per-step sampled gauges: the utilization time-series.
+//!
+//! The paper's Table 4 is a *utilization* argument — 1.34 effective
+//! Tflops out of 15.4 raw because `t_step = max(t_wine, t_mdg) +
+//! t_comm + t_host` keeps both engines busy most of the step. A single
+//! merged [`crate::Profile`] can only say how busy each device was *on
+//! average over the whole run*; this module keeps the per-step samples
+//! so utilization can be plotted as a curve: one [`GaugeSeries`] per
+//! gauge name (`mdg.occupancy`, `wine.occupancy`, `host.rayon_util`,
+//! …), each sample tagged with the step index it was measured at.
+//!
+//! A [`TimeSeries`] round-trips through the same hand-rolled
+//! [`crate::json`] layer as the rest of the telemetry (NaN-safe), and
+//! [`TimeSeries::merge`] combines series from several runs or shards.
+//! The Perfetto counter tracks ([`crate::trace::chrome_trace`]) are the
+//! visual rendering of the same samples; this is the queryable form.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// One gauge measurement: the value observed at a step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeSample {
+    /// Step index the sample was taken at.
+    pub step: u64,
+    /// Sampled value (a fraction for utilization gauges, but any f64
+    /// is representable — bandwidths, temperatures, queue depths).
+    pub value: f64,
+}
+
+/// The samples of one named gauge, in step order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GaugeSeries {
+    /// Samples sorted by step (ties keep insertion order).
+    pub samples: Vec<GaugeSample>,
+}
+
+impl GaugeSeries {
+    /// Append a sample, keeping the series sorted by step.
+    pub fn record(&mut self, step: u64, value: f64) {
+        let sample = GaugeSample { step, value };
+        match self.samples.last() {
+            Some(last) if last.step > step => {
+                let at = self.samples.partition_point(|s| s.step <= step);
+                self.samples.insert(at, sample);
+            }
+            _ => self.samples.push(sample),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest finite sampled value.
+    pub fn min(&self) -> Option<f64> {
+        self.finite().reduce(f64::min)
+    }
+
+    /// Largest finite sampled value.
+    pub fn max(&self) -> Option<f64> {
+        self.finite().reduce(f64::max)
+    }
+
+    /// Mean of the finite sampled values.
+    pub fn mean(&self) -> Option<f64> {
+        let (n, sum) = self.finite().fold((0u64, 0.0), |(n, s), v| (n + 1, s + v));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// The most recent sample's value (highest step).
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.value)
+    }
+
+    fn finite(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|s| s.value).filter(|v| v.is_finite())
+    }
+
+    /// Merge another series into this one (samples interleave by step).
+    pub fn merge(&mut self, other: &GaugeSeries) {
+        for sample in &other.samples {
+            self.record(sample.step, sample.value);
+        }
+    }
+}
+
+/// A set of named gauge series — the utilization history of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Gauge name → its per-step samples.
+    pub series: BTreeMap<String, GaugeSeries>,
+}
+
+impl TimeSeries {
+    /// Record one sample under `name` at `step`.
+    pub fn record(&mut self, name: &str, step: u64, value: f64) {
+        self.series.entry(name.to_string()).or_default().record(step, value);
+    }
+
+    /// The named series, if any samples were recorded for it.
+    pub fn get(&self, name: &str) -> Option<&GaugeSeries> {
+        self.series.get(name)
+    }
+
+    /// True when no gauge recorded any sample.
+    pub fn is_empty(&self) -> bool {
+        self.series.values().all(GaugeSeries::is_empty)
+    }
+
+    /// Merge another time-series into this one, series by series.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for (name, series) in &other.series {
+            self.series.entry(name.clone()).or_default().merge(series);
+        }
+    }
+
+    /// Serialize: `{name: [[step, value], …], …}`. Values go through
+    /// [`Value::from_f64`], so NaN/inf samples from a blown-up run are
+    /// recorded rather than corrupting the document.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(
+            self.series
+                .iter()
+                .map(|(name, series)| {
+                    let pairs = series
+                        .samples
+                        .iter()
+                        .map(|s| {
+                            Value::Arr(vec![Value::from_u64(s.step), Value::from_f64(s.value)])
+                        })
+                        .collect();
+                    (name.clone(), Value::Arr(pairs))
+                })
+                .collect(),
+        )
+    }
+
+    /// Parse a document written by [`TimeSeries::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let Value::Obj(map) = value else {
+            return Err("time-series must be an object".into());
+        };
+        let mut out = TimeSeries::default();
+        for (name, samples) in map {
+            let Some(items) = samples.as_arr() else {
+                return Err(format!("series `{name}` must be an array"));
+            };
+            let series = out.series.entry(name.clone()).or_default();
+            for item in items {
+                let pair = item.as_arr().filter(|p| p.len() == 2);
+                let (step, value) = pair
+                    .and_then(|p| Some((p[0].as_u64()?, p[1].as_f64()?)))
+                    .ok_or_else(|| format!("series `{name}` sample must be [step, value]"))?;
+                series.record(step, value);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut ts = TimeSeries::default();
+        ts.record("mdg.occupancy", 0, 0.50);
+        ts.record("mdg.occupancy", 1, 0.70);
+        ts.record("mdg.occupancy", 2, 0.60);
+        ts.record("wine.occupancy", 0, 0.90);
+        let mdg = ts.get("mdg.occupancy").unwrap();
+        assert_eq!(mdg.len(), 3);
+        assert_eq!(mdg.min(), Some(0.50));
+        assert_eq!(mdg.max(), Some(0.70));
+        assert_eq!(mdg.last(), Some(0.60));
+        assert!((mdg.mean().unwrap() - 0.60).abs() < 1e-12);
+        assert!(ts.get("missing").is_none());
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn summaries_skip_non_finite_samples() {
+        let mut series = GaugeSeries::default();
+        series.record(0, f64::NAN);
+        series.record(1, 0.4);
+        series.record(2, f64::INFINITY);
+        assert_eq!(series.min(), Some(0.4));
+        assert_eq!(series.max(), Some(0.4));
+        assert_eq!(series.mean(), Some(0.4));
+        // `last` reports what was actually sampled, finite or not.
+        assert!(series.last().unwrap().is_infinite());
+    }
+
+    #[test]
+    fn merge_interleaves_by_step() {
+        let mut a = TimeSeries::default();
+        a.record("g", 0, 1.0);
+        a.record("g", 2, 3.0);
+        let mut b = TimeSeries::default();
+        b.record("g", 1, 2.0);
+        b.record("h", 0, 9.0);
+        a.merge(&b);
+        let g = a.get("g").unwrap();
+        assert_eq!(
+            g.samples.iter().map(|s| s.step).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(g.samples[1].value, 2.0);
+        assert_eq!(a.get("h").unwrap().last(), Some(9.0));
+    }
+
+    #[test]
+    fn json_round_trip_including_non_finite() {
+        let mut ts = TimeSeries::default();
+        ts.record("wine.occupancy", 0, 0.875);
+        ts.record("wine.occupancy", 1, f64::NAN);
+        ts.record("host.rayon_util", 5, 1.0);
+        let doc = ts.to_json();
+        let text = doc.to_compact();
+        let back = TimeSeries::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.series.len(), 2);
+        let wine = back.get("wine.occupancy").unwrap();
+        assert_eq!(wine.samples[0].value, 0.875);
+        assert!(wine.samples[1].value.is_nan());
+        assert_eq!(back.get("host.rayon_util").unwrap().samples[0].step, 5);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(TimeSeries::from_json(&Value::parse("[1,2]").unwrap()).is_err());
+        assert!(TimeSeries::from_json(&Value::parse("{\"g\": 3}").unwrap()).is_err());
+        assert!(TimeSeries::from_json(&Value::parse("{\"g\": [[1]]}").unwrap()).is_err());
+        let empty = TimeSeries::from_json(&Value::parse("{}").unwrap()).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -11,6 +11,11 @@
 //!
 //! The routing key is the top-level segment of the span path, i.e. the
 //! [`crate::phase`] constants the driver already uses.
+//!
+//! Gauge samples recorded during the timeline session become counter
+//! events (`"ph": "C"`) on the same device tracks, so each device
+//! shows its utilization curve (pipeline occupancy, bus bandwidth,
+//! worker utilization) directly beneath its span rows.
 
 use crate::json::{obj, Value};
 use crate::{phase, Timeline};
@@ -29,6 +34,23 @@ pub fn device_track(path: &str) -> (u64, &'static str) {
     }
 }
 
+/// The process track a *counter* (gauge) belongs on, keyed by the
+/// gauge's dotted prefix: `mdg.occupancy` curves under the MDGRAPE-2
+/// track, `wine.occupancy` under WINE-2, `comm.jstore_upload_mbps`
+/// under the bus track, and everything else (`host.rayon_util`, …)
+/// under the host — the same four tracks [`device_track`] routes the
+/// span events to, so each device shows its spans *and* its
+/// utilization curve together.
+pub fn counter_track(name: &str) -> (u64, &'static str) {
+    let top = name.split('.').next().unwrap_or(name);
+    match top {
+        "mdg" => (1, "MDGRAPE-2 (real-space)"),
+        "wine" => (2, "WINE-2 (wavenumber)"),
+        "comm" | "jstore" => (3, "comm (bus/halo)"),
+        _ => (4, "host"),
+    }
+}
+
 /// Convert a timeline into a Chrome trace-event document.
 ///
 /// The result serializes with [`Value::to_pretty`] or
@@ -41,6 +63,10 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
     let mut tracks: BTreeMap<u64, &'static str> = BTreeMap::new();
     for event in &timeline.events {
         let (pid, name) = device_track(&event.path);
+        tracks.insert(pid, name);
+    }
+    for counter in &timeline.counters {
+        let (pid, name) = counter_track(&counter.name);
         tracks.insert(pid, name);
     }
     for (pid, name) in &tracks {
@@ -70,6 +96,22 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
         ]));
     }
 
+    // Gauge samples become counter events (`"ph": "C"`): Perfetto
+    // draws one counter track per (pid, name) and steps the curve at
+    // each sample. `from_f64` keeps a NaN sample recordable (it lands
+    // as a string sentinel rather than breaking the JSON document).
+    for counter in &timeline.counters {
+        let (pid, _) = counter_track(&counter.name);
+        events.push(obj([
+            ("name", Value::Str(counter.name.clone())),
+            ("cat", Value::Str("gauge".into())),
+            ("ph", Value::Str("C".into())),
+            ("ts", Value::Num(counter.ts_us)),
+            ("pid", Value::Num(pid as f64)),
+            ("args", obj([("value", Value::from_f64(counter.value))])),
+        ]));
+    }
+
     obj([
         ("traceEvents", Value::Arr(events)),
         ("displayTimeUnit", Value::Str("ms".into())),
@@ -79,7 +121,7 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TimelineEvent;
+    use crate::{TimelineCounter, TimelineEvent};
 
     fn sample_timeline() -> Timeline {
         let event = |path: &str, start_us: f64, dur_us: f64| TimelineEvent {
@@ -87,6 +129,11 @@ mod tests {
             start_us,
             dur_us,
             thread: 0,
+        };
+        let counter = |name: &str, ts_us: f64, value: f64| TimelineCounter {
+            name: name.to_string(),
+            ts_us,
+            value,
         };
         Timeline {
             events: vec![
@@ -98,6 +145,13 @@ mod tests {
                 event("comm.upload", 1000.0, 50.0),
                 event("host", 1050.0, 120.5),
                 event("jstore_build", 1171.0, 30.0), // un-phased → host
+            ],
+            counters: vec![
+                counter("mdg.occupancy", 900.0, 0.83),
+                counter("wine.occupancy", 650.0, 0.91),
+                counter("comm.jstore_upload_mbps", 1040.0, 118.0),
+                counter("host.rayon_util", 1170.0, 1.0),
+                counter("mdg.occupancy", 1900.0, 0.79),
             ],
         }
     }
@@ -123,6 +177,7 @@ mod tests {
             .expect("top-level traceEvents array");
         assert!(!events.is_empty());
         let mut complete = 0;
+        let mut counters = 0;
         let mut pids = std::collections::BTreeSet::new();
         for event in events {
             let ph = event.get("ph").and_then(Value::as_str).expect("ph");
@@ -139,6 +194,11 @@ mod tests {
                     }
                     pids.insert(event.get("pid").and_then(Value::as_u64).unwrap());
                 }
+                "C" => {
+                    counters += 1;
+                    // Checked in depth by counter_track_schema; here
+                    // only that the phase is known.
+                }
                 "M" => {
                     assert_eq!(
                         event.get("name").and_then(Value::as_str),
@@ -150,8 +210,73 @@ mod tests {
             }
         }
         assert_eq!(complete, sample_timeline().events.len());
+        assert_eq!(counters, sample_timeline().counters.len());
         // All four device tracks are present for this timeline.
         assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn counter_track_routing() {
+        assert_eq!(counter_track("mdg.occupancy").0, 1);
+        assert_eq!(counter_track("wine.occupancy").0, 2);
+        assert_eq!(counter_track("comm.jstore_upload_mbps").0, 3);
+        assert_eq!(counter_track("jstore.upload_mbps").0, 3);
+        assert_eq!(counter_track("host.rayon_util").0, 4);
+        assert_eq!(counter_track("unprefixed_gauge").0, 4, "unknown → host");
+        // Counters ride the same pids the span events use, so both
+        // appear under one device heading in the viewer.
+        assert_eq!(counter_track("mdg.occupancy"), device_track("real"));
+        assert_eq!(counter_track("wine.occupancy"), device_track("wave"));
+    }
+
+    #[test]
+    fn counter_track_schema() {
+        // Perfetto's requirements on counter events: every "C" event
+        // carries name, pid, a finite ts, and an args object holding
+        // the sampled value.
+        let timeline = sample_timeline();
+        let doc = chrome_trace(&timeline);
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let counter_events: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counter_events.len(), timeline.counters.len());
+        for (event, counter) in counter_events.iter().zip(&timeline.counters) {
+            assert_eq!(
+                event.get("name").and_then(Value::as_str),
+                Some(counter.name.as_str())
+            );
+            let ts = event.get("ts").and_then(Value::as_f64).expect("ts");
+            assert!(ts.is_finite());
+            assert_eq!(ts, counter.ts_us);
+            assert_eq!(
+                event.get("pid").and_then(Value::as_u64),
+                Some(counter_track(&counter.name).0)
+            );
+            let value = event
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64)
+                .expect("args.value");
+            assert_eq!(value, counter.value);
+        }
+        // Counter-bearing pids are named by metadata events even when
+        // no span event landed on that track.
+        let wave_only = Timeline {
+            events: Vec::new(),
+            counters: vec![TimelineCounter {
+                name: "wine.occupancy".into(),
+                ts_us: 1.0,
+                value: 0.5,
+            }],
+        };
+        let doc = chrome_trace(&wave_only);
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("pid").and_then(Value::as_u64) == Some(2)
+        }));
     }
 
     #[test]

@@ -58,6 +58,20 @@ impl WineCounters {
     pub fn achieved_flops(&self, seconds: f64) -> f64 {
         self.credited_flops() / seconds
     }
+
+    /// Fraction of pipeline slots doing useful DFT/IDFT work:
+    /// `(dft_ops + idft_ops) / (cycles × total_pipelines)`. `cycles`
+    /// is the busiest chip's count while chips run concurrently, so
+    /// wave-batch padding (the per-chip `⌈waves/8⌉` round-up) and
+    /// cluster imbalance both read as occupancy < 1. Sampled per step
+    /// by the driver as the `wine.occupancy` gauge.
+    pub fn pipeline_occupancy(&self, total_pipelines: u64) -> f64 {
+        let slots = self.cycles as f64 * total_pipelines as f64;
+        if slots <= 0.0 {
+            return 0.0;
+        }
+        (self.dft_ops + self.idft_ops) as f64 / slots
+    }
 }
 
 /// Modeled cycle time beside measured wall-clock for one engine — the
@@ -130,6 +144,19 @@ mod tests {
             ..Default::default()
         };
         assert!((c.compute_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_occupancy_counts_both_transform_directions() {
+        let c = WineCounters {
+            dft_ops: 300,
+            idft_ops: 500,
+            cycles: 100,
+            ..Default::default()
+        };
+        // 10 pipelines × 100 cycles = 1000 slots, 800 busy.
+        assert!((c.pipeline_occupancy(10) - 0.8).abs() < 1e-12);
+        assert_eq!(WineCounters::default().pipeline_occupancy(10), 0.0);
     }
 
     #[test]

@@ -140,6 +140,13 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// Split `producer` into contiguous chunks, consume each chunk's serial
 /// iterator with `consume` on a scoped worker pool, and return the
 /// per-chunk results **in index order**.
+///
+/// Every top-level region also publishes two `mdm-profile` counters —
+/// `rayon_busy_ns` (summed time workers spent inside `consume`) and
+/// `rayon_capacity_ns` (region wall time × workers) — so the host can
+/// report worker utilization (`busy / capacity`) as a gauge. Two
+/// registry locks per *region* (a handful per simulation step), not
+/// per chunk.
 pub(crate) fn drive<P, R, C>(producer: P, consume: C) -> Vec<R>
 where
     P: iter::Producer,
@@ -147,13 +154,19 @@ where
     C: Fn(P::IntoIter) -> R + Sync,
 {
     let len = producer.len();
-    let workers = if IN_WORKER.with(Cell::get) {
-        1
-    } else {
-        current_num_threads().min(len.max(1))
-    };
-    if workers <= 1 {
+    if IN_WORKER.with(Cell::get) {
+        // Nested region on a pool worker: runs serially inside the
+        // parent region's clock; publishing here would double-count.
         return vec![consume(producer.into_iter())];
+    }
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 {
+        let start = std::time::Instant::now();
+        let out = vec![consume(producer.into_iter())];
+        let busy = start.elapsed().as_nanos() as u64;
+        mdm_profile::counter("rayon_busy_ns", busy);
+        mdm_profile::counter("rayon_capacity_ns", busy);
+        return out;
     }
 
     let chunk_len = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
@@ -172,26 +185,44 @@ where
     let queue = Mutex::new(queue);
     let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let parent_spans = mdm_profile::stack_snapshot();
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
     let consume = &consume;
     let queue = &queue;
     let slots = &slots;
     let parent_spans = &parent_spans;
+    let busy_ns = &busy_ns;
+    let region_start = std::time::Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(move || {
                 let _spans = mdm_profile::adopt_stack(parent_spans);
                 IN_WORKER.with(|w| w.set(true));
+                let mut my_busy = 0u64;
                 loop {
                     // Lock released before consuming, so workers drain
                     // the queue concurrently.
                     let job = queue.lock().unwrap_or_else(|p| p.into_inner()).pop_front();
                     let Some((i, chunk)) = job else { break };
+                    let chunk_start = std::time::Instant::now();
                     let result = consume(chunk.into_iter());
+                    my_busy += chunk_start.elapsed().as_nanos() as u64;
                     *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
                 }
+                busy_ns.fetch_add(my_busy, std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
+    let wall_ns = region_start.elapsed().as_nanos() as u64;
+    let busy = busy_ns.load(std::sync::atomic::Ordering::Relaxed);
+    let capacity = wall_ns.saturating_mul(workers as u64);
+    mdm_profile::counter("rayon_busy_ns", busy);
+    mdm_profile::counter("rayon_capacity_ns", capacity);
+    if capacity > 0 {
+        // Worker utilization of this region: 1.0 means every worker was
+        // inside `consume` for the whole region; spawn/queue overhead
+        // and chunk-tail imbalance pull it down.
+        mdm_profile::gauge("host.rayon_util", busy as f64 / capacity as f64);
+    }
 
     slots
         .iter()
@@ -346,6 +377,29 @@ mod tests {
     fn current_num_threads_reports_override_and_default() {
         assert!(current_num_threads() >= 1);
         assert_eq!(with_num_threads(3, current_num_threads), 3);
+    }
+
+    #[test]
+    fn regions_publish_busy_and_capacity_counters() {
+        // The global registry is shared with concurrently running
+        // tests (one of which calls `reset`), so run the region and
+        // snapshot in a retry loop instead of asserting on one shot.
+        for attempt in 0..10 {
+            par4(|| {
+                (0..64usize).into_par_iter().for_each(|_| {
+                    std::hint::black_box((0..20_000usize).sum::<usize>());
+                });
+            });
+            let profile = mdm_profile::snapshot();
+            let busy = profile.counters.get("rayon_busy_ns").copied();
+            let capacity = profile.counters.get("rayon_capacity_ns").copied();
+            if let (Some(busy), Some(capacity)) = (busy, capacity) {
+                if busy > 0 && capacity > 0 {
+                    return;
+                }
+            }
+            assert!(attempt < 9, "utilization counters never appeared");
+        }
     }
 
     #[test]
