@@ -119,6 +119,7 @@ fn run_backend(
                 tool: "accuracy_report",
                 label: &label,
             }),
+            ..Instruments::default()
         },
     )
     .unwrap_or_else(|e| panic!("append ledger row to {}: {e}", ledger_path.display()));

@@ -40,16 +40,39 @@
 //!   those sizes are in the ladder;
 //! * `--trace FILE` — also write a Chrome trace-event file (open in
 //!   Perfetto or `chrome://tracing`) with one track per emulated
-//!   device: MDGRAPE-2, WINE-2, comm, host;
+//!   device: MDGRAPE-2, WINE-2, comm, host. With `--world`, one
+//!   process *group* per rank plus send/recv flow arrows between them;
+//!   with several sizes, the per-size timelines are concatenated with
+//!   a 1 ms gap;
 //! * `--record FILE` — also stream a per-step JSONL flight recording
 //!   (manifest + step events with counters, observables, and watchdog
-//!   verdicts).
+//!   verdicts);
+//! * `--serve ADDR` — per-step instrumented run (like `--record`)
+//!   that additionally serves the manifest + live step events as JSONL
+//!   over TCP on `ADDR` (e.g. `127.0.0.1:7979`, port `0` for an
+//!   OS-assigned port — the bound address is printed). Watch with
+//!   `mdm_top`; slow viewers lose their oldest queued events, never
+//!   the step loop;
+//! * `--world R,W` — profile the §4 simulated-MPI parallel program
+//!   instead of the emulated single-host step: `R` real-space ranks ×
+//!   `W` wavenumber ranks per force evaluation, `--steps` evaluations.
+//!   Spans land on per-rank tracks in `--trace` output;
+//! * `--critical-path` — analyze each size's span timeline and print
+//!   the chain of spans (by rank, linked through message flows) that
+//!   bounds the wall-clock; the bottleneck label is recorded in the
+//!   ledger row's `critical_path` column.
 
 use mdm_bench::stepprof::{
-    append_to_ledger, cells_for_particles, modeled_step, profile_size_recorded,
-    profile_size_repeat_lr, DEFAULT_REPEAT,
+    append_to_ledger_annotated, cells_for_particles, modeled_step, profile_size_repeat_lr,
+    profile_size_streamed, profile_world, DEFAULT_REPEAT,
 };
+use mdm_host::parallel::ParallelConfig;
+use mdm_host::telemetry::{serve, ServeOptions};
+use mdm_profile::bus::Bus;
+use mdm_profile::critical_path::{critical_path, CriticalPathReport};
+use mdm_profile::events::RunManifest;
 use mdm_profile::report::{BenchFile, StepReport};
+use mdm_profile::Timeline;
 
 /// Format an emulation slowdown factor (`< 1` means the emulated path
 /// is *faster* than the modeled hardware — e.g. memcpy vs a PCI bus).
@@ -97,13 +120,26 @@ fn print_report(report: &StepReport) {
         mdm_bench::sci(report.phase_sum_seconds()),
         100.0 * report.phase_sum_seconds() / report.total_seconds
     );
-    println!(
-        "  {:<12} {:>18} {:>18} {:>12}   [t = max(wave, real) + comm + host]",
-        "t_step",
-        mdm_bench::sci(report.total_seconds),
-        mdm_bench::sci(modeled_step(report)),
-        slowdown(report.total_seconds / modeled_step(report))
-    );
+    let modeled = modeled_step(report);
+    if modeled > 0.0 {
+        println!(
+            "  {:<12} {:>18} {:>18} {:>12}   [t = max(wave, real) + comm + host]",
+            "t_step",
+            mdm_bench::sci(report.total_seconds),
+            mdm_bench::sci(modeled),
+            slowdown(report.total_seconds / modeled)
+        );
+    } else {
+        // No cycle counters to model from (e.g. --world runs the
+        // software kernels): measured column only.
+        println!(
+            "  {:<12} {:>18} {:>18} {:>12}   [t = max(wave, real) + comm + host]",
+            "t_step",
+            mdm_bench::sci(report.total_seconds),
+            "-",
+            "-"
+        );
+    }
     if !report.counters.is_empty() {
         let c = |k: &str| report.counters.get(k).copied().unwrap_or(0);
         println!(
@@ -129,6 +165,65 @@ fn print_report(report: &StepReport) {
     println!();
 }
 
+/// Concatenate per-size timeline sessions into one trace, each size
+/// shifted past the previous one with a 1 ms gap so the sessions stay
+/// visually distinct in Perfetto.
+fn merge_timelines(timelines: Vec<Timeline>) -> Timeline {
+    let mut merged = Timeline::default();
+    let mut offset = 0.0f64;
+    for timeline in timelines {
+        let mut end = 0.0f64;
+        for e in &timeline.events {
+            end = end.max(e.start_us + e.dur_us);
+        }
+        for c in &timeline.counters {
+            end = end.max(c.ts_us);
+        }
+        for f in &timeline.flows {
+            end = end.max(f.ts_us);
+        }
+        merged.events.extend(timeline.events.into_iter().map(|mut e| {
+            e.start_us += offset;
+            e
+        }));
+        merged
+            .counters
+            .extend(timeline.counters.into_iter().map(|mut c| {
+                c.ts_us += offset;
+                c
+            }));
+        merged.flows.extend(timeline.flows.into_iter().map(|mut f| {
+            f.ts_us += offset;
+            f
+        }));
+        offset += end + 1000.0;
+    }
+    merged
+}
+
+/// Run one measurement inside its own timeline session (when wanted),
+/// banking the timeline and optionally its critical-path analysis.
+fn with_timeline<F: FnOnce() -> StepReport>(
+    want_timeline: bool,
+    want_critical_path: bool,
+    timelines: &mut Vec<Timeline>,
+    measure: F,
+) -> (StepReport, Option<CriticalPathReport>) {
+    if want_timeline {
+        mdm_profile::timeline_start();
+    }
+    let report = measure();
+    let mut analysis = None;
+    if want_timeline {
+        let timeline = mdm_profile::timeline_stop();
+        if want_critical_path {
+            analysis = Some(critical_path(&timeline));
+        }
+        timelines.push(timeline);
+    }
+    (report, analysis)
+}
+
 fn main() {
     let mut json = false;
     let mut steps: u64 = 2;
@@ -138,6 +233,9 @@ fn main() {
     let mut longrange = "wine2".to_string();
     let mut trace_path: Option<String> = None;
     let mut record_path: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut world: Option<ParallelConfig> = None;
+    let mut want_critical_path = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -193,8 +291,24 @@ fn main() {
             "--record" => {
                 record_path = Some(args.next().expect("--record needs an output path"));
             }
+            "--serve" => {
+                serve_addr = Some(args.next().expect("--serve needs host:port to bind"));
+            }
+            "--world" => {
+                let spec = args.next().expect("--world needs R,W (ranks)");
+                let (r, w) = spec
+                    .split_once(',')
+                    .and_then(|(r, w)| Some((r.parse().ok()?, w.parse().ok()?)))
+                    .expect("--world needs R,W, e.g. --world 2,2");
+                assert!(r >= 1 && w >= 1, "--world needs at least one rank per part");
+                world = Some(ParallelConfig {
+                    real_dims: [r, 1, 1],
+                    wave_processes: w,
+                });
+            }
+            "--critical-path" => want_critical_path = true,
             other => panic!(
-                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --n3l, --longrange, --trace, --record)"
+                "unknown option {other:?} (try --json, --steps, --repeat, --cells, --sizes, --n3l, --longrange, --trace, --record, --serve, --world, --critical-path)"
             ),
         }
     }
@@ -206,30 +320,61 @@ fn main() {
             .unwrap_or_else(|e| panic!("create {path}: {e}"))
     });
 
-    if recorder_sink.is_some() {
+    if recorder_sink.is_some() || serve_addr.is_some() {
         assert!(
             longrange == "wine2",
-            "--record profiles the default wine2 backend; drop --longrange"
+            "--record/--serve profile the default wine2 backend; drop --longrange"
+        );
+    }
+    if world.is_some() {
+        assert!(
+            recorder_sink.is_none() && serve_addr.is_none() && !json,
+            "--world profiles the parallel program; it has no per-step stream (--record/--serve) and writes no baseline (--json)"
         );
     }
 
-    if trace_path.is_some() {
-        mdm_profile::timeline_start();
+    // Live telemetry: one bus for the whole ladder, served over TCP.
+    // The pre-run manifest on the server only labels the session; each
+    // size publishes its real manifest when its run starts.
+    let bus = serve_addr.as_ref().map(|_| Bus::new());
+    let server = serve_addr.as_ref().map(|addr| {
+        let manifest = RunManifest {
+            label: "profile_step".to_string(),
+            command: std::env::args().collect::<Vec<_>>().join(" "),
+            n_particles: cells.first().map_or(0, |&c| 8 * c * c * c) as u64,
+            ..RunManifest::default()
+        };
+        let server = serve(addr, bus.as_ref().unwrap(), &manifest, ServeOptions::default())
+            .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+        eprintln!("serving live telemetry on {} (watch with mdm_top)", server.local_addr());
+        server
+    });
+
+    let want_timeline = trace_path.is_some() || want_critical_path;
+    let mut timelines: Vec<Timeline> = Vec::new();
+    let mut results: Vec<(StepReport, Option<CriticalPathReport>)> = Vec::new();
+    for &c in &cells {
+        eprintln!(
+            "profiling {} particles ({c} cells per side, longrange={longrange})...",
+            8 * c * c * c
+        );
+        results.push(with_timeline(
+            want_timeline,
+            want_critical_path,
+            &mut timelines,
+            || match (world, recorder_sink.as_mut(), bus.as_ref()) {
+                (Some(config), _, _) => profile_world(c, steps, config),
+                (None, Some(sink), bus) => {
+                    profile_size_streamed(c, steps, sink, bus).expect("write flight recording")
+                }
+                (None, None, Some(bus)) => {
+                    profile_size_streamed(c, steps, std::io::sink(), Some(bus))
+                        .expect("infallible sink")
+                }
+                (None, None, None) => profile_size_repeat_lr(c, steps, repeat, n3l, &longrange),
+            },
+        ));
     }
-    let mut reports: Vec<StepReport> = cells
-        .iter()
-        .map(|&c| {
-            eprintln!(
-                "profiling {} particles ({c} cells per side, longrange={longrange})...",
-                8 * c * c * c
-            );
-            match recorder_sink.as_mut() {
-                Some(sink) => profile_size_recorded(c, steps, sink)
-                    .expect("write flight recording"),
-                None => profile_size_repeat_lr(c, steps, repeat, n3l, &longrange),
-            }
-        })
-        .collect();
 
     // Baseline shootout rows: at the default backend, `--json` also
     // measures the software backends at the sizes the acceptance
@@ -247,17 +392,31 @@ fn main() {
                     "shootout row: {} particles, longrange={backend}...",
                     8 * c * c * c
                 );
-                reports.push(profile_size_repeat_lr(c, steps, repeat, n3l, backend));
+                results.push(with_timeline(
+                    want_timeline,
+                    want_critical_path,
+                    &mut timelines,
+                    || profile_size_repeat_lr(c, steps, repeat, n3l, backend),
+                ));
             }
         }
     }
+
+    if let Some(bus) = &bus {
+        bus.close();
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
     if let Some(path) = &trace_path {
-        let timeline = mdm_profile::timeline_stop();
+        let timeline = merge_timelines(timelines);
         let trace = mdm_profile::trace::chrome_trace(&timeline);
         std::fs::write(path, trace.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!(
-            "wrote {path} ({} events; open in Perfetto / chrome://tracing)",
-            timeline.events.len()
+            "wrote {path} ({} events, {} flow endpoints; open in Perfetto / chrome://tracing)",
+            timeline.events.len(),
+            timeline.flows.len()
         );
     }
     if let Some(path) = &record_path {
@@ -267,9 +426,21 @@ fn main() {
     println!("MDM emulated step: measured wall-clock vs modeled hardware time");
     println!("(Table 4 decomposition; the slowdown column is the emulation cost)");
     println!();
-    for report in &reports {
+    let bus_dropped = bus.as_ref().map_or(0, Bus::dropped_events);
+    for (report, analysis) in &results {
         print_report(report);
-        append_to_ledger("profile_step", report);
+        if let Some(analysis) = analysis {
+            for line in analysis.to_lines() {
+                println!("  {line}");
+            }
+            println!();
+        }
+        append_to_ledger_annotated(
+            "profile_step",
+            report,
+            analysis.as_ref().and_then(|a| a.bottleneck.as_deref()),
+            bus_dropped,
+        );
     }
 
     if json {
@@ -277,7 +448,7 @@ fn main() {
             command: "cargo run --release -p mdm-bench --bin profile_step -- --json"
                 .to_string(),
             version: 1,
-            reports,
+            reports: results.into_iter().map(|(report, _)| report).collect(),
         };
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step.json");
         std::fs::write(path, file.to_json_string()).expect("write BENCH_step.json");

@@ -189,8 +189,8 @@ impl Dashboard {
         ));
 
         out.push_str("## Trends (wall seconds per step)\n\n");
-        out.push_str("| group | runs | latest | median | Δ | raw Tflops | eff Tflops | worst err | viol | verdict |\n");
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("| group | runs | latest | median | Δ | raw Tflops | eff Tflops | worst err | viol | drops | critical path | verdict |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for g in &self.groups {
             let delta = g
                 .ratio
@@ -202,7 +202,7 @@ impl Dashboard {
                 (false, false) => "(no history)",
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 g.key,
                 g.runs,
                 sci(g.latest.wall_seconds_per_step),
@@ -212,6 +212,8 @@ impl Dashboard {
                 opt_num(g.latest.effective_tflops, 3),
                 g.latest.worst_force_error.map(sci).unwrap_or_else(|| "-".into()),
                 g.latest.violations,
+                g.latest.bus_dropped_events,
+                g.latest.critical_path.as_deref().unwrap_or("-"),
                 verdict
             ));
         }
@@ -468,6 +470,21 @@ mod tests {
         let dash = Dashboard::build(&rows, 0, None, DEFAULT_TOLERANCE, 5);
         assert!(!dash.has_regressions());
         assert!((dash.groups[0].median_prior.unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trends_surface_bus_drops_and_critical_path() {
+        let mut rows = history(&[0.1, 0.1, 0.1]);
+        let last = rows.last_mut().unwrap();
+        last.bus_dropped_events = 7;
+        last.critical_path = Some("rank1/real".into());
+        let dash = Dashboard::build(&rows, 0, None, DEFAULT_TOLERANCE, DEFAULT_WINDOW);
+        let md = dash.to_markdown();
+        assert!(md.contains("| drops | critical path |"));
+        assert!(md.contains("| 7 | rank1/real |"));
+        // A row without telemetry shows the defaults, not blanks.
+        let plain = Dashboard::build(&history(&[0.1, 0.1]), 0, None, 0.5, DEFAULT_WINDOW);
+        assert!(plain.to_markdown().contains("| 0 | - |"));
     }
 
     #[test]

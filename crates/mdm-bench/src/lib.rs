@@ -16,6 +16,7 @@
 //! | `accuracy_report` | §5 accuracy/speed sweep per long-range backend |
 //! | `bench_compare` | re-measures the `BENCH_step.json` labels and gates on slowdown |
 //! | `mdm_report` | cross-run regression dashboard: trends, utilization, and accuracy from `results/ledger.jsonl` + the committed baseline (exits non-zero on regression) |
+//! | `mdm_top` | live terminal viewer for a `profile_step --serve` telemetry stream (step rate, device occupancy, worst probed force error, watchdog status); `--once` prints a single snapshot for scripts/CI |
 //!
 //! plus Criterion microbenchmarks (`cargo bench`) for the kernel-level
 //! shape claims (real-space work inflation, emulator overheads, α

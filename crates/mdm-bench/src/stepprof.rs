@@ -9,7 +9,9 @@ use mdm_core::observables::PhysicsWatchdogs;
 use mdm_core::velocities::maxwell_boltzmann;
 use mdm_host::driver::MdmForceField;
 use mdm_host::machines::MachineModel;
-use mdm_host::telemetry::{env_stamp, mdm_manifest, run_recorded};
+use mdm_host::parallel::{parallel_forces, ParallelConfig};
+use mdm_host::telemetry::{env_stamp, mdm_manifest, run_instrumented, Instruments};
+use mdm_profile::bus::Bus;
 use mdm_profile::events::FlightRecorder;
 use mdm_profile::ledger::RunRecord;
 use mdm_profile::phase;
@@ -261,6 +263,22 @@ pub fn profile_size_recorded<W: Write>(
     steps: u64,
     sink: W,
 ) -> io::Result<StepReport> {
+    profile_size_streamed(cells, steps, sink, None)
+}
+
+/// [`profile_size_recorded`] with an optional live telemetry [`Bus`]:
+/// the size's manifest is published first (so connected `mdm_top`
+/// viewers re-header when a ladder moves to the next size), then every
+/// step event goes to the recorder *and* the bus — what
+/// `profile_step --serve` runs. The returned report also carries the
+/// run's final bus drop count via the `bus_dropped_events` counter the
+/// run loop stamps on each event.
+pub fn profile_size_streamed<W: Write>(
+    cells: usize,
+    steps: u64,
+    sink: W,
+    bus: Option<&Bus>,
+) -> io::Result<StepReport> {
     let mut sim = build_sim(cells);
     sim.run(1);
     let n = sim.system().len();
@@ -272,13 +290,25 @@ pub fn profile_size_recorded<W: Write>(
         2000 + cells as u64,
     );
     let mut recorder = FlightRecorder::new(sink, &manifest)?;
+    if let Some(bus) = bus {
+        bus.publish_manifest(&manifest);
+    }
     // Loose NVE watchdogs: the profiled window is a handful of steps of
     // a healthy melt, so anything they catch is a genuine emulator bug.
     let mut dogs = PhysicsWatchdogs::nve(1e-2, 1e-6);
 
     mdm_profile::reset();
     let t0 = Instant::now();
-    let run = run_recorded(&mut sim, steps as usize, &mut recorder, Some(&mut dogs))?;
+    let run = run_instrumented(
+        &mut sim,
+        steps as usize,
+        &mut recorder,
+        Instruments {
+            watchdogs: Some(&mut dogs),
+            bus,
+            ..Instruments::default()
+        },
+    )?;
     let total = t0.elapsed().as_secs_f64();
 
     let mut report = StepReport::from_profile(
@@ -292,6 +322,43 @@ pub fn profile_size_recorded<W: Write>(
     set_modeled(&mut report, &sim);
     set_gflops(&mut report);
     Ok(report)
+}
+
+/// Profile the §4 simulated-MPI parallel program: `steps` repetitions
+/// of [`parallel_forces`] at `cells` rocksalt cells per side under the
+/// given process layout. Every rank's spans land in the global
+/// registry (and, when a timeline session is open, on the timeline
+/// stamped with that rank plus the send/recv flow endpoints), so the
+/// report's phase decomposition is the *sum over ranks* — pair it with
+/// `--critical-path` to see which rank chain actually bounds the step.
+/// What `profile_step --world R,W` runs; labeled
+/// `nacl-{n}-world-{R}x{W}`.
+pub fn profile_world(cells: usize, steps: u64, config: ParallelConfig) -> StepReport {
+    let mut system = rocksalt_nacl_at_density(cells, PAPER_DENSITY);
+    let n = system.len();
+    let l = system.simbox().l();
+    maxwell_boltzmann(&mut system, T_MELT, 2000 + cells as u64);
+    let params = balanced_params(l, n);
+    let n_real: usize = config.real_dims.iter().product();
+    let label = format!("nacl-{n}-world-{n_real}x{}", config.wave_processes);
+
+    // Warmup once (thread spawn paths, allocator), then measure.
+    parallel_forces(&system, &params, config);
+    mdm_profile::reset();
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        parallel_forces(&system, &params, config);
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let profile = mdm_profile::take();
+    StepReport::from_profile(
+        label,
+        n as u64,
+        steps,
+        total,
+        &profile,
+        &[phase::REAL, phase::WAVE, phase::COMM, phase::HOST],
+    )
 }
 
 /// The run ledger every bench binary appends to: one row per
@@ -358,8 +425,24 @@ pub fn ledger_row(tool: &str, report: &StepReport) -> RunRecord {
 /// failure is reported, not fatal — the measurement the caller just
 /// printed matters more than the bookkeeping.
 pub fn append_to_ledger(tool: &str, report: &StepReport) {
+    append_to_ledger_annotated(tool, report, None, 0);
+}
+
+/// [`append_to_ledger`] with the live-telemetry annotations stamped on
+/// the row: the critical-path bottleneck label (e.g. `rank1/real`) from
+/// a `--critical-path` analysis, and the run's bus drop count from a
+/// `--serve` stream. Both are trended by `mdm_report`.
+pub fn append_to_ledger_annotated(
+    tool: &str,
+    report: &StepReport,
+    critical_path: Option<&str>,
+    bus_dropped_events: u64,
+) {
+    let mut row = ledger_row(tool, report);
+    row.critical_path = critical_path.map(str::to_string);
+    row.bus_dropped_events = bus_dropped_events;
     let path = default_ledger_path();
-    match mdm_profile::ledger::append_record(&path, &ledger_row(tool, report)) {
+    match mdm_profile::ledger::append_record(&path, &row) {
         Ok(()) => eprintln!("ledger: appended {tool}:{} to {}", report.label, path.display()),
         Err(e) => eprintln!("ledger: SKIPPED {tool}:{} ({}: {e})", report.label, path.display()),
     }

@@ -7,6 +7,15 @@
 //! barrier, all-reduce and gather. The [`parallel`](crate::parallel)
 //! module writes against this exactly as the paper's code wrote against
 //! MPI.
+//!
+//! **Tracing**: every rank thread runs inside an
+//! [`mdm_profile::rank_scope`], so spans and watchdog violations it
+//! records carry the rank, and [`Comm::send`] / [`Comm::recv`] mark
+//! each message's endpoints as timeline flows
+//! ([`mdm_profile::timeline_flow_send`]) — in a `--trace` run the
+//! merged Perfetto trace shows one process-track family per rank with
+//! send→recv arrows between them. All of it is a no-op (one relaxed
+//! atomic load) when no timeline is recording.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -17,6 +26,9 @@ struct Message {
     from: usize,
     tag: u64,
     data: Vec<f64>,
+    /// Timeline flow id stamped by the sender when a trace is
+    /// recording; the receiver closes the arrow with it.
+    flow: Option<u64>,
 }
 
 /// Reserved control tag broadcast by a panicking rank so that peers
@@ -29,6 +41,10 @@ const POISON_TAG: u64 = u64::MAX;
 /// victim's.
 const POISON_MSG: &str = "[mpi] world poisoned: rank";
 
+/// A buffered out-of-order message: its payload and the sender's flow
+/// id (closed into a trace arrow when the receiver consumes it).
+type Buffered = (Vec<f64>, Option<u64>);
+
 /// One rank's endpoint.
 pub struct Comm {
     rank: usize,
@@ -36,7 +52,7 @@ pub struct Comm {
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     /// Out-of-order delivery buffer keyed by `(from, tag)`.
-    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    pending: HashMap<(usize, u64), VecDeque<Buffered>>,
 }
 
 impl Comm {
@@ -59,6 +75,7 @@ impl Comm {
                 from: self.rank,
                 tag,
                 data: data.to_vec(),
+                flow: mdm_profile::timeline_flow_send(tag),
             })
             .expect("peer hung up");
     }
@@ -68,9 +85,19 @@ impl Comm {
     /// panicked (its poison broadcast wakes this receive), so a dead
     /// rank fails the whole run fast instead of deadlocking it.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        // The recv endpoint is marked when the message is *returned*
+        // (including pops from the out-of-order buffer), not when it
+        // arrived — the flow arrow should land where the program
+        // actually consumed the data.
+        let deliver = |data: Vec<f64>, flow: Option<u64>| {
+            if let Some(id) = flow {
+                mdm_profile::timeline_flow_recv(id, tag);
+            }
+            data
+        };
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
-            if let Some(data) = queue.pop_front() {
-                return data;
+            if let Some((data, flow)) = queue.pop_front() {
+                return deliver(data, flow);
             }
         }
         loop {
@@ -82,12 +109,12 @@ impl Comm {
                 );
             }
             if msg.from == from && msg.tag == tag {
-                return msg.data;
+                return deliver(msg.data, msg.flow);
             }
             self.pending
                 .entry((msg.from, msg.tag))
                 .or_default()
-                .push_back(msg.data);
+                .push_back((msg.data, msg.flow));
         }
     }
 
@@ -191,7 +218,12 @@ where
                     // endpoints, both of which tolerate a peer's
                     // unwind; the panic is re-raised below, so no
                     // broken invariant is ever observed as "ok".
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Everything the rank records — spans, flows,
+                        // watchdog violations — carries its identity.
+                        let _identity = mdm_profile::rank_scope(rank as u64);
+                        f(comm)
+                    })) {
                         Ok(result) => Ok(result),
                         Err(payload) => {
                             for peer in &peers {
@@ -201,6 +233,7 @@ where
                                     from: rank,
                                     tag: POISON_TAG,
                                     data: Vec::new(),
+                                    flow: None,
                                 });
                             }
                             Err(payload)
@@ -313,6 +346,67 @@ mod tests {
         });
         rx.recv_timeout(timeout)
             .expect("run_world hung instead of failing fast after a rank panic")
+    }
+
+    /// The distributed-tracing contract: under a recording timeline, a
+    /// ring of sends produces rank-stamped spans and one send/recv
+    /// flow pair per message, with send-side and recv-side ranks both
+    /// attributed. (The only test in this binary using the process
+    /// global timeline — concurrent tests can only add events, which
+    /// the name filters ignore.)
+    #[test]
+    fn run_world_records_rank_spans_and_message_flows() {
+        use mdm_profile::FlowKind;
+        mdm_profile::timeline_start();
+        let out = run_world(3, |mut comm| {
+            let _span = mdm_profile::span("mpi_trace_test");
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 77, &[comm.rank() as f64]);
+            comm.recv(prev, 77)[0]
+        });
+        let timeline = mdm_profile::timeline_stop();
+        assert_eq!(out.len(), 3);
+        // Every rank's span carries its identity.
+        let ranks: std::collections::BTreeSet<Option<u64>> = timeline
+            .events
+            .iter()
+            .filter(|e| e.path == "mpi_trace_test")
+            .map(|e| e.rank)
+            .collect();
+        assert_eq!(
+            ranks,
+            [Some(0), Some(1), Some(2)].into_iter().collect(),
+            "events: {:?}",
+            timeline.events
+        );
+        // Three messages → three send/recv pairs with matching ids and
+        // ranks on both endpoints.
+        let sends: Vec<_> = timeline
+            .flows
+            .iter()
+            .filter(|f| f.tag == 77 && f.kind == FlowKind::Send)
+            .collect();
+        let recvs: Vec<_> = timeline
+            .flows
+            .iter()
+            .filter(|f| f.tag == 77 && f.kind == FlowKind::Recv)
+            .collect();
+        assert_eq!(sends.len(), 3, "flows: {:?}", timeline.flows);
+        assert_eq!(recvs.len(), 3);
+        for send in &sends {
+            let recv = recvs
+                .iter()
+                .find(|r| r.id == send.id)
+                .unwrap_or_else(|| panic!("unpaired send {send:?}"));
+            assert!(send.rank.is_some() && recv.rank.is_some());
+            // The ring: rank r sends to r+1 (mod 3).
+            assert_eq!(
+                (send.rank.unwrap() + 1) % 3,
+                recv.rank.unwrap(),
+                "send {send:?} paired with recv {recv:?}"
+            );
+        }
     }
 
     #[test]

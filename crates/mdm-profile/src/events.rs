@@ -503,6 +503,7 @@ mod tests {
                 value: 2e-3,
                 threshold: 1e-3,
                 message: "drift \"high\"\nsecond line".into(),
+                rank: Some(2),
             }],
             gauges: [
                 ("mdg.occupancy".to_string(), 0.83),

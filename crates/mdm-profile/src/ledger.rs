@@ -142,6 +142,15 @@ pub struct RunRecord {
     /// Gauge name → mean utilization over the run (from the
     /// [`crate::timeseries`] samples).
     pub gauges: BTreeMap<String, f64>,
+    /// Telemetry-bus events evicted by slow subscribers during the run
+    /// (0 when the run streamed to nobody — see [`crate::bus`]). A
+    /// nonzero trend here means live consumers are losing data.
+    pub bus_dropped_events: u64,
+    /// Label of the critical-path bottleneck segment
+    /// (`rank1/real`-style, from [`crate::critical_path`]), when the
+    /// run analyzed one. Trending this catches the bounding phase
+    /// *moving* — a regression signature no scalar column shows.
+    pub critical_path: Option<String>,
 }
 
 impl RunRecord {
@@ -190,6 +199,14 @@ impl RunRecord {
             ("violations", Value::from_u64(self.violations)),
             ("pressure_supported", Value::Bool(self.pressure_supported)),
             ("gauges", num_map(&self.gauges)),
+            ("bus_dropped_events", Value::from_u64(self.bus_dropped_events)),
+            (
+                "critical_path",
+                self.critical_path
+                    .as_ref()
+                    .map(|s| Value::Str(s.clone()))
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 
@@ -240,6 +257,8 @@ impl RunRecord {
                 Some(Value::Bool(true))
             ),
             gauges: num_map("gauges"),
+            bus_dropped_events: u64_of("bus_dropped_events"),
+            critical_path: str_of("critical_path"),
         })
     }
 }
@@ -318,6 +337,8 @@ mod tests {
             violations: 0,
             pressure_supported: false,
             gauges: [("mdg.occupancy".to_string(), 0.83)].into_iter().collect(),
+            bus_dropped_events: 3,
+            critical_path: Some("rank1/real".into()),
         }
     }
 
@@ -358,6 +379,8 @@ mod tests {
         assert_eq!(r.git_sha, "unknown");
         assert_eq!(r.threads, 0);
         assert!(!r.pressure_supported);
+        assert_eq!(r.bus_dropped_events, 0);
+        assert_eq!(r.critical_path, None);
         assert!(r.raw_tflops.is_none());
     }
 

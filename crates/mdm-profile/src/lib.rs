@@ -42,7 +42,9 @@
 //! scopes (per step), not per-pair inner loops.
 
 pub mod accuracy;
+pub mod bus;
 pub mod compare;
+pub mod critical_path;
 pub mod events;
 pub mod histogram;
 pub mod json;
@@ -450,6 +452,50 @@ pub fn snapshot() -> Profile {
 }
 
 // ---------------------------------------------------------------------
+// Rank context: per-thread recorder identity for distributed runs.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The simulated-MPI rank this thread is executing as, if any.
+    static CURRENT_RANK: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// The rank identity of the current thread ([`rank_scope`]), or `None`
+/// outside any rank context (single-process runs, the main thread).
+/// Timeline events and watchdog [`watchdog::Violation`]s stamp this at
+/// creation, which is what turns the process-global registry into a
+/// *distributed* trace: same span paths, per-rank attribution.
+pub fn current_rank() -> Option<u64> {
+    CURRENT_RANK.with(|cell| cell.get())
+}
+
+/// RAII guard restoring the previous rank context on drop.
+#[must_use = "the rank context lasts until the guard is dropped"]
+pub struct RankGuard {
+    prev: Option<u64>,
+    /// The context is thread-local; the guard must drop on the thread
+    /// that opened it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        CURRENT_RANK.with(|cell| cell.set(self.prev));
+    }
+}
+
+/// Declare that this thread is executing as simulated-MPI rank `rank`
+/// until the returned guard drops. `mpi::run_world` opens one per rank
+/// thread; nesting restores the outer rank on drop.
+pub fn rank_scope(rank: u64) -> RankGuard {
+    let prev = CURRENT_RANK.with(|cell| cell.replace(Some(rank)));
+    RankGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Timeline: optional per-occurrence span recording for trace export.
 // ---------------------------------------------------------------------
 
@@ -467,6 +513,38 @@ pub struct TimelineEvent {
     pub dur_us: f64,
     /// Small per-process ordinal of the recording thread (0, 1, …).
     pub thread: u64,
+    /// Simulated-MPI rank the span ran under ([`rank_scope`]), if any.
+    /// Drives per-rank process tracks in the Chrome-trace export.
+    pub rank: Option<u64>,
+}
+
+/// Which half of a message a [`TimelineFlow`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowKind {
+    /// The send side (Chrome flow phase `"s"`).
+    Send,
+    /// The receive side (Chrome flow phase `"f"`, binding-point end).
+    Recv,
+}
+
+/// One endpoint of a message edge between ranks: a send and a recv
+/// sharing an `id` render as an arrow in Perfetto (flow events), making
+/// communication causality visible across the per-rank tracks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineFlow {
+    /// Ties the send to its recv; unique per message, process-wide.
+    pub id: u64,
+    /// Send or recv side.
+    pub kind: FlowKind,
+    /// Simulated-MPI message tag (labels the arrow).
+    pub tag: u64,
+    /// Microseconds from timeline start.
+    pub ts_us: f64,
+    /// Thread ordinal of the endpoint (same space as
+    /// [`TimelineEvent::thread`]).
+    pub thread: u64,
+    /// Rank of the endpoint, if inside a [`rank_scope`].
+    pub rank: Option<u64>,
 }
 
 /// One gauge sample placed on the wall clock: renders as a point on a
@@ -489,12 +567,16 @@ pub struct Timeline {
     /// Gauge samples ([`gauge`] / [`timeline_counter`] calls made
     /// while recording), in sample order.
     pub counters: Vec<TimelineCounter>,
+    /// Message send/recv endpoints ([`timeline_flow_send`] /
+    /// [`timeline_flow_recv`]), in record order.
+    pub flows: Vec<TimelineFlow>,
 }
 
 struct TimelineState {
     epoch: Instant,
     events: Vec<TimelineEvent>,
     counters: Vec<TimelineCounter>,
+    flows: Vec<TimelineFlow>,
 }
 
 /// Cheap gate checked on every span drop; the mutex is only touched
@@ -548,6 +630,7 @@ pub fn timeline_start() {
         epoch: Instant::now(),
         events: Vec::new(),
         counters: Vec::new(),
+        flows: Vec::new(),
     });
     drop(guard);
     TIMELINE_ENABLED.store(true, Ordering::Relaxed);
@@ -562,6 +645,7 @@ pub fn timeline_stop() -> Timeline {
         Some(state) => Timeline {
             events: state.events,
             counters: state.counters,
+            flows: state.flows,
         },
         None => Timeline::default(),
     }
@@ -579,6 +663,50 @@ fn record_timeline_event(path: &str, start: Instant, elapsed: Duration) {
             start_us,
             dur_us: elapsed.as_secs_f64() * 1e6,
             thread,
+            rank: current_rank(),
+        });
+    }
+}
+
+/// Process-wide flow-id source; ids tie a send endpoint to its recv
+/// across threads, so they must never repeat within a process.
+static NEXT_FLOW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Record the *send* side of a message and return the flow id the
+/// matching [`timeline_flow_recv`] must quote. Returns `None` (and
+/// records nothing) when no timeline is recording — callers thread the
+/// id through the message payload, so a recv on a timeline started
+/// mid-flight simply has no send to pair with, which the exporter
+/// tolerates.
+pub fn timeline_flow_send(tag: u64) -> Option<u64> {
+    if !TIMELINE_ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let id = NEXT_FLOW_ID.fetch_add(1, Ordering::Relaxed);
+    record_timeline_flow(id, FlowKind::Send, tag);
+    Some(id)
+}
+
+/// Record the *recv* side of a message whose send returned `id`. A
+/// no-op when no timeline is recording.
+pub fn timeline_flow_recv(id: u64, tag: u64) {
+    if TIMELINE_ENABLED.load(Ordering::Relaxed) {
+        record_timeline_flow(id, FlowKind::Recv, tag);
+    }
+}
+
+fn record_timeline_flow(id: u64, kind: FlowKind, tag: u64) {
+    let mut guard = TIMELINE.lock().unwrap_or_else(|p| p.into_inner());
+    let thread = thread_ordinal_locked();
+    if let Some(state) = guard.as_mut() {
+        let ts_us = state.epoch.elapsed().as_secs_f64() * 1e6;
+        state.flows.push(TimelineFlow {
+            id,
+            kind,
+            tag,
+            ts_us,
+            thread,
+            rank: current_rank(),
         });
     }
 }
@@ -860,6 +988,13 @@ mod tests {
         }
         gauge("t11_gauge", 0.5);
         timeline_counter("t11_derived", 0.9);
+        // Rank context and a message flow, recorded on this thread.
+        let flow_id = {
+            let _rank = rank_scope(3);
+            let _ranked = span("t11_ranked");
+            timeline_flow_send(7).expect("timeline is recording")
+        };
+        timeline_flow_recv(flow_id, 7);
         let timeline = timeline_stop();
         // Both the registry gauge and the timeline-only counter landed
         // as counter samples; only the former entered the registry.
@@ -877,7 +1012,21 @@ mod tests {
             .iter()
             .filter(|e| e.path.starts_with("t11_"))
             .collect();
-        assert_eq!(mine.len(), 2, "events: {:?}", timeline.events);
+        assert_eq!(mine.len(), 3, "events: {:?}", timeline.events);
+        // Rank stamping: only the span closed inside the rank scope is
+        // attributed; the send was in-scope, the recv was not.
+        let ranked = mine.iter().find(|e| e.path == "t11_ranked").unwrap();
+        assert_eq!(ranked.rank, Some(3));
+        assert!(mine.iter().filter(|e| e.path != "t11_ranked").all(|e| e.rank.is_none()));
+        assert_eq!(current_rank(), None, "rank guard failed to restore");
+        let flows: Vec<&TimelineFlow> =
+            timeline.flows.iter().filter(|f| f.id == flow_id).collect();
+        assert_eq!(flows.len(), 2, "flows: {:?}", timeline.flows);
+        assert_eq!(flows[0].kind, FlowKind::Send);
+        assert_eq!(flows[0].rank, Some(3));
+        assert_eq!(flows[1].kind, FlowKind::Recv);
+        assert_eq!(flows[1].rank, None);
+        assert!(flows[1].ts_us >= flows[0].ts_us);
         let inner = mine.iter().find(|e| e.path == "t11_outer.t11_inner").unwrap();
         let outer = mine.iter().find(|e| e.path == "t11_outer").unwrap();
         // Inner nests within outer on the wall clock.
@@ -889,6 +1038,21 @@ mod tests {
             let _late = span("t11_late");
         }
         assert!(timeline_stop().events.is_empty());
+    }
+
+    #[test]
+    fn rank_scope_nests_and_restores() {
+        assert_eq!(current_rank(), None);
+        {
+            let _outer = rank_scope(1);
+            assert_eq!(current_rank(), Some(1));
+            {
+                let _inner = rank_scope(2);
+                assert_eq!(current_rank(), Some(2));
+            }
+            assert_eq!(current_rank(), Some(1));
+        }
+        assert_eq!(current_rank(), None);
     }
 
     #[test]

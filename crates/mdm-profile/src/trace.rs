@@ -16,9 +16,20 @@
 //! events (`"ph": "C"`) on the same device tracks, so each device
 //! shows its utilization curve (pipeline occupancy, bus bandwidth,
 //! worker utilization) directly beneath its span rows.
+//!
+//! **Distributed runs**: spans recorded inside a [`crate::rank_scope`]
+//! (every `mpi::run_world` rank thread) carry their rank, and the
+//! exporter gives each rank its *own family of process tracks*
+//! ([`rank_track`]) — the merged trace shows rank 0's MDGRAPE-2 beside
+//! rank 1's, the paper's 16-host picture in miniature. Message
+//! send/recv pairs ([`crate::timeline_flow_send`] /
+//! [`crate::timeline_flow_recv`]) export as Chrome flow events
+//! (`"ph": "s"` / `"ph": "f"` sharing an `id`), drawn by Perfetto as
+//! arrows between the rank tracks, plus a small anchor slice at each
+//! endpoint for the arrow to bind to.
 
 use crate::json::{obj, Value};
-use crate::{phase, Timeline};
+use crate::{phase, FlowKind, Timeline};
 use std::collections::BTreeMap;
 
 /// The process-track id and display name for a span path, keyed by its
@@ -51,6 +62,20 @@ pub fn counter_track(name: &str) -> (u64, &'static str) {
     }
 }
 
+/// The process track for a span recorded under a rank. Unranked spans
+/// keep the legacy single-process pids 1–4 ([`device_track`]); rank
+/// `r` gets its own copy of the device family at `10·(r+1) + device`,
+/// so rank 0 owns pids 11–14, rank 1 owns 21–24, … — one process group
+/// per host in the paper's topology, each with its MDGRAPE-2 / WINE-2 /
+/// comm / host rows.
+pub fn rank_track(rank: Option<u64>, path: &str) -> (u64, String) {
+    let (device, name) = device_track(path);
+    match rank {
+        None => (device, name.to_string()),
+        Some(r) => (10 * (r + 1) + device, format!("rank {r} · {name}")),
+    }
+}
+
 /// Convert a timeline into a Chrome trace-event document.
 ///
 /// The result serializes with [`Value::to_pretty`] or
@@ -59,14 +84,18 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
     let mut events = Vec::new();
 
     // Name the process tracks first (metadata events, `"ph": "M"`),
-    // one per device that actually appears.
-    let mut tracks: BTreeMap<u64, &'static str> = BTreeMap::new();
+    // one per (rank, device) that actually appears.
+    let mut tracks: BTreeMap<u64, String> = BTreeMap::new();
     for event in &timeline.events {
-        let (pid, name) = device_track(&event.path);
+        let (pid, name) = rank_track(event.rank, &event.path);
         tracks.insert(pid, name);
     }
     for counter in &timeline.counters {
         let (pid, name) = counter_track(&counter.name);
+        tracks.insert(pid, name.to_string());
+    }
+    for flow in &timeline.flows {
+        let (pid, name) = rank_track(flow.rank, phase::COMM);
         tracks.insert(pid, name);
     }
     for (pid, name) in &tracks {
@@ -75,15 +104,12 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
             ("ph", Value::Str("M".into())),
             ("pid", Value::Num(*pid as f64)),
             ("tid", Value::Num(0.0)),
-            (
-                "args",
-                obj([("name", Value::Str((*name).to_string()))]),
-            ),
+            ("args", obj([("name", Value::Str(name.clone()))])),
         ]));
     }
 
     for event in &timeline.events {
-        let (pid, _) = device_track(&event.path);
+        let (pid, _) = rank_track(event.rank, &event.path);
         let cat = event.path.split('.').next().unwrap_or(&event.path);
         events.push(obj([
             ("name", Value::Str(event.path.clone())),
@@ -94,6 +120,48 @@ pub fn chrome_trace(timeline: &Timeline) -> Value {
             ("pid", Value::Num(pid as f64)),
             ("tid", Value::Num(event.thread as f64)),
         ]));
+    }
+
+    // Message causality: each send/recv endpoint gets a 1 µs anchor
+    // slice on its rank's comm track plus the flow half (`"s"` start,
+    // `"f"` finish with binding-point `"e"`). Perfetto binds each half
+    // to the slice enclosing it at that (pid, tid, ts) — the anchor
+    // guarantees one exists even when the endpoint fired outside any
+    // span — and draws an arrow between the two.
+    for flow in &timeline.flows {
+        let (pid, _) = rank_track(flow.rank, phase::COMM);
+        let (anchor, bind_extra) = match flow.kind {
+            FlowKind::Send => ("send", None),
+            FlowKind::Recv => ("recv", Some(("bp", Value::Str("e".into())))),
+        };
+        events.push(obj([
+            ("name", Value::Str(format!("{anchor}(tag={})", flow.tag))),
+            ("cat", Value::Str(phase::COMM.into())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::Num(flow.ts_us)),
+            ("dur", Value::Num(1.0)),
+            ("pid", Value::Num(pid as f64)),
+            ("tid", Value::Num(flow.thread as f64)),
+        ]));
+        let mut fields = vec![
+            ("name", Value::Str(format!("msg tag {}", flow.tag))),
+            ("cat", Value::Str(phase::COMM.into())),
+            (
+                "ph",
+                Value::Str(match flow.kind {
+                    FlowKind::Send => "s".into(),
+                    FlowKind::Recv => "f".into(),
+                }),
+            ),
+            ("id", Value::from_u64(flow.id)),
+            ("ts", Value::Num(flow.ts_us)),
+            ("pid", Value::Num(pid as f64)),
+            ("tid", Value::Num(flow.thread as f64)),
+        ];
+        if let Some(extra) = bind_extra {
+            fields.push(extra);
+        }
+        events.push(obj(fields));
     }
 
     // Gauge samples become counter events (`"ph": "C"`): Perfetto
@@ -129,6 +197,7 @@ mod tests {
             start_us,
             dur_us,
             thread: 0,
+            rank: None,
         };
         let counter = |name: &str, ts_us: f64, value: f64| TimelineCounter {
             name: name.to_string(),
@@ -153,6 +222,7 @@ mod tests {
                 counter("host.rayon_util", 1170.0, 1.0),
                 counter("mdg.occupancy", 1900.0, 0.79),
             ],
+            flows: vec![],
         }
     }
 
@@ -270,6 +340,7 @@ mod tests {
                 ts_us: 1.0,
                 value: 0.5,
             }],
+            flows: vec![],
         };
         let doc = chrome_trace(&wave_only);
         let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
@@ -277,6 +348,129 @@ mod tests {
             e.get("ph").and_then(Value::as_str) == Some("M")
                 && e.get("pid").and_then(Value::as_u64) == Some(2)
         }));
+    }
+
+    /// The distributed-trace schema: ranked spans land on per-rank
+    /// pids, send/recv flows export as paired `"s"`/`"f"` events, and
+    /// counter tracks coexist with both in one document.
+    #[test]
+    fn ranked_trace_has_per_rank_pids_and_paired_flows() {
+        use crate::{FlowKind, TimelineFlow};
+        let event = |path: &str, rank: u64, thread: u64, start: f64, dur: f64| TimelineEvent {
+            path: path.to_string(),
+            start_us: start,
+            dur_us: dur,
+            thread,
+            rank: Some(rank),
+        };
+        let timeline = Timeline {
+            events: vec![
+                event("real", 0, 0, 0.0, 100.0),
+                event("comm", 0, 0, 100.0, 130.0),
+                event("wave", 1, 1, 0.0, 90.0),
+                event("comm", 1, 1, 90.0, 130.0),
+            ],
+            counters: vec![TimelineCounter {
+                name: "mdg.occupancy".into(),
+                ts_us: 50.0,
+                value: 0.8,
+            }],
+            flows: vec![
+                TimelineFlow {
+                    id: 42,
+                    kind: FlowKind::Send,
+                    tag: 2,
+                    ts_us: 110.0,
+                    thread: 0,
+                    rank: Some(0),
+                },
+                TimelineFlow {
+                    id: 42,
+                    kind: FlowKind::Recv,
+                    tag: 2,
+                    ts_us: 120.0,
+                    thread: 1,
+                    rank: Some(1),
+                },
+            ],
+        };
+        let doc = chrome_trace(&timeline);
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+
+        // Per-rank pids: rank 0 owns 11..=14, rank 1 owns 21..=24; the
+        // two ranks' comm spans are on *different* tracks.
+        let span_pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert!(span_pids.contains(&11), "rank0 real pid: {span_pids:?}");
+        assert!(span_pids.contains(&13), "rank0 comm pid: {span_pids:?}");
+        assert!(span_pids.contains(&22), "rank1 wave pid: {span_pids:?}");
+        assert!(span_pids.contains(&23), "rank1 comm pid: {span_pids:?}");
+        assert_eq!(rank_track(Some(0), "comm").0, 13);
+        assert_eq!(rank_track(Some(1), "comm").0, 23);
+        assert_eq!(
+            rank_track(Some(1), "wave").1,
+            "rank 1 · WINE-2 (wavenumber)"
+        );
+
+        // Flow pairing: exactly one "s" and one "f" sharing the id,
+        // same name (Perfetto matches on both), the "f" carrying the
+        // binding point, each on its own rank's comm track.
+        let flows: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.get("ph").and_then(Value::as_str), Some("s") | Some("f"))
+            })
+            .collect();
+        assert_eq!(flows.len(), 2);
+        let s = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("s"))
+            .expect("send half");
+        let f = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("f"))
+            .expect("finish half");
+        assert_eq!(s.get("id").and_then(Value::as_u64), Some(42));
+        assert_eq!(f.get("id").and_then(Value::as_u64), Some(42));
+        assert_eq!(
+            s.get("name").and_then(Value::as_str),
+            f.get("name").and_then(Value::as_str)
+        );
+        assert_eq!(f.get("bp").and_then(Value::as_str), Some("e"));
+        assert_eq!(s.get("pid").and_then(Value::as_u64), Some(13));
+        assert_eq!(f.get("pid").and_then(Value::as_u64), Some(23));
+        // Each endpoint has an anchor slice at its (pid, tid, ts) for
+        // the arrow to bind to.
+        for (half, name) in [(s, "send(tag=2)"), (f, "recv(tag=2)")] {
+            let ts = half.get("ts").and_then(Value::as_f64).unwrap();
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("name").and_then(Value::as_str) == Some(name)
+                        && e.get("ts").and_then(Value::as_f64) == Some(ts)
+                        && e.get("pid") == half.get("pid")
+                        && e.get("tid") == half.get("tid")
+                }),
+                "no anchor slice {name} at ts {ts}"
+            );
+        }
+
+        // Counter tracks coexist in the same document.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+        // And every used pid is named by a metadata event.
+        let named: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+            .collect();
+        for pid in &span_pids {
+            assert!(named.contains(pid), "unnamed pid {pid}");
+        }
     }
 
     #[test]

@@ -29,21 +29,32 @@ pub struct Violation {
     pub threshold: f64,
     /// Human-readable one-liner for logs and tables.
     pub message: String,
+    /// Simulated-MPI rank whose thread fired the monitor
+    /// ([`crate::current_rank`] at creation), `None` outside any rank
+    /// context. In a `run_world` run the monitors aggregate into one
+    /// recording; this is what still names the offending rank.
+    pub rank: Option<u64>,
 }
 
 impl Violation {
     /// Serialize for a flight-recorder event. `value` goes through
     /// [`Value::from_f64`] because a non-finite sample is exactly what
     /// [`DriftMonitor::check`] reports for a blown-up trajectory — the
-    /// recording must capture it, not crash on it.
+    /// recording must capture it, not crash on it. `rank` is only
+    /// written when present, so single-process recordings keep their
+    /// exact pre-rank shape.
     pub fn to_json(&self) -> Value {
-        obj([
+        let mut fields = vec![
             ("monitor", Value::Str(self.monitor.clone())),
             ("step", Value::from_u64(self.step)),
             ("value", Value::from_f64(self.value)),
             ("threshold", Value::from_f64(self.threshold)),
             ("message", Value::Str(self.message.clone())),
-        ])
+        ];
+        if let Some(rank) = self.rank {
+            fields.push(("rank", Value::from_u64(rank)));
+        }
+        obj(fields)
     }
 
     /// Parse a violation written by [`Violation::to_json`].
@@ -67,7 +78,19 @@ impl Violation {
                 .as_str()
                 .ok_or("`message` must be a string")?
                 .to_string(),
+            // Tolerant: lines written before rank stamping existed
+            // simply have no rank.
+            rank: value.get("rank").and_then(Value::as_u64),
         })
+    }
+
+    /// `message`, prefixed with the firing rank when known — the line
+    /// the flight recorder's human-facing surfaces print.
+    pub fn display_message(&self) -> String {
+        match self.rank {
+            Some(rank) => format!("[rank {rank}] {}", self.message),
+            None => self.message.clone(),
+        }
     }
 }
 
@@ -110,6 +133,7 @@ impl DriftMonitor {
                 value,
                 threshold: self.threshold,
                 message: format!("{}: non-finite sample {value}", self.name),
+                rank: crate::current_rank(),
             });
         }
         let reference = *self.reference.get_or_insert(value);
@@ -126,6 +150,7 @@ impl DriftMonitor {
                 "{}: relative drift {:.3e} exceeds {:.3e} (reference {:.6e}, current {:.6e})",
                 self.name, drift, self.threshold, reference, value
             ),
+            rank: crate::current_rank(),
         })
     }
 }
@@ -164,6 +189,7 @@ impl BoundMonitor {
                 "{}: {:.6e} outside [{:.6e}, {:.6e}]",
                 self.name, value, self.lo, self.hi
             ),
+            rank: crate::current_rank(),
         })
     }
 }
@@ -223,6 +249,7 @@ impl RollingMeanMonitor {
                 "{}: rolling mean {:.6e} over {} samples outside [{:.6e}, {:.6e}]",
                 self.name, mean, self.window, self.lo, self.hi
             ),
+            rank: crate::current_rank(),
         })
     }
 }
@@ -294,10 +321,36 @@ mod tests {
             value: 3.5e-3,
             threshold: 1e-3,
             message: "energy_drift: relative drift 3.500e-3 exceeds 1.000e-3".into(),
+            rank: None,
         };
         let back = Violation::from_json(&violation.to_json()).unwrap();
         assert_eq!(back, violation);
         assert!(Violation::from_json(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn violations_are_stamped_with_the_firing_rank() {
+        let monitor = BoundMonitor::new("t_momentum", 0.0, 1e-8);
+        // Outside any rank context: no rank, legacy JSON shape.
+        let bare = monitor.check(1, 1.0).unwrap();
+        assert_eq!(bare.rank, None);
+        assert!(!bare.to_json().to_compact().contains("\"rank\""));
+        assert_eq!(bare.display_message(), bare.message);
+        // Inside a rank scope (what every run_world rank thread is):
+        // the violation names the rank, in JSON and in display.
+        let ranked = {
+            let _rank = crate::rank_scope(5);
+            monitor.check(2, 1.0).unwrap()
+        };
+        assert_eq!(ranked.rank, Some(5));
+        let line = ranked.to_json().to_compact();
+        assert!(line.contains("\"rank\":5"), "{line}");
+        assert!(ranked.display_message().starts_with("[rank 5] "));
+        let back = Violation::from_json(&Value::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, ranked);
+        // Tolerant parse: a pre-rank line round-trips to rank: None.
+        let back = Violation::from_json(&bare.to_json()).unwrap();
+        assert_eq!(back.rank, None);
     }
 
     #[test]
