@@ -1,0 +1,167 @@
+//! `mdm_submit` — client for an `mdm_serve` daemon.
+//!
+//! ```text
+//! mdm_submit --addr 127.0.0.1:7980 submit --job melt-1 --steps 500 --watch
+//! mdm_submit --addr 127.0.0.1:7980 status melt-1
+//! mdm_submit --addr 127.0.0.1:7980 list
+//! mdm_submit --addr 127.0.0.1:7980 drain
+//! ```
+//!
+//! Commands: `submit` (options below), `status JOB`, `watch JOB`,
+//! `list`, `stats`, `drain`, `shutdown`.
+//!
+//! Submit options: `--job NAME` (required), `--cells N`, `--steps N`,
+//! `--dt FS`, `--temp K`, `--seed N`, `--priority N`,
+//! `--potential-interval N`, `--thermostat`, plus `--watch` (stream
+//! the job's JSONL to stdout after submitting) and `--wait` (poll
+//! until the job is terminal; exit 1 if it failed). A submit bounced
+//! by back-pressure is retried for up to `--deadline-seconds S`
+//! (default 600), honouring the server's `retry_after_ms`.
+
+use mdm_serve::protocol::{JobSpec, JobState};
+use mdm_serve::Client;
+use std::process::exit;
+use std::time::Duration;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("mdm_submit: {message}");
+    exit(1)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mdm_submit [--addr HOST:PORT] <submit|status|watch|list|stats|drain|shutdown> ..."
+    );
+    exit(2)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_with_retry(addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| fail(format_args!("connect {addr}: {e} (is mdm_serve up?)")))
+}
+
+fn watch(addr: &str, job: &str) {
+    let client = connect(addr);
+    let stream = client
+        .watch(job)
+        .unwrap_or_else(|e| fail(format_args!("watch {job}: {e}")));
+    for line in stream {
+        match line {
+            Ok(line) => println!("{line}"),
+            Err(e) => fail(format_args!("watch {job}: stream error: {e}")),
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7980".to_string();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        args.remove(0);
+        if args.is_empty() {
+            usage();
+        }
+        addr = args.remove(0);
+    }
+    let Some(command) = args.first().cloned() else {
+        usage();
+    };
+    let rest = &args[1..];
+
+    match command.as_str() {
+        "submit" => {
+            let mut spec = JobSpec::default();
+            let mut do_watch = false;
+            let mut do_wait = false;
+            let mut deadline = 600u64;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .unwrap_or_else(|| fail(format_args!("{name} needs a value")))
+                };
+                match arg.as_str() {
+                    "--job" => spec.name = value("--job").clone(),
+                    "--cells" => spec.cells = value("--cells").parse().unwrap_or_else(|_| usage()),
+                    "--steps" => spec.steps = value("--steps").parse().unwrap_or_else(|_| usage()),
+                    "--dt" => spec.dt = value("--dt").parse().unwrap_or_else(|_| usage()),
+                    "--temp" => {
+                        spec.temperature = value("--temp").parse().unwrap_or_else(|_| usage())
+                    }
+                    "--seed" => spec.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+                    "--priority" => {
+                        spec.priority = value("--priority").parse().unwrap_or_else(|_| usage())
+                    }
+                    "--potential-interval" => {
+                        spec.potential_interval = value("--potential-interval")
+                            .parse()
+                            .unwrap_or_else(|_| usage())
+                    }
+                    "--thermostat" => spec.thermostat = true,
+                    "--watch" => do_watch = true,
+                    "--wait" => do_wait = true,
+                    "--deadline-seconds" => {
+                        deadline = value("--deadline-seconds")
+                            .parse()
+                            .unwrap_or_else(|_| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            if let Err(e) = spec.validate() {
+                fail(e);
+            }
+            let mut client = connect(&addr);
+            let position = client
+                .submit_with_retry(&spec, Duration::from_secs(deadline))
+                .unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "mdm_submit: {} accepted (queue position {position})",
+                spec.name
+            );
+            if do_watch {
+                watch(&addr, &spec.name);
+            }
+            if do_wait || do_watch {
+                let report = client
+                    .wait(&spec.name, Duration::from_secs(deadline))
+                    .unwrap_or_else(|e| fail(e));
+                eprintln!(
+                    "mdm_submit: {} {} at step {}/{} ({} violations)",
+                    report.name,
+                    report.state.as_str(),
+                    report.step,
+                    report.steps,
+                    report.violations
+                );
+                if report.state == JobState::Failed {
+                    fail(report.detail.unwrap_or_else(|| "job failed".into()));
+                }
+            }
+        }
+        "status" => {
+            let job = rest.first().unwrap_or_else(|| usage());
+            let report = connect(&addr)
+                .status(job)
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", report.to_json().to_compact());
+        }
+        "watch" => {
+            let job = rest.first().unwrap_or_else(|| usage());
+            watch(&addr, job);
+        }
+        "list" => {
+            let reports = connect(&addr).list().unwrap_or_else(|e| fail(e));
+            for report in reports {
+                println!("{}", report.to_json().to_compact());
+            }
+        }
+        "stats" => {
+            let stats = connect(&addr).stats().unwrap_or_else(|e| fail(e));
+            println!("{}", stats.to_compact());
+        }
+        "drain" => connect(&addr).drain().unwrap_or_else(|e| fail(e)),
+        "shutdown" => connect(&addr).shutdown().unwrap_or_else(|e| fail(e)),
+        _ => usage(),
+    }
+}

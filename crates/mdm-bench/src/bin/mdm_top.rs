@@ -1,5 +1,6 @@
 //! `mdm_top` — live terminal viewer for a telemetry stream served by
-//! `profile_step --serve` (or any caller of `mdm_host::telemetry::serve`).
+//! `profile_step --serve` (or any caller of `mdm_host::telemetry::serve`),
+//! including `mdm_serve` job watch streams.
 //!
 //! Connects over TCP, reads the manifest line and then one JSONL step
 //! event per completed step, and renders a refreshing dashboard: step
@@ -22,119 +23,28 @@
 //! * `--retry-seconds S` — keep retrying the connection for S seconds
 //!   before giving up (default 30; the serving run may still be
 //!   warming up when the viewer starts).
+//!
+//! Exit codes: 0 on a clean stream end, 1 if `--once` saw no step,
+//! 2 on a connection failure, a mid-stream error, or malformed JSONL
+//! (the stream-following rules live in `mdm_bench::topview`).
 
+use mdm_bench::topview::{follow, StreamError};
 use mdm_host::telemetry::{DEFAULT_TELEMETRY_ADDR, TELEMETRY_ADDR_ENV};
-use mdm_profile::events::{RunManifest, StepEvent};
-use mdm_profile::json::Value;
-use std::io::{BufRead, BufReader};
+use std::io::BufReader;
 use std::net::TcpStream;
+use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
-/// Rolling view of the stream: the newest step plus run aggregates.
-#[derive(Default)]
-struct View {
-    manifest: Option<RunManifest>,
-    last: Option<StepEvent>,
-    steps_seen: u64,
-    violations_seen: u64,
-    last_violation: Option<String>,
-    worst_force_error: Option<f64>,
-}
-
-impl View {
-    fn absorb_manifest(&mut self, manifest: RunManifest) {
-        self.manifest = Some(manifest);
-    }
-
-    fn absorb_step(&mut self, event: StepEvent) {
-        self.steps_seen += 1;
-        self.violations_seen += event.violations.len() as u64;
-        if let Some(v) = event.violations.last() {
-            self.last_violation = Some(v.display_message());
-        }
-        if let Some(&err) = event.observables.get("force_error_rel") {
-            let worst = self.worst_force_error.get_or_insert(err);
-            *worst = worst.max(err);
-        }
-        self.last = Some(event);
-    }
-
-    fn render(&self) -> String {
-        let mut out = String::new();
-        match &self.manifest {
-            Some(m) => out.push_str(&format!(
-                "mdm_top — {} (N = {}, dt = {} fs)  [{}]\n",
-                m.label, m.n_particles, m.dt_fs, m.forcefield
-            )),
-            None => out.push_str("mdm_top — waiting for manifest...\n"),
-        }
-        let Some(event) = &self.last else {
-            out.push_str("no steps yet\n");
-            return out;
-        };
-        if event.wall_seconds > 0.0 {
-            out.push_str(&format!(
-                "step {}: {:.3} s/step ({:.2} steps/s), {} seen this session\n",
-                event.step,
-                event.wall_seconds,
-                1.0 / event.wall_seconds,
-                self.steps_seen
-            ));
-        } else {
-            out.push_str(&format!("step {}\n", event.step));
-        }
-        if let Some(&t) = event.observables.get("temperature_k") {
-            let energy = event
-                .observables
-                .get("total_ev")
-                .map(|e| format!(", E = {e:.3} eV"))
-                .unwrap_or_default();
-            out.push_str(&format!("temperature {t:.1} K{energy}\n"));
-        }
-        if self.violations_seen == 0 {
-            out.push_str("watchdog: OK (0 violations)\n");
-        } else {
-            out.push_str(&format!(
-                "watchdog: {} violation(s); last: {}\n",
-                self.violations_seen,
-                self.last_violation.as_deref().unwrap_or("?")
-            ));
-        }
-        match self.worst_force_error {
-            Some(err) => out.push_str(&format!("worst probed force error: {err:.2e}\n")),
-            None => out.push_str("worst probed force error: (no probe reading yet)\n"),
-        }
-        out.push_str(&format!(
-            "bus dropped events: {}\n",
-            event.counters.get("bus_dropped_events").copied().unwrap_or(0)
-        ));
-        if !event.gauges.is_empty() {
-            out.push_str("gauges:\n");
-            for (name, value) in &event.gauges {
-                out.push_str(&format!("  {:<20} {:>7.3} {}\n", name, value, bar(*value)));
-            }
-        }
-        out
-    }
-}
-
-/// A 20-cell occupancy bar for a 0..=1 gauge (clamped).
-fn bar(value: f64) -> String {
-    let cells = 20usize;
-    let filled = ((value.clamp(0.0, 1.0) * cells as f64).round() as usize).min(cells);
-    format!("|{}{}|", "#".repeat(filled), ".".repeat(cells - filled))
-}
-
-fn connect(addr: &str, retry: Duration) -> TcpStream {
+fn connect(addr: &str, retry: Duration) -> Result<TcpStream, std::io::Error> {
     let deadline = Instant::now() + retry;
     loop {
         match TcpStream::connect(addr) {
-            Ok(stream) => return stream,
+            Ok(stream) => return Ok(stream),
             Err(e) if Instant::now() < deadline => {
                 eprintln!("mdm_top: connect {addr}: {e}; retrying...");
                 std::thread::sleep(Duration::from_millis(200));
             }
-            Err(e) => panic!("connect {addr}: {e} (is a --serve run up?)"),
+            Err(e) => return Err(e),
         }
     }
 }
@@ -156,51 +66,48 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--retry-seconds needs an integer");
             }
-            other => panic!("unknown option {other:?} (try --connect, --once, --retry-seconds)"),
+            other => {
+                eprintln!("mdm_top: unknown option {other:?} (try --connect, --once, --retry-seconds)");
+                std::process::exit(2);
+            }
         }
     }
 
-    let stream = connect(&addr, Duration::from_secs(retry_seconds));
-    let reader = BufReader::new(stream);
-    let mut view = View::default();
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) if !line.trim().is_empty() => line,
-            Ok(_) => continue,
-            Err(e) => {
-                eprintln!("mdm_top: stream error: {e}");
-                break;
+    let stream = match connect(&addr, Duration::from_secs(retry_seconds)) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("mdm_top: connect {addr}: {e} (is a --serve run up?)");
+            std::process::exit(2);
+        }
+    };
+    let result = follow(BufReader::new(stream), |view| {
+        if once {
+            print!("{}", view.render());
+            return ControlFlow::Break(());
+        }
+        // Clear + home, repaint in place.
+        print!("\x1b[2J\x1b[H{}", view.render());
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        ControlFlow::Continue(())
+    });
+    match result {
+        Ok(view) => {
+            if once && view.steps_seen() == 0 {
+                eprintln!("mdm_top: stream ended before the first step event");
+                std::process::exit(1);
             }
-        };
-        let Ok(value) = Value::parse(&line) else {
-            eprintln!("mdm_top: skipping unparseable line");
-            continue;
-        };
-        match value.get("type").and_then(Value::as_str) {
-            Some("manifest") => {
-                if let Ok(m) = RunManifest::from_json(&value) {
-                    view.absorb_manifest(m);
-                }
+            if !once {
+                println!("\nmdm_top: stream ended ({} steps seen)", view.steps_seen());
             }
-            Some("step") => {
-                if let Ok(event) = StepEvent::from_json(&value) {
-                    view.absorb_step(event);
-                    if once {
-                        print!("{}", view.render());
-                        return;
-                    }
-                    // Clear + home, repaint in place.
-                    print!("\x1b[2J\x1b[H{}", view.render());
-                    use std::io::Write;
-                    let _ = std::io::stdout().flush();
-                }
-            }
-            _ => {}
+        }
+        Err(StreamError::EndedEarly) if once => {
+            eprintln!("mdm_top: stream ended before the first step event");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("mdm_top: {e}");
+            std::process::exit(2);
         }
     }
-    if once {
-        eprintln!("mdm_top: stream ended before the first step event");
-        std::process::exit(1);
-    }
-    println!("\nmdm_top: stream ended ({} steps seen)", view.steps_seen);
 }

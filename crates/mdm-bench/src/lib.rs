@@ -25,6 +25,7 @@
 pub mod dashboard;
 pub mod figure2;
 pub mod stepprof;
+pub mod topview;
 
 /// Format a flop count the way the paper's table does (e.g. `6.75e14`).
 pub fn sci(x: f64) -> String {

@@ -115,6 +115,35 @@ impl<F: ForceField> Simulation<F> {
         }
     }
 
+    /// Rebuild a simulation mid-trajectory from checkpointed state,
+    /// installing the captured force evaluation verbatim instead of
+    /// recomputing it. Recomputing would be bitwise identical for
+    /// stateless force fields but would advance the evaluation cadence
+    /// of stale-carrying ones (the MDM driver), desynchronising a
+    /// resumed run from its uninterrupted twin — so resume never calls
+    /// `compute`.
+    pub fn resume(
+        system: System,
+        ff: F,
+        dt: f64,
+        step_count: u64,
+        current: ForceResult,
+    ) -> Self {
+        assert_eq!(
+            current.forces.len(),
+            system.len(),
+            "checkpointed forces disagree with the particle count"
+        );
+        Self {
+            system,
+            ff,
+            integrator: VelocityVerlet::new(dt),
+            thermostat: None,
+            current,
+            step_count,
+        }
+    }
+
     /// Attach a thermostat (NVT); `None` runs NVE.
     pub fn set_thermostat(&mut self, thermostat: Option<Thermostat>) {
         self.thermostat = thermostat;
@@ -133,6 +162,21 @@ impl<F: ForceField> Simulation<F> {
     /// The force field.
     pub fn force_field(&self) -> &F {
         &self.ff
+    }
+
+    /// Mutable force-field access (e.g. retuning the potential cadence
+    /// between measurement phases).
+    pub fn force_field_mut(&mut self) -> &mut F {
+        &mut self.ff
+    }
+
+    /// Re-evaluate the forces at the current positions and replace the
+    /// cached [`Self::current_forces`]. Needed after mutating the
+    /// system or force field out-of-band (checkpoint restore, cadence
+    /// changes) so the next `step` starts from consistent forces.
+    pub fn refresh_forces(&mut self) -> &ForceResult {
+        self.current = self.ff.compute(&self.system);
+        &self.current
     }
 
     /// Latest force evaluation.

@@ -27,6 +27,7 @@
 pub mod accuracy;
 pub mod boxsim;
 pub mod celllist;
+pub mod checkpoint;
 pub mod direct;
 pub mod ewald;
 pub mod flops;

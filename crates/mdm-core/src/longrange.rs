@@ -17,8 +17,9 @@
 //!
 //! Contract:
 //! * `compute` takes the box, SoA positions and charges, and returns
-//!   forces, tin-foil reciprocal energy, virial (`NaN` where the
-//!   engine does not assemble one), and per-step op/flop counters.
+//!   forces, tin-foil reciprocal energy, virial (every in-tree engine
+//!   assembles one; `NaN` is reserved for a future backend that
+//!   cannot), and per-step op/flop counters.
 //! * Charge neutrality is **not** required — the reciprocal sum
 //!   excludes m = 0, so a net charge simply means the caller must add
 //!   the usual uniform-background correction (as
@@ -71,7 +72,8 @@ pub struct LongRangeResult {
     pub energy: f64,
     /// Per-particle reciprocal forces (eV/Å).
     pub forces: Vec<Vec3>,
-    /// Reciprocal-space virial (eV); `NaN` if not assembled.
+    /// Reciprocal-space virial (eV); every in-tree backend assembles
+    /// one (`NaN` only for a hypothetical backend that cannot).
     pub virial: f64,
     /// Per-step op/flop counters.
     pub counters: LongRangeCounters,
@@ -340,6 +342,34 @@ pub fn by_name(name: &str, params: &EwaldParams, l: f64) -> Option<Box<dyn LongR
     }
 }
 
+/// Per-backend default operating point, for backends whose economy
+/// differs from the machine-balance point the emulated board uses.
+///
+/// The `wine2` board (and the exact-Ewald references that mirror it)
+/// balances α against the *machine*: wave time grows slowly there, so
+/// the balance pushes α up with N and drags `r_cut` down. Mesh
+/// backends (`pme`, `pswf`) pay for α directly — the mesh scales with
+/// `n_max = s_k·α/π` — so inheriting the board's balance α forces an
+/// oversized mesh and pushes the interpolation error toward the 10⁻³
+/// gate. Their natural point is the particle-mesh community default: a
+/// fixed real-space cutoff (9 Å, capped at `L/3` for small boxes — the
+/// cell-index real-space engine needs ≥ 3 cells per side, §2.2), α
+/// following from the accuracy parameter `s = 3.2`, and the mesh from
+/// `n_max` (the mesh engines sum *every* mode their grid resolves, so
+/// `n_max` only sizes the grid). Returns `None` for backends that
+/// should use the caller's machine-balance point.
+pub fn default_operating_point(name: &str, l: f64) -> Option<EwaldParams> {
+    const S: f64 = 3.2;
+    const MESH_R_CUT_A: f64 = 9.0;
+    match name {
+        "pme" | "pswf" => {
+            let r_cut = MESH_R_CUT_A.min(l / 3.0);
+            Some(EwaldParams::from_alpha_accuracy(S * l / r_cut, S, S, l))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +476,50 @@ mod tests {
                 "{name}: expected 3–4 scratch reuses over 4 calls, got {reuses}"
             );
         }
+    }
+
+    /// Satellite: at their own default operating point — not the
+    /// board's balance α — the mesh backends stay within the 10⁻³
+    /// force-error gate against the exact recip at matched parameters.
+    #[test]
+    fn mesh_backends_hold_the_gate_at_their_default_operating_point() {
+        let s = perturbed();
+        let l = s.simbox().l();
+        for name in ["pme", "pswf"] {
+            let p = default_operating_point(name, l).expect("mesh backends have a default point");
+            // Small box: the cutoff caps at L/3 (the cell-index
+            // engine's floor) and α follows.
+            assert!((p.r_cut - l / 3.0).abs() < 1e-9, "{name}: r_cut {}", p.r_cut);
+            assert!(p.real_truncation_error(l) <= 1e-3);
+            assert!(p.recip_truncation_error(l) <= 1e-3);
+            // The mesh engines sum every mode their grid resolves, so
+            // the reference must be *converged*, not truncated at the
+            // same n_max — doubling it puts its truncation error
+            // (erfc(2·s_k)) far below the gate.
+            let mut exact = ExactEwald::new(p.alpha, 2.0 * p.n_max);
+            let mut backend = by_name(name, &p, l).unwrap();
+            let a = exact.compute(s.simbox(), s.positions(), s.charges());
+            let b = backend.compute(s.simbox(), s.positions(), s.charges());
+            // The same metric the accuracy_report probe gates on:
+            // relative RMS force error (Figure 5's y-axis).
+            let scale = a.forces.iter().map(|f| f.norm()).fold(1e-300f64, f64::max);
+            let rms = (a
+                .forces
+                .iter()
+                .zip(&b.forces)
+                .map(|(fa, fb)| ((*fa - *fb).norm() / scale).powi(2))
+                .sum::<f64>()
+                / a.forces.len() as f64)
+                .sqrt();
+            assert!(rms <= 1e-3, "{name}: rms rel force error {rms:.3e}");
+        }
+        // Larger box: the fixed 9 Å cutoff takes over — unlike the
+        // machine-balance point, whose r_cut shrinks as N grows.
+        let l_big = 3.0 * l;
+        let p = default_operating_point("pme", l_big).unwrap();
+        assert!((p.r_cut - 9.0).abs() < 1e-9, "r_cut {}", p.r_cut);
+        assert!(default_operating_point("ewald", l).is_none());
+        assert!(default_operating_point("wine2", l).is_none());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests on the MD engine's core invariants.
 
 use mdm_core::boxsim::SimBox;
+use mdm_core::checkpoint::Checkpoint;
+use mdm_core::system::Species;
 use mdm_core::celllist::CellList;
 use mdm_core::ewald::real::real_kernel;
 use mdm_core::ewald::{EwaldParams, EwaldSum};
@@ -10,6 +12,26 @@ use proptest::prelude::*;
 
 fn arb_vec3(l: f64) -> impl Strategy<Value = Vec3> {
     (0.0..l, 0.0..l, 0.0..l).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// Every finite `f64` bit pattern — subnormals, −0.0, extreme
+/// exponents — but no NaN/inf (the checkpoint losslessness contract is
+/// stated for NaN/inf-free states). Bit patterns with an all-ones
+/// exponent fold to the subnormal with the same sign and mantissa.
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            x
+        } else {
+            f64::from_bits(bits & !(0x7ffu64 << 52))
+        }
+    })
+}
+
+fn arb_finite_vec3() -> impl Strategy<Value = Vec3> {
+    (arb_finite_f64(), arb_finite_f64(), arb_finite_f64())
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 proptest! {
@@ -104,6 +126,82 @@ proptest! {
         let r = sum.compute(sb, &pos, &q);
         let net: Vec3 = r.forces.iter().copied().sum();
         prop_assert!(net.norm() < 1e-9, "net {net:?}");
+    }
+
+    /// Checkpoint encode/decode is bitwise lossless for arbitrary
+    /// NaN/inf-free states: every scalar survives the JSON round-trip
+    /// with its exact IEEE-754 bit pattern, including subnormals and
+    /// signed zeros.
+    #[test]
+    fn checkpoint_round_trip_is_bitwise_lossless(
+        particles in prop::collection::vec(
+            (arb_finite_vec3(), arb_finite_vec3(), arb_finite_vec3()),
+            1..6,
+        ),
+        step in any::<u64>(),
+        seed in any::<u64>(),
+        scalars in prop::collection::vec(arb_finite_f64(), 10..11),
+        obs_vals in prop::collection::vec(arb_finite_f64(), 0..4),
+        extra_vals in prop::collection::vec(arb_finite_f64(), 0..4),
+    ) {
+        let n = particles.len();
+        let mut positions = Vec::with_capacity(n);
+        let mut velocities = Vec::with_capacity(n);
+        let mut forces = Vec::with_capacity(n);
+        for (r, v, f) in particles {
+            positions.push(r);
+            velocities.push(v);
+            forces.push(f);
+        }
+        let obs: std::collections::BTreeMap<String, f64> = obs_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("obs_{i}"), v))
+            .collect();
+        let extras: std::collections::BTreeMap<String, f64> = extra_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("carry.x{i}"), v))
+            .collect();
+        let cp = Checkpoint {
+            job: format!("prop-{step}"),
+            step,
+            dt: scalars[0],
+            seed,
+            l: scalars[1],
+            species: vec![
+                Species { name: "Na+".into(), mass: scalars[2], charge: scalars[3] },
+                Species { name: "Cl-".into(), mass: scalars[4], charge: scalars[5] },
+            ],
+            types: (0..n).map(|i| (i % 2) as u8).collect(),
+            positions,
+            velocities,
+            forces,
+            potential: scalars[6],
+            coulomb: scalars[7],
+            short_range: scalars[8],
+            virial: scalars[9],
+            observables: obs,
+            extras,
+        };
+        let back = Checkpoint::parse(&cp.to_line()).expect("round-trip");
+        prop_assert_eq!(&back, &cp);
+        for (a, b) in [(cp.dt, back.dt), (cp.l, back.l), (cp.potential, back.potential), (cp.virial, back.virial)] {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in cp.positions.iter().zip(&back.positions) {
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+            prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (a, b) in cp.forces.iter().zip(&back.forces) {
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+            prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (k, v) in &cp.observables {
+            prop_assert_eq!(back.observables[k].to_bits(), v.to_bits());
+        }
     }
 
     /// Ewald total energy is invariant under rigid translation of all

@@ -133,9 +133,9 @@ impl LongRangeBackend for Wine2Backend {
         LongRangeResult {
             energy: out.energy,
             forces: out.forces,
-            // The board reports no virial; pressure users should pick a
-            // software backend.
-            virial: f64::NAN,
+            // Host-side reduction over the board's structure factors,
+            // same provenance as the energy.
+            virial: out.virial,
             counters: LongRangeCounters {
                 dft_ops: out.counters.dft_ops,
                 idft_ops: out.counters.idft_ops,
@@ -176,6 +176,95 @@ pub fn longrange_by_name(
     }
 }
 
+/// The stale-carried potential-cadence state of the driver: what the
+/// energy-mode passes produced when they last ran, plus how long ago.
+/// The checkpoint layer exports and restores this so a resumed run
+/// carries exactly the staleness the uninterrupted run would have had
+/// (and therefore streams bit-identical observables).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PotentialCarry {
+    /// Real-space Coulomb energy of the last energy passes (eV).
+    pub e_real: f64,
+    /// Short-range energy of the last energy passes (eV).
+    pub e_short: f64,
+    /// Host-side real-space virial of the last energy passes (eV).
+    pub virial_real: f64,
+    /// Force evaluations since the energy passes last ran.
+    pub steps_since: u64,
+}
+
+impl PotentialCarry {
+    /// Checkpoint-extras keys (see
+    /// [`mdm_core::checkpoint::Checkpoint::extras`]).
+    const KEYS: [&'static str; 4] = [
+        "carry.e_real",
+        "carry.e_short",
+        "carry.virial_real",
+        "carry.steps_since",
+    ];
+
+    /// Flatten into a checkpoint's `extras` map. Energies keep their
+    /// exact bits (the map is bit-exact end to end); `steps_since` is
+    /// exact as an `f64` for any realistic cadence (< 2⁵³).
+    pub fn to_extras(&self, extras: &mut std::collections::BTreeMap<String, f64>) {
+        let vals = [
+            self.e_real,
+            self.e_short,
+            self.virial_real,
+            self.steps_since as f64,
+        ];
+        for (k, v) in Self::KEYS.iter().zip(vals) {
+            extras.insert((*k).to_string(), v);
+        }
+    }
+
+    /// Read back from a checkpoint's `extras`; `None` if the carry
+    /// keys are absent (a checkpoint from a different force field).
+    pub fn from_extras(extras: &std::collections::BTreeMap<String, f64>) -> Option<Self> {
+        let mut vals = [0.0f64; 4];
+        for (slot, k) in vals.iter_mut().zip(Self::KEYS) {
+            *slot = *extras.get(k)?;
+        }
+        Some(PotentialCarry {
+            e_real: vals[0],
+            e_short: vals[1],
+            virial_real: vals[2],
+            steps_since: vals[3] as u64,
+        })
+    }
+}
+
+/// The eight fitted function-table images (force + energy kernels for
+/// the four §4 passes) an [`MdmForceField`] needs. Building them runs
+/// the table-fit utility eight times — by far the most expensive part
+/// of constructing a force field — so hosts that spin up many runs
+/// build one `MdmTables` and clone it per run.
+#[derive(Clone)]
+pub struct MdmTables {
+    force_tables: [FunctionEvaluator; 4],
+    energy_tables: [FunctionEvaluator; 4],
+}
+
+impl MdmTables {
+    /// Run the §4 table-fit utility for all eight kernels.
+    pub fn build() -> Result<Self, mdm_funceval::TableBuildError> {
+        Ok(Self {
+            force_tables: [
+                GFunction::CoulombRealForce.build_evaluator()?,
+                GFunction::BornMayerForce.build_evaluator()?,
+                GFunction::Dispersion6Force.build_evaluator()?,
+                GFunction::Dispersion8Force.build_evaluator()?,
+            ],
+            energy_tables: [
+                GFunction::CoulombRealEnergy.build_evaluator()?,
+                GFunction::BornMayerEnergy.build_evaluator()?,
+                GFunction::Dispersion6Energy.build_evaluator()?,
+                GFunction::Dispersion8Energy.build_evaluator()?,
+            ],
+        })
+    }
+}
+
 /// Force field evaluated on the emulated MDM.
 pub struct MdmForceField {
     longrange: Box<dyn LongRangeBackend>,
@@ -187,7 +276,8 @@ pub struct MdmForceField {
     energy_tables: [FunctionEvaluator; 4],
     potential_interval: u64,
     steps_since_potential: u64,
-    last_potential: Option<(f64, f64)>,
+    /// `(e_real, e_short, virial_real)` of the last energy passes.
+    last_potential: Option<(f64, f64, f64)>,
     last_counters: StepCounters,
     /// Only credit the Coulomb passes in the flop counters (the paper
     /// excludes "the force calculation other than the Coulomb").
@@ -211,19 +301,30 @@ impl MdmForceField {
         wine_clusters: usize,
         mdg_clusters: usize,
     ) -> Result<Self, mdm_funceval::TableBuildError> {
-        let force_tables = [
-            GFunction::CoulombRealForce.build_evaluator()?,
-            GFunction::BornMayerForce.build_evaluator()?,
-            GFunction::Dispersion6Force.build_evaluator()?,
-            GFunction::Dispersion8Force.build_evaluator()?,
-        ];
-        let energy_tables = [
-            GFunction::CoulombRealEnergy.build_evaluator()?,
-            GFunction::BornMayerEnergy.build_evaluator()?,
-            GFunction::Dispersion6Energy.build_evaluator()?,
-            GFunction::Dispersion8Energy.build_evaluator()?,
-        ];
-        Ok(Self {
+        Ok(Self::with_tables(
+            params,
+            wine_clusters,
+            mdg_clusters,
+            MdmTables::build()?,
+        ))
+    }
+
+    /// Like [`Self::new`] with prebuilt function tables. The tables
+    /// are parameter-independent (they fit the dimensionless g(x)
+    /// kernels, not any particular α or box), so a multi-run host — the
+    /// serve layer time-slicing hundreds of jobs — builds them once
+    /// and clones them per job instead of re-running the table fits.
+    pub fn with_tables(
+        params: EwaldParams,
+        wine_clusters: usize,
+        mdg_clusters: usize,
+        tables: MdmTables,
+    ) -> Self {
+        let MdmTables {
+            force_tables,
+            energy_tables,
+        } = tables;
+        Self {
             longrange: Box::new(Wine2Backend::new(&params, wine_clusters)),
             mdg: Mdgrape2System::new(
                 Mdgrape2Config {
@@ -243,16 +344,23 @@ impl MdmForceField {
             coulomb_pass_ops: 0,
             jstore: None,
             jstore_reuse: true,
-        })
+        }
     }
 
     /// A convenient NaCl configuration for a box of side `l`: α chosen
     /// so `r_cut ≈ L/3` (three cells per side, the hardware minimum),
     /// accuracy `s ≈ 3.2`.
     pub fn nacl_default(l: f64) -> Result<Self, mdm_funceval::TableBuildError> {
+        Ok(Self::nacl_default_with_tables(l, MdmTables::build()?))
+    }
+
+    /// [`Self::nacl_default`] with prebuilt tables (see
+    /// [`Self::with_tables`]) — the per-job constructor the run server
+    /// uses so a hundred small jobs don't re-run a hundred table fits.
+    pub fn nacl_default_with_tables(l: f64, tables: MdmTables) -> Self {
         let s = 3.2;
         let alpha = 3.0 * s * 1.02; // r_cut = s·L/α ≈ L/3.06
-        Self::new(EwaldParams::from_alpha_accuracy(alpha, s, s, l), 2, 2)
+        Self::with_tables(EwaldParams::from_alpha_accuracy(alpha, s, s, l), 2, 2, tables)
     }
 
     /// Evaluate the potential every `interval` steps (paper: 100) and
@@ -318,6 +426,65 @@ impl MdmForceField {
     /// Hardware counters of the last `compute` call.
     pub fn last_counters(&self) -> StepCounters {
         self.last_counters
+    }
+
+    /// Export the stale-carried potential state for a checkpoint, or
+    /// `None` before the first evaluation.
+    pub fn potential_carry(&self) -> Option<PotentialCarry> {
+        self.last_potential
+            .map(|(e_real, e_short, virial_real)| PotentialCarry {
+                e_real,
+                e_short,
+                virial_real,
+                steps_since: self.steps_since_potential,
+            })
+    }
+
+    /// Restore a [`PotentialCarry`] from a checkpoint: the next
+    /// `compute` re-runs the energy passes at exactly the step the
+    /// uninterrupted run would have, carrying the stale values until
+    /// then.
+    pub fn restore_potential_carry(&mut self, carry: PotentialCarry) {
+        self.last_potential = Some((carry.e_real, carry.e_short, carry.virial_real));
+        self.steps_since_potential = carry.steps_since;
+    }
+
+    /// Host-side real-space virial `½ Σ f⃗·d⃗` over the hardware's
+    /// block-pair set, in f64. The MDGRAPE-2 pipelines accumulate
+    /// forces only, so the driver reduces the virial itself — at the
+    /// potential cadence, carried stale between energy passes exactly
+    /// like the potential.
+    fn real_virial(&self, system: &System, kappa: f64) -> f64 {
+        use mdm_core::potentials::ShortRangePotential;
+        let _host = mdm_profile::span(mdm_profile::phase::HOST);
+        let r_cut = self.params.r_cut.min(system.simbox().max_cutoff());
+        let r_cut_sq = r_cut * r_cut;
+        let cl =
+            mdm_core::celllist::CellList::build(system.simbox(), system.positions(), r_cut);
+        let charges = system.charges();
+        let types = system.types();
+        let mut virial = 0.0;
+        cl.for_each_block_pair(system.positions(), |i, j, _d, r_sq| {
+            // The boards evaluate every block pair (no cutoff), but the
+            // pressure observable is defined against the truncated
+            // interaction — the same r_cut the f64 reference applies.
+            // The dispersion virial tail beyond r_cut is ~6x its energy
+            // tail, so keeping it here would put the reported pressure
+            // >1% away from the reference's.
+            if r_sq > r_cut_sq {
+                return;
+            }
+            let r = r_sq.sqrt();
+            let (_e, f_over_r) = mdm_core::ewald::real::real_kernel(kappa, r_sq);
+            let qq = COULOMB_EV_A * charges[i] * charges[j];
+            let fs = self
+                .short
+                .force_over_r(types[i] as usize, types[j] as usize, r);
+            // f⃗ = d⃗·(qq·f_over_r + fs), so f⃗·d⃗ = (qq·f_over_r + fs)·r²;
+            // ordered pairs double-count, hence the ½.
+            virial += 0.5 * (qq * f_over_r + fs) * r_sq;
+        });
+        virial
     }
 
     /// Real-space pair interactions of the last Coulomb force pass —
@@ -513,12 +680,14 @@ impl ForceField for MdmForceField {
             self.last_potential.is_none() || self.steps_since_potential + 1 >= self.potential_interval;
         if need_potential {
             let (e_real, e_short) = self.potential_passes(system, &jstore, kappa);
-            self.last_potential = Some((e_real, e_short));
+            let virial_real = self.real_virial(system, kappa);
+            self.last_potential = Some((e_real, e_short, virial_real));
             self.steps_since_potential = 0;
         } else {
             self.steps_since_potential += 1;
         }
-        let (e_real, e_short) = self.last_potential.expect("potential computed at least once");
+        let (e_real, e_short, virial_real) =
+            self.last_potential.expect("potential computed at least once");
 
         // Per-device utilization gauges (sampled once per step, so the
         // trace exporter can draw them as counter tracks and the run
@@ -560,9 +729,10 @@ impl ForceField for MdmForceField {
             potential: coulomb + e_short,
             coulomb,
             short_range: e_short,
-            // The hardware does not report a virial; pressure users
-            // should use the software reference field.
-            virial: f64::NAN,
+            // Real-space part reduced host-side at the potential
+            // cadence; wavenumber part fresh every step from the
+            // backend's structure factors.
+            virial: virial_real + wave.virial,
         }
     }
 
@@ -674,6 +844,48 @@ mod tests {
         let e_sw = sw.compute(&s).potential;
         let rel = ((e_hw - e_sw) / e_sw).abs();
         assert!(rel < 1e-2, "hw {e_hw} vs sw {e_sw}");
+    }
+
+    #[test]
+    fn virial_is_finite_and_close_to_f64_reference() {
+        // The driver's virial (host-side real reduction + WINE-2
+        // structure-factor reduction) against the software reference
+        // field at the same parameters. Both truncate the real sum at
+        // r_cut, so the residual is WINE-2 fixed-point noise plus
+        // summation-order rounding — well under 1% even on the small,
+        // nearly-cancelling crystal virial.
+        let s = perturbed(3);
+        let mut hw = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+        let mut sw = EwaldTosiFumi::new(*hw.params(), TosiFumi::nacl());
+        let w_hw = hw.compute(&s).virial;
+        let w_sw = sw.compute(&s).virial;
+        assert!(w_hw.is_finite(), "MDM virial must be finite now");
+        let rel = ((w_hw - w_sw) / w_sw).abs();
+        assert!(rel < 1e-2, "hw {w_hw} vs sw {w_sw} (rel {rel})");
+    }
+
+    #[test]
+    fn potential_carry_round_trips() {
+        // Export-then-restore reproduces the exact stale state: a fresh
+        // field with the carry restored computes the same result as the
+        // original field would on its next step.
+        let s = perturbed(3);
+        let mut a = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+        a.set_potential_interval(100);
+        let _ = a.compute(&s);
+        let carry = a.potential_carry().expect("computed once");
+        assert_eq!(carry.steps_since, 0);
+
+        let mut b = MdmForceField::nacl_default(s.simbox().l()).unwrap();
+        b.set_potential_interval(100);
+        b.restore_potential_carry(carry);
+        let mut s2 = s.clone();
+        s2.displace(1, Vec3::new(0.2, 0.0, 0.0));
+        let ra = a.compute(&s2);
+        let rb = b.compute(&s2);
+        assert_eq!(ra.potential, rb.potential);
+        assert_eq!(ra.virial, rb.virial);
+        assert_eq!(ra.short_range, rb.short_range);
     }
 
     #[test]

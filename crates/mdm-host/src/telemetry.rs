@@ -69,9 +69,10 @@ pub fn env_stamp() -> EnvStamp {
 /// the box side `l`), and the environment stamp (git SHA, hostname,
 /// nproc, effective thread count) makes the stream attributable.
 ///
-/// `pressure_supported` is probed from the current force evaluation:
-/// the emulated WINE-2 board reports no virial (NaN), so MDM runs
-/// declare pressure *unsupported* instead of streaming NaN readings.
+/// `pressure_supported` is true: the WINE-2 emulation path reduces the
+/// reciprocal-space virial host-side from the board's structure factors
+/// and the driver adds the real-space part, so MDM runs stream a real
+/// pressure like the software fields do.
 pub fn mdm_manifest(
     label: &str,
     command: &str,
@@ -93,7 +94,7 @@ pub fn mdm_manifest(
         hostname: env.hostname,
         nproc: env.nproc,
         threads: rayon::current_num_threads() as u64,
-        pressure_supported: sim.current_forces().virial.is_finite(),
+        pressure_supported: true,
         params: [
             ("alpha".to_string(), params.alpha),
             ("r_cut".to_string(), params.r_cut),
@@ -399,17 +400,14 @@ pub fn run_instrumented<F: ForceField, W: Write>(
             ("potential_ev".to_string(), record.potential),
             ("total_ev".to_string(), record.total),
         ]);
-        // Pressure only where the backend reports a real virial — the
-        // emulated WINE-2 board does not (its manifest says
-        // `pressure_supported: false`), and an unsupported observable
-        // is *absent*, never a streamed NaN.
+        // Every force field reports a virial now — the WINE-2 path
+        // reduces it host-side from the board's structure factors — so
+        // pressure streams unconditionally.
         let virial = sim.current_forces().virial;
-        if virial.is_finite() {
-            event.observables.insert(
-                "pressure_gpa".to_string(),
-                mdm_core::observables::pressure_gpa(sim.system(), virial),
-            );
-        }
+        event.observables.insert(
+            "pressure_gpa".to_string(),
+            mdm_core::observables::pressure_gpa(sim.system(), virial),
+        );
 
         if let Some(sample) = probe_sample {
             last_error = Some(sample.relative());
@@ -580,7 +578,7 @@ pub fn ledger_record<F: ForceField>(
                 Some(worst.map_or(e, |w| w.max(e)))
             }),
         violations: run.violations,
-        pressure_supported: sim.current_forces().virial.is_finite(),
+        pressure_supported: true,
         gauges: run
             .timeseries
             .series
@@ -1006,13 +1004,13 @@ mod tests {
         assert_ne!(manifest.hostname, "");
         assert!(manifest.nproc >= 1);
         assert!(manifest.threads >= 1);
-        // The emulated WINE-2 board reports no virial: pressure is
-        // declared unsupported, not streamed as NaN.
-        assert!(!manifest.pressure_supported);
+        // The WINE-2 emulation path reduces a real virial host-side
+        // from the structure factors: MDM runs support pressure.
+        assert!(manifest.pressure_supported);
     }
 
     #[test]
-    fn pressure_streams_only_where_the_virial_is_real() {
+    fn pressure_streams_on_software_and_emulated_runs() {
         // Software Ewald reports a virial → pressure_gpa is streamed.
         let mut sim = software_sim(1.0);
         let manifest = software_manifest(&sim);
@@ -1027,20 +1025,19 @@ mod tests {
             assert!(event.observables.contains_key("pressure_gpa"));
         }
 
-        // The MDM emulator does not → the key is absent entirely.
+        // The MDM emulator streams a real pressure too, now that the
+        // WINE-2 path reports its virial (no more NaN gating).
         let mut sim = mdm_sim();
-        let manifest = mdm_manifest("no-pressure", "cargo test", &sim, 11);
+        let manifest = mdm_manifest("with-pressure", "cargo test", &sim, 11);
         let mut recorder = FlightRecorder::new(Vec::new(), &manifest).unwrap();
         mdm_profile::reset();
         run_recorded(&mut sim, 1, &mut recorder, None).unwrap();
         let text = String::from_utf8(recorder.into_inner()).unwrap();
         let (back, steps) = parse_jsonl(&text).unwrap();
-        assert!(!back.pressure_supported);
+        assert!(back.pressure_supported);
         for event in &steps {
-            assert!(
-                !event.observables.contains_key("pressure_gpa"),
-                "unsupported pressure must be absent, not NaN"
-            );
+            let p = event.observables["pressure_gpa"];
+            assert!(p.is_finite(), "emulated pressure must be real: {p}");
         }
     }
 
@@ -1125,7 +1122,7 @@ mod tests {
         assert!(row.gflops["real"] > 0.0);
         assert!(row.raw_tflops.unwrap() > 0.0);
         assert!(row.effective_tflops.unwrap() > 0.0);
-        assert!(!row.pressure_supported);
+        assert!(row.pressure_supported);
         assert!(row.gauges.contains_key("mdg.occupancy"));
         assert!(row.threads >= 1);
         assert_eq!(row.git_sha, manifest.git_sha);

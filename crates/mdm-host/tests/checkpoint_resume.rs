@@ -1,0 +1,82 @@
+//! Driver-level kill-and-resume: a run on the emulated MDM,
+//! checkpointed mid-trajectory (through a full JSON round-trip, as the
+//! serve layer does) and resumed with a freshly built force field,
+//! must reproduce the uninterrupted run's per-step observable stream
+//! bit-for-bit. This leans on three contracts at once: the
+//! checkpoint's bit-exact encoding, `JStore::refresh` (a from-scratch
+//! j-store equals a refreshed one bitwise), and the driver's
+//! [`PotentialCarry`] keeping the stale-potential cadence aligned.
+
+use mdm_core::checkpoint::Checkpoint;
+use mdm_core::integrate::Simulation;
+use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+use mdm_core::velocities::maxwell_boltzmann;
+use mdm_host::driver::{MdmForceField, PotentialCarry};
+
+/// A small melted MDM run with a >1 potential cadence, so the resume
+/// has to carry genuinely stale energy state across the kill.
+fn fresh_sim() -> Simulation<MdmForceField> {
+    let mut s = rocksalt_nacl(2, NACL_LATTICE_A);
+    maxwell_boltzmann(&mut s, 900.0, 7);
+    let mut ff = MdmForceField::nacl_default(s.simbox().l()).expect("tables");
+    ff.set_potential_interval(3);
+    Simulation::new(s, ff, 2.0)
+}
+
+#[test]
+fn mdm_run_resumes_bit_for_bit() {
+    // Reference: 10 uninterrupted steps.
+    let mut reference = fresh_sim();
+    let full: Vec<_> = (0..10).map(|_| reference.step()).collect();
+
+    // Kill after 4 steps; the checkpoint crosses a JSON round-trip.
+    let mut first = fresh_sim();
+    first.run(4);
+    let mut cp = Checkpoint::capture(&first, "kill-resume", 7);
+    first
+        .force_field()
+        .potential_carry()
+        .expect("potential evaluated at least once")
+        .to_extras(&mut cp.extras);
+    let cp = Checkpoint::parse(&cp.to_line()).expect("round-trip");
+    drop(first);
+
+    // Resume with a force field built from scratch.
+    let mut ff = MdmForceField::nacl_default(cp.l).expect("tables");
+    ff.set_potential_interval(3);
+    let carry = PotentialCarry::from_extras(&cp.extras).expect("carry keys present");
+    ff.restore_potential_carry(carry);
+    let mut resumed = cp.resume(ff);
+    assert_eq!(resumed.step_count(), 4);
+
+    for r in &full[4..] {
+        let got = resumed.step();
+        assert_eq!(got.step, r.step);
+        assert_eq!(
+            got.total.to_bits(),
+            r.total.to_bits(),
+            "step {}: resumed total {} != uninterrupted {}",
+            r.step,
+            got.total,
+            r.total
+        );
+        assert_eq!(got.temperature.to_bits(), r.temperature.to_bits());
+        assert_eq!(got.potential.to_bits(), r.potential.to_bits());
+        assert_eq!(got.kinetic.to_bits(), r.kinetic.to_bits());
+    }
+}
+
+#[test]
+fn carry_extras_round_trip_exactly() {
+    let carry = PotentialCarry {
+        e_real: -123.456789e2,
+        e_short: 0.1 + 0.2, // not exactly 0.3 — bits must survive anyway
+        virial_real: -5e-324,
+        steps_since: 97,
+    };
+    let mut extras = std::collections::BTreeMap::new();
+    carry.to_extras(&mut extras);
+    let back = PotentialCarry::from_extras(&extras).unwrap();
+    assert_eq!(back, carry);
+    assert!(PotentialCarry::from_extras(&std::collections::BTreeMap::new()).is_none());
+}

@@ -70,6 +70,9 @@ struct BusShared {
     /// joiners (e.g. a viewer connecting mid-run) can be brought up to
     /// date without replaying the stream.
     latest_manifest: Mutex<Option<Arc<RunManifest>>>,
+    /// Scope label for multi-bus hosts (the run server keys one bus
+    /// per job); `""` for the anonymous single-run bus.
+    topic: String,
 }
 
 /// The hub. Cheap to clone (an `Arc`); all clones publish to the same
@@ -88,6 +91,14 @@ impl Default for Bus {
 impl Bus {
     /// A bus with no subscribers.
     pub fn new() -> Self {
+        Self::with_topic("")
+    }
+
+    /// A bus scoped to a named topic. Topics don't route anything —
+    /// each bus is its own hub — they label the stream so a host
+    /// multiplexing many buses (one per server job) can report which
+    /// stream a subscriber is attached to.
+    pub fn with_topic(topic: impl Into<String>) -> Self {
         Bus {
             shared: Arc::new(BusShared {
                 subs: Mutex::new(Vec::new()),
@@ -95,8 +106,14 @@ impl Bus {
                 published: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
                 latest_manifest: Mutex::new(None),
+                topic: topic.into(),
             }),
         }
+    }
+
+    /// The scope label this bus was created with (`""` if anonymous).
+    pub fn topic(&self) -> &str {
+        &self.shared.topic
     }
 
     /// Register a subscriber with room for `capacity` queued events
@@ -442,6 +459,14 @@ mod tests {
             ..RunManifest::default()
         });
         assert_eq!(bus.latest_manifest().unwrap().label, "second");
+    }
+
+    #[test]
+    fn topics_label_buses_and_clones_share_them() {
+        let bus = Bus::with_topic("job-42");
+        assert_eq!(bus.topic(), "job-42");
+        assert_eq!(bus.clone().topic(), "job-42");
+        assert_eq!(Bus::new().topic(), "");
     }
 
     #[test]

@@ -54,10 +54,11 @@ pub struct RunManifest {
     pub nproc: u64,
     /// Effective worker-thread count the run used.
     pub threads: u64,
-    /// Whether the force backend reports a real virial. The emulated
-    /// WINE-2 board does not (its `ForceResult::virial` is NaN), so
-    /// pressure is *explicitly unsupported* there rather than streamed
-    /// as NaN into the observables.
+    /// Whether the force backend reports a real virial. Every current
+    /// backend does — the WINE-2 emulation path reduces the
+    /// reciprocal-space virial host-side from the board's structure
+    /// factors — but the flag stays in the manifest so a future
+    /// backend without one can opt out instead of streaming NaN.
     pub pressure_supported: bool,
 }
 

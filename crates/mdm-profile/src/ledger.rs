@@ -136,8 +136,9 @@ pub struct RunRecord {
     pub worst_force_error: Option<f64>,
     /// Total watchdog violations over the run.
     pub violations: u64,
-    /// Whether the backend reports a real virial (false for the
-    /// emulated WINE-2 board, which does not — see DESIGN.md §12).
+    /// Whether the backend reports a real virial (true for every
+    /// current backend, including the emulated WINE-2 board — see
+    /// DESIGN.md §12).
     pub pressure_supported: bool,
     /// Gauge name → mean utilization over the run (from the
     /// [`crate::timeseries`] samples).

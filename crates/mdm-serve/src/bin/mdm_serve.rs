@@ -1,0 +1,65 @@
+//! `mdm_serve` — the multi-tenant run daemon.
+//!
+//! ```text
+//! mdm_serve --addr 127.0.0.1:7980 --spool results/spool --boards 2
+//! ```
+//!
+//! Clients (`mdm_submit`, or anything speaking the line-JSON protocol
+//! in `mdm_serve::protocol`) submit jobs, poll status, and watch live
+//! flight-recorder streams. Every job checkpoints each scheduling
+//! slice; restarting the daemon on the same `--spool` resumes
+//! unfinished jobs bit-exactly from their last checkpoint.
+//!
+//! Options:
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7980`;
+//!   port 0 picks a free port and prints it);
+//! * `--spool DIR` — spool directory (default `serve-spool`);
+//! * `--boards N` — board-pool size / worker threads (default 1);
+//! * `--queue N` — admission bound before back-pressure (default 64);
+//! * `--slice N` — steps per scheduling slice = checkpoint cadence
+//!   (default 25);
+//! * `--ledger PATH` — append one run-ledger row per completed job.
+
+use mdm_serve::server::{Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig::new("serve-spool");
+    cfg.addr = "127.0.0.1:7980".into();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--spool" => cfg.spool = value("--spool").into(),
+            "--boards" => {
+                cfg.boards = value("--boards").parse().expect("--boards needs an integer")
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue").parse().expect("--queue needs an integer")
+            }
+            "--slice" => {
+                cfg.slice_steps = value("--slice").parse().expect("--slice needs an integer")
+            }
+            "--ledger" => cfg.ledger = Some(value("--ledger").into()),
+            other => {
+                eprintln!(
+                    "mdm_serve: unknown option {other:?} (try --addr, --spool, --boards, --queue, --slice, --ledger)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mdm_serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The one line scripts parse to find the port.
+    println!("mdm_serve: listening on {}", server.local_addr());
+    server.join();
+    println!("mdm_serve: stopped");
+}

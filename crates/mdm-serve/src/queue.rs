@@ -1,0 +1,163 @@
+//! The bounded priority queue the scheduler pulls from.
+//!
+//! Ordering is (priority descending, admission sequence ascending):
+//! higher-priority jobs always run first, equal priorities run
+//! round-robin — a job that finishes a slice re-enters with a fresh
+//! sequence number, so it goes behind its peers rather than hogging
+//! the board.
+//!
+//! The queue is *bounded*. [`JobQueue::offer`] refuses entries beyond
+//! capacity, which the server turns into a reject-with-`retry_after_ms`
+//! response; nothing in the admission path can grow without limit.
+//! Re-queues of already-admitted jobs go through [`JobQueue::requeue`],
+//! which cannot fail: the number of live entries never exceeds the
+//! number of admitted non-terminal jobs, which admission bounded.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One schedulable unit: "give `job` its next slice".
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Entry {
+    /// Scheduling priority (higher first).
+    pub priority: i64,
+    /// Global admission/requeue sequence (lower first within a
+    /// priority).
+    pub seq: u64,
+    /// Job name.
+    pub job: String,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Why an [`JobQueue::offer`] bounced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Capacity the queue was built with.
+    pub capacity: usize,
+}
+
+/// Bounded max-heap of [`Entry`]s.
+#[derive(Debug)]
+pub struct JobQueue {
+    heap: BinaryHeap<Entry>,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            heap: BinaryHeap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit a new job's first entry, or bounce it when full.
+    pub fn offer(&mut self, entry: Entry) -> Result<usize, QueueFull> {
+        if self.heap.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.heap.push(entry);
+        Ok(self.heap.len())
+    }
+
+    /// Re-enter an admitted job for its next slice. Infallible by the
+    /// admission bound (entries ≤ admitted non-terminal jobs).
+    pub fn requeue(&mut self, entry: Entry) {
+        self.heap.push(entry);
+    }
+
+    /// Highest-priority, oldest-sequence entry.
+    pub fn pop(&mut self) -> Option<Entry> {
+        self.heap.pop()
+    }
+
+    /// Entries waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Nothing waiting?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(priority: i64, seq: u64, job: &str) -> Entry {
+        Entry {
+            priority,
+            seq,
+            job: job.into(),
+        }
+    }
+
+    #[test]
+    fn higher_priority_pops_first() {
+        let mut q = JobQueue::new(8);
+        q.offer(entry(0, 0, "low")).unwrap();
+        q.offer(entry(5, 1, "high")).unwrap();
+        q.offer(entry(-3, 2, "nice")).unwrap();
+        assert_eq!(q.pop().unwrap().job, "high");
+        assert_eq!(q.pop().unwrap().job, "low");
+        assert_eq!(q.pop().unwrap().job, "nice");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_priority_is_fifo_by_sequence() {
+        let mut q = JobQueue::new(8);
+        for (seq, name) in [(10, "c"), (2, "a"), (7, "b")] {
+            q.offer(entry(1, seq, name)).unwrap();
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|e| e.job).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn offer_bounces_at_capacity_but_requeue_does_not() {
+        let mut q = JobQueue::new(2);
+        q.offer(entry(0, 0, "a")).unwrap();
+        assert_eq!(q.offer(entry(0, 1, "b")), Ok(2));
+        assert_eq!(q.offer(entry(9, 2, "c")), Err(QueueFull { capacity: 2 }));
+        let a = q.pop().unwrap();
+        // A running job re-entering between slices must never bounce.
+        q.requeue(Entry { seq: 3, ..a });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn requeued_job_goes_behind_its_priority_peers() {
+        let mut q = JobQueue::new(4);
+        q.offer(entry(1, 0, "a")).unwrap();
+        q.offer(entry(1, 1, "b")).unwrap();
+        let a = q.pop().unwrap();
+        assert_eq!(a.job, "a");
+        q.requeue(Entry { seq: 2, ..a }); // round-robin: b now leads
+        assert_eq!(q.pop().unwrap().job, "b");
+        assert_eq!(q.pop().unwrap().job, "a");
+    }
+}

@@ -1,0 +1,810 @@
+//! The daemon: accept loop, scheduler, board pool, checkpoint spool.
+//!
+//! ## Scheduling model
+//!
+//! `boards` worker threads form the board pool — each worker is one
+//! leased set of emulated WINE-2/MDGRAPE-2 boards. Workers pull the
+//! highest-priority job from the bounded [`JobQueue`], *materialise it
+//! from its checkpoint* (or from the spec, first time), run one slice
+//! of `slice_steps` steps, write the next checkpoint atomically, and
+//! put the job back. Jobs therefore hold no memory between slices —
+//! the spool is the only per-job state — which is what makes a crash
+//! indistinguishable from a scheduling gap: either way the job's next
+//! slice starts from its last durable checkpoint, and because
+//! checkpoint restores are bit-exact the observable stream continues
+//! exactly as the uninterrupted run would have.
+//!
+//! The profiling registry ([`mdm_profile`]) is process-global, so the
+//! *stepping* section of a slice is serialised across workers by a
+//! global lock: per-slice counters (the j-store upload meter the pool
+//! arbitrates on) attribute to exactly one job. With several boards,
+//! checkpoint IO, force-field assembly, and client streaming still
+//! overlap stepping.
+//!
+//! ## Spool layout
+//!
+//! | file | meaning |
+//! |---|---|
+//! | `<job>.job` | submitted spec (JSON line) — present while live |
+//! | `<job>.ckpt` | latest checkpoint (atomic rename on write) |
+//! | `<job>.trace.jsonl` | flight-recorder stream, appended per slice |
+//! | `<job>.done` | spec, moved here on completion |
+//! | `<job>.failed` | spec + error line, moved here on failure |
+//!
+//! A restarted server scans the spool: `.done`/`.failed` register as
+//! terminal, `.job` re-enters the queue (resuming from `.ckpt` when
+//! one exists).
+
+use crate::protocol::{error_line, JobReport, JobSpec, JobState, Request};
+use crate::queue::{Entry, JobQueue};
+use mdm_core::checkpoint::Checkpoint;
+use mdm_core::integrate::Simulation;
+use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+use mdm_core::observables::PhysicsWatchdogs;
+use mdm_core::thermostat::Thermostat;
+use mdm_core::velocities::maxwell_boltzmann;
+use mdm_host::driver::{MdmForceField, MdmTables, PotentialCarry};
+use mdm_host::telemetry::{mdm_manifest, pump_subscription, run_instrumented, Instruments};
+use mdm_profile::bus::Bus;
+use mdm_profile::events::FlightRecorder;
+use mdm_profile::json::{obj, Value};
+use mdm_profile::ledger::{append_record, EnvStamp, RunRecord};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The emulated boards share one process-global profiling registry, so
+/// only one slice may *step* at a time — this is the register file of
+/// the shared facility, not a convenience lock.
+static STEP_REGISTRY: Mutex<()> = Mutex::new(());
+
+/// Everything [`Server::start`] needs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Spool directory — specs, checkpoints, traces. Created if
+    /// missing; scanned for recoverable jobs at start.
+    pub spool: PathBuf,
+    /// Board-pool size = worker threads. `0` accepts jobs but never
+    /// runs them (used by the back-pressure tests).
+    pub boards: usize,
+    /// Admission bound: jobs queued-or-running at once. Beyond it,
+    /// submits bounce with a `retry_after_ms`.
+    pub queue_capacity: usize,
+    /// Steps per scheduling slice — also the checkpoint cadence: a
+    /// crash loses at most this many steps of progress per job.
+    pub slice_steps: u64,
+    /// When set, one ledger row per completed job is appended here
+    /// (`tool` = `"mdm-serve"`, `label` = job name).
+    pub ledger: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// Defaults: ephemeral port, one board, 64-job queue, 25-step
+    /// slices, no ledger.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            spool: spool.into(),
+            boards: 1,
+            queue_capacity: 64,
+            slice_steps: 25,
+            ledger: None,
+        }
+    }
+}
+
+/// Per-job scheduler state (the durable half lives in the spool).
+struct JobSlot {
+    spec: JobSpec,
+    state: JobState,
+    /// Checkpointed steps (a killed slice rolls back to this).
+    step: u64,
+    violations: u64,
+    upload_bytes: u64,
+    wall_seconds: f64,
+    detail: Option<String>,
+    bus: Bus,
+}
+
+impl JobSlot {
+    fn report(&self, name: &str) -> JobReport {
+        JobReport {
+            name: name.to_string(),
+            state: self.state,
+            step: self.step,
+            steps: self.spec.steps,
+            priority: self.spec.priority,
+            violations: self.violations,
+            upload_bytes: self.upload_bytes,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+struct State {
+    queue: JobQueue,
+    jobs: BTreeMap<String, JobSlot>,
+    draining: bool,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    tables: MdmTables,
+    state: Mutex<State>,
+    work: Condvar,
+    stop: AtomicBool,
+    seq: AtomicU64,
+    rejected_submits: AtomicU64,
+    /// EMA of recent slice wall-clock (ms) — the `retry_after_ms`
+    /// estimator.
+    slice_ms: AtomicU64,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// How long a bounced submitter should wait: roughly one queue
+    /// drain cycle per backlog-per-board, from the recent slice EMA.
+    fn retry_after_ms(&self, queued: usize) -> u64 {
+        let boards = self.cfg.boards.max(1) as u64;
+        let ema = self.slice_ms.load(Ordering::Relaxed).max(1);
+        (ema * (queued as u64 / boards + 1)).clamp(50, 10_000)
+    }
+
+    fn spool_file(&self, job: &str, suffix: &str) -> PathBuf {
+        self.cfg.spool.join(format!("{job}.{suffix}"))
+    }
+}
+
+/// What one slice left behind.
+struct SliceOutcome {
+    step: u64,
+    done: bool,
+    violations: u64,
+    upload_bytes: u64,
+    wall_seconds: f64,
+}
+
+/// A running server. Dropping it drains and stops.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Build the tables, recover the spool, bind, and spawn the accept
+    /// loop plus `boards` workers.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        fs::create_dir_all(&cfg.spool)?;
+        let tables = MdmTables::build()
+            .map_err(|e| io::Error::other(format!("function-table build: {e:?}")))?;
+        let boards = cfg.boards;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: JobQueue::new(cfg.queue_capacity),
+                jobs: BTreeMap::new(),
+                draining: false,
+            }),
+            work: Condvar::new(),
+            stop: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            rejected_submits: AtomicU64::new(0),
+            slice_ms: AtomicU64::new(200),
+            cfg,
+            tables,
+        });
+        recover_spool(&inner)?;
+
+        let listener = TcpListener::bind(&inner.cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(inner, listener))
+        };
+        let workers = (0..boards)
+            .map(|board| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mdm-serve-board-{board}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            workers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop scheduling new slices. Running slices finish and
+    /// checkpoint; queued jobs stay durable in the spool.
+    pub fn drain(&self) {
+        let mut st = self.inner.lock();
+        st.draining = true;
+        drop(st);
+        self.inner.work.notify_all();
+    }
+
+    /// Drain, stop the accept loop, and join every thread.
+    pub fn stop(mut self) {
+        self.shutdown_threads();
+    }
+
+    /// Block until a client's `shutdown` request (or [`Server::stop`])
+    /// ends the serve loop — the daemon binary's main body.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn shutdown_threads(&mut self) {
+        self.drain();
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.work.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_threads();
+    }
+}
+
+/// Re-register every job the spool knows about.
+fn recover_spool(inner: &Arc<Inner>) -> io::Result<()> {
+    let mut names: Vec<(String, String)> = Vec::new(); // (job, suffix)
+    for entry in fs::read_dir(&inner.cfg.spool)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        for suffix in ["job", "done", "failed"] {
+            if let Some(stem) = name.strip_suffix(&format!(".{suffix}")) {
+                names.push((stem.to_string(), suffix.to_string()));
+            }
+        }
+    }
+    names.sort();
+    for (job, suffix) in names {
+        let path = inner.spool_file(&job, &suffix);
+        let text = fs::read_to_string(&path)?;
+        let mut lines = text.lines();
+        let spec = lines
+            .next()
+            .ok_or_else(|| io::Error::other(format!("{path:?}: empty spec")))
+            .and_then(|line| {
+                Value::parse(line)
+                    .map_err(|e| io::Error::other(format!("{path:?}: {e}")))
+                    .and_then(|v| {
+                        JobSpec::from_json(&v).map_err(|e| io::Error::other(format!("{path:?}: {e}")))
+                    })
+            })?;
+        let detail = lines.next().map(str::to_string);
+        let mut st = inner.lock();
+        let slot = JobSlot {
+            bus: Bus::with_topic(&job),
+            state: match suffix.as_str() {
+                "done" => JobState::Done,
+                "failed" => JobState::Failed,
+                _ => JobState::Queued,
+            },
+            step: match suffix.as_str() {
+                "done" => spec.steps,
+                _ => checkpointed_step(inner, &job),
+            },
+            violations: 0,
+            upload_bytes: 0,
+            wall_seconds: 0.0,
+            detail: if suffix == "failed" { detail } else { None },
+            spec,
+        };
+        if slot.state == JobState::Queued {
+            // Recovery bypasses the admission bound (these jobs were
+            // admitted by a previous server and are durable already).
+            inner.state_queue_requeue(&mut st, &slot, &job);
+        } else {
+            slot.bus.close();
+        }
+        st.jobs.insert(job, slot);
+    }
+    inner.work.notify_all();
+    Ok(())
+}
+
+impl Inner {
+    fn state_queue_requeue(&self, st: &mut State, slot: &JobSlot, job: &str) {
+        st.queue.requeue(Entry {
+            priority: slot.spec.priority,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            job: job.to_string(),
+        });
+    }
+}
+
+fn checkpointed_step(inner: &Arc<Inner>, job: &str) -> u64 {
+    let path = inner.spool_file(job, "ckpt");
+    if !path.exists() {
+        return 0;
+    }
+    Checkpoint::load(&path).map(|cp| cp.step).unwrap_or(0)
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    let _ = handle_client(inner, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_client(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = Value::parse(&line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Request::from_json(&v));
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                // A malformed line means the framing is gone; answer
+                // once and close rather than misparse what follows.
+                writeln!(writer, "{}", error_line(e).to_compact())?;
+                return Ok(());
+            }
+        };
+        match request {
+            Request::Submit(spec) => {
+                let response = submit(&inner, spec);
+                writeln!(writer, "{}", response.to_compact())?;
+            }
+            Request::Status { job } => {
+                let st = inner.lock();
+                let response = match st.jobs.get(&job) {
+                    Some(slot) => {
+                        let mut v = slot.report(&job).to_json();
+                        if let Value::Obj(map) = &mut v {
+                            map.insert("ok".into(), Value::Bool(true));
+                        }
+                        v
+                    }
+                    None => error_line(format!("unknown job {job:?}")),
+                };
+                drop(st);
+                writeln!(writer, "{}", response.to_compact())?;
+            }
+            Request::List => {
+                let st = inner.lock();
+                let jobs: Vec<Value> = st
+                    .jobs
+                    .iter()
+                    .map(|(name, slot)| slot.report(name).to_json())
+                    .collect();
+                drop(st);
+                let response = obj([("ok", Value::Bool(true)), ("jobs", Value::Arr(jobs))]);
+                writeln!(writer, "{}", response.to_compact())?;
+            }
+            Request::Stats => {
+                let response = stats(&inner);
+                writeln!(writer, "{}", response.to_compact())?;
+            }
+            Request::Watch { job } => {
+                return watch(&inner, writer, &job);
+            }
+            Request::Drain => {
+                let mut st = inner.lock();
+                st.draining = true;
+                drop(st);
+                inner.work.notify_all();
+                let response = obj([("ok", Value::Bool(true)), ("draining", Value::Bool(true))]);
+                writeln!(writer, "{}", response.to_compact())?;
+            }
+            Request::Shutdown => {
+                let mut st = inner.lock();
+                st.draining = true;
+                drop(st);
+                inner.stop.store(true, Ordering::SeqCst);
+                inner.work.notify_all();
+                let response = obj([("ok", Value::Bool(true)), ("stopping", Value::Bool(true))]);
+                writeln!(writer, "{}", response.to_compact())?;
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Admission: validate, bound, persist, enqueue — in that order, so a
+/// job the client saw accepted is already durable.
+fn submit(inner: &Arc<Inner>, spec: JobSpec) -> Value {
+    let job = spec.name.clone();
+    let mut st = inner.lock();
+    if st.draining {
+        inner.rejected_submits.fetch_add(1, Ordering::Relaxed);
+        let mut v = error_line("server is draining");
+        if let Value::Obj(map) = &mut v {
+            map.insert("retry_after_ms".into(), Value::from_u64(2_000));
+        }
+        return v;
+    }
+    if st.jobs.contains_key(&job) {
+        return error_line(format!("job {job:?} already exists"));
+    }
+    let spec_path = inner.spool_file(&job, "job");
+    if let Err(e) = write_spec(&spec_path, &spec, None) {
+        return error_line(format!("spool write failed: {e}"));
+    }
+    let entry = Entry {
+        priority: spec.priority,
+        seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+        job: job.clone(),
+    };
+    match st.queue.offer(entry) {
+        Ok(position) => {
+            st.jobs.insert(
+                job.clone(),
+                JobSlot {
+                    bus: Bus::with_topic(&job),
+                    state: JobState::Queued,
+                    step: 0,
+                    violations: 0,
+                    upload_bytes: 0,
+                    wall_seconds: 0.0,
+                    detail: None,
+                    spec,
+                },
+            );
+            drop(st);
+            inner.work.notify_all();
+            obj([
+                ("ok", Value::Bool(true)),
+                ("job", Value::Str(job)),
+                ("state", Value::Str("queued".into())),
+                ("position", Value::from_u64(position as u64)),
+            ])
+        }
+        Err(full) => {
+            let _ = fs::remove_file(&spec_path);
+            inner.rejected_submits.fetch_add(1, Ordering::Relaxed);
+            let retry = inner.retry_after_ms(st.queue.len());
+            drop(st);
+            let mut v = error_line(format!(
+                "queue full ({} jobs admitted); back off and resubmit",
+                full.capacity
+            ));
+            if let Value::Obj(map) = &mut v {
+                map.insert("retry_after_ms".into(), Value::from_u64(retry));
+            }
+            v
+        }
+    }
+}
+
+fn write_spec(path: &Path, spec: &JobSpec, detail: Option<&str>) -> io::Result<()> {
+    let mut text = spec.to_json().to_compact();
+    text.push('\n');
+    if let Some(detail) = detail {
+        text.push_str(&detail.replace('\n', " "));
+        text.push('\n');
+    }
+    fs::write(path, text)
+}
+
+fn stats(inner: &Arc<Inner>) -> Value {
+    let st = inner.lock();
+    let count = |state: JobState| {
+        Value::from_u64(st.jobs.values().filter(|s| s.state == state).count() as u64)
+    };
+    obj([
+        ("ok", Value::Bool(true)),
+        ("queued", count(JobState::Queued)),
+        ("running", count(JobState::Running)),
+        ("done", count(JobState::Done)),
+        ("failed", count(JobState::Failed)),
+        ("queue_depth", Value::from_u64(st.queue.len() as u64)),
+        (
+            "queue_capacity",
+            Value::from_u64(st.queue.capacity() as u64),
+        ),
+        ("boards", Value::from_u64(inner.cfg.boards as u64)),
+        (
+            "rejected_submits",
+            Value::from_u64(inner.rejected_submits.load(Ordering::Relaxed)),
+        ),
+        ("draining", Value::Bool(st.draining)),
+    ])
+}
+
+/// Turn the connection into the job's live stream: manifest + step
+/// events as they publish, then a `done` trailer.
+fn watch(inner: &Arc<Inner>, mut writer: TcpStream, job: &str) -> io::Result<()> {
+    let st = inner.lock();
+    let Some(slot) = st.jobs.get(job) else {
+        drop(st);
+        writeln!(
+            writer,
+            "{}",
+            error_line(format!("unknown job {job:?}")).to_compact()
+        )?;
+        return Ok(());
+    };
+    let bus = slot.bus.clone();
+    drop(st);
+    let header = obj([
+        ("ok", Value::Bool(true)),
+        ("job", Value::Str(job.to_string())),
+        ("topic", Value::Str(bus.topic().to_string())),
+        ("streaming", Value::Bool(true)),
+    ]);
+    writeln!(writer, "{}", header.to_compact())?;
+    writer.flush()?;
+    // Subscribe before looking at the manifest: a close that lands in
+    // between makes recv return None immediately, never hangs.
+    let sub = bus.subscribe(1024);
+    if let Some(manifest) = bus.latest_manifest() {
+        writeln!(writer, "{}", manifest.to_json().to_compact())?;
+        writer.flush()?;
+    }
+    pump_subscription(&sub, &mut writer)?;
+    let st = inner.lock();
+    let state = st
+        .jobs
+        .get(job)
+        .map(|s| s.state)
+        .unwrap_or(JobState::Failed);
+    drop(st);
+    let trailer = obj([
+        ("type", Value::Str("done".into())),
+        ("job", Value::Str(job.to_string())),
+        ("state", Value::Str(state.as_str().into())),
+    ]);
+    writeln!(writer, "{}", trailer.to_compact())?;
+    writer.flush()
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let entry = {
+            let mut st = inner.lock();
+            loop {
+                if inner.stop.load(Ordering::SeqCst) || st.draining {
+                    return;
+                }
+                if let Some(entry) = st.queue.pop() {
+                    break entry;
+                }
+                let (guard, _) = inner
+                    .work
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        };
+        let job = entry.job.clone();
+        {
+            let mut st = inner.lock();
+            if let Some(slot) = st.jobs.get_mut(&job) {
+                slot.state = JobState::Running;
+            }
+        }
+        let started = Instant::now();
+        let outcome = run_slice(&inner, &job);
+        let ms = started.elapsed().as_millis() as u64;
+        let ema = inner.slice_ms.load(Ordering::Relaxed);
+        inner
+            .slice_ms
+            .store((3 * ema + ms.max(1)) / 4, Ordering::Relaxed);
+
+        let mut st = inner.lock();
+        let Some(slot) = st.jobs.get_mut(&job) else {
+            continue;
+        };
+        match outcome {
+            Ok(out) => {
+                slot.step = out.step;
+                slot.violations += out.violations;
+                slot.upload_bytes += out.upload_bytes;
+                slot.wall_seconds += out.wall_seconds;
+                if out.done {
+                    slot.state = JobState::Done;
+                    slot.bus.close();
+                    finalize(&inner, &job, slot, "done");
+                } else {
+                    slot.state = JobState::Queued;
+                    let requeue = Entry {
+                        priority: entry.priority,
+                        seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                        job: job.clone(),
+                    };
+                    st.queue.requeue(requeue);
+                    drop(st);
+                    inner.work.notify_all();
+                    continue;
+                }
+            }
+            Err(message) => {
+                slot.state = JobState::Failed;
+                slot.detail = Some(message);
+                slot.bus.close();
+                finalize(&inner, &job, slot, "failed");
+            }
+        }
+    }
+}
+
+/// Move a terminal job's spec file and (for completions) write its
+/// ledger row.
+fn finalize(inner: &Arc<Inner>, job: &str, slot: &JobSlot, suffix: &str) {
+    let from = inner.spool_file(job, "job");
+    let to = inner.spool_file(job, suffix);
+    let _ = write_spec(&to, &slot.spec, slot.detail.as_deref());
+    let _ = fs::remove_file(&from);
+    if suffix != "done" {
+        return;
+    }
+    if let Some(ledger_path) = &inner.cfg.ledger {
+        let steps = slot.spec.steps.max(1) as f64;
+        let mut record = RunRecord {
+            tool: "mdm-serve".to_string(),
+            label: job.to_string(),
+            threads: inner.cfg.boards.max(1) as u64,
+            n_particles: slot.spec.n_particles(),
+            steps: slot.spec.steps,
+            wall_seconds_per_step: slot.wall_seconds / steps,
+            violations: slot.violations,
+            pressure_supported: true,
+            gauges: [(
+                "jstore_upload_bytes_per_step".to_string(),
+                slot.upload_bytes as f64 / steps,
+            )]
+            .into_iter()
+            .collect(),
+            ..RunRecord::default()
+        };
+        record.stamp_now();
+        record.stamp_env(&EnvStamp::detect(Path::new(".")));
+        let _ = append_record(ledger_path, &record);
+    }
+}
+
+/// One scheduling slice: materialise from the spool, step under the
+/// board lease, checkpoint, free.
+fn run_slice(inner: &Arc<Inner>, job: &str) -> Result<SliceOutcome, String> {
+    let (spec, bus) = {
+        let st = inner.lock();
+        let slot = st.jobs.get(job).ok_or("job vanished from the registry")?;
+        (slot.spec.clone(), slot.bus.clone())
+    };
+    let ckpt_path = inner.spool_file(job, "ckpt");
+    let trace_path = inner.spool_file(job, "trace.jsonl");
+
+    let mut sim = if ckpt_path.exists() {
+        let cp = Checkpoint::load(&ckpt_path).map_err(|e| format!("checkpoint load: {e}"))?;
+        let mut ff = MdmForceField::nacl_default_with_tables(cp.l, inner.tables.clone());
+        ff.set_potential_interval(spec.potential_interval);
+        if let Some(carry) = PotentialCarry::from_extras(&cp.extras) {
+            ff.restore_potential_carry(carry);
+        }
+        cp.resume(ff)
+    } else {
+        let mut system = rocksalt_nacl(spec.cells as usize, NACL_LATTICE_A);
+        maxwell_boltzmann(&mut system, spec.temperature, spec.seed);
+        let mut ff =
+            MdmForceField::nacl_default_with_tables(system.simbox().l(), inner.tables.clone());
+        ff.set_potential_interval(spec.potential_interval);
+        Simulation::new(system, ff, spec.dt)
+    };
+    if spec.thermostat {
+        sim.set_thermostat(Some(Thermostat::velocity_scaling(spec.temperature)));
+    }
+
+    let remaining = spec.steps.saturating_sub(sim.step_count());
+    if remaining == 0 {
+        return Ok(SliceOutcome {
+            step: sim.step_count(),
+            done: true,
+            violations: 0,
+            upload_bytes: 0,
+            wall_seconds: 0.0,
+        });
+    }
+    let n = remaining.min(inner.cfg.slice_steps.max(1)) as usize;
+
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&trace_path)
+        .map_err(|e| format!("trace open: {e}"))?;
+    let manifest = mdm_manifest(job, "mdm-serve", &sim, spec.seed);
+    bus.publish_manifest(&manifest);
+    let mut recorder =
+        FlightRecorder::new(BufWriter::new(file), &manifest).map_err(|e| format!("trace: {e}"))?;
+    // NVE slices watch per-slice energy drift; thermostatted ones pin
+    // temperature instead, so their energy band is effectively off.
+    let mut dogs = if spec.thermostat {
+        PhysicsWatchdogs::nve(1e12, 1e-2)
+    } else {
+        PhysicsWatchdogs::nve(5e-3, 1e-2)
+    };
+
+    let run = {
+        // Board lease: the stepping section is exclusive because the
+        // profiling registry (and with it the j-store upload meter) is
+        // shared across the pool.
+        let _board = STEP_REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        mdm_profile::reset();
+        run_instrumented(
+            &mut sim,
+            n,
+            &mut recorder,
+            Instruments {
+                watchdogs: Some(&mut dogs),
+                bus: Some(&bus),
+                ..Instruments::default()
+            },
+        )
+        .map_err(|e| format!("slice: {e}"))?
+    };
+    let upload_bytes = run
+        .profile
+        .counters
+        .get("jstore_upload_bytes")
+        .copied()
+        .unwrap_or(0);
+
+    let mut cp = Checkpoint::capture(&sim, job, spec.seed);
+    if let Some(carry) = sim.force_field().potential_carry() {
+        carry.to_extras(&mut cp.extras);
+    }
+    cp.write(&ckpt_path)
+        .map_err(|e| format!("checkpoint write: {e}"))?;
+
+    Ok(SliceOutcome {
+        step: sim.step_count(),
+        done: sim.step_count() >= spec.steps,
+        violations: run.violations,
+        upload_bytes,
+        wall_seconds: run.wall_seconds,
+    })
+}

@@ -1,0 +1,306 @@
+//! End-to-end server tests: the daemon binary under a real SIGKILL,
+//! back-pressure at the admission bound, live watch streams, and a
+//! mini-soak with mixed priorities.
+
+use mdm_core::integrate::Simulation;
+use mdm_core::lattice::{rocksalt_nacl, NACL_LATTICE_A};
+use mdm_core::velocities::maxwell_boltzmann;
+use mdm_host::driver::MdmForceField;
+use mdm_profile::events::StepEvent;
+use mdm_profile::json::Value;
+use mdm_serve::protocol::{JobSpec, JobState, SubmitOutcome};
+use mdm_serve::server::{Server, ServerConfig};
+use mdm_serve::Client;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdm-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the real daemon on an ephemeral port; returns the child and
+/// the address parsed from its banner line.
+fn spawn_server(spool: &Path, slice: u64, extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mdm_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--slice",
+            &slice.to_string(),
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn mdm_serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server banner")
+        .expect("read server banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the address")
+        .to_string();
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// The same run the server executes, uninterrupted and in-process.
+fn reference_records(spec: &JobSpec) -> Vec<mdm_core::integrate::StepRecord> {
+    let mut system = rocksalt_nacl(spec.cells as usize, NACL_LATTICE_A);
+    maxwell_boltzmann(&mut system, spec.temperature, spec.seed);
+    let mut ff = MdmForceField::nacl_default(system.simbox().l()).expect("tables");
+    ff.set_potential_interval(spec.potential_interval);
+    let mut sim = Simulation::new(system, ff, spec.dt);
+    sim.run(spec.steps as usize)
+}
+
+/// Parse a job trace leniently (a SIGKILL can truncate the last line
+/// of a slice): keep the *last* event recorded for each step — steps
+/// re-run after a restart overwrite their pre-kill copies.
+fn step_events_deduped(trace: &str) -> Vec<StepEvent> {
+    let mut by_step = std::collections::BTreeMap::new();
+    for line in trace.lines() {
+        let Ok(value) = Value::parse(line) else {
+            continue;
+        };
+        if value.get("type").and_then(Value::as_str) == Some("step") {
+            if let Ok(event) = StepEvent::from_json(&value) {
+                by_step.insert(event.step, event);
+            }
+        }
+    }
+    by_step.into_values().collect()
+}
+
+#[test]
+fn killed_server_resumes_jobs_bit_for_bit() {
+    let spool = temp_spool("kill");
+    let spec = JobSpec {
+        name: "kr".into(),
+        cells: 2,
+        steps: 14,
+        dt: 2.0,
+        temperature: 900.0,
+        seed: 7,
+        potential_interval: 3,
+        ..JobSpec::default()
+    };
+
+    let (mut child, addr) = spawn_server(&spool, 4, &[]);
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(10)).unwrap();
+    assert!(matches!(
+        client.submit(&spec).unwrap(),
+        SubmitOutcome::Accepted { .. }
+    ));
+
+    // Wait for at least one durable checkpoint, then kill -9.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let report = client.status("kr").unwrap();
+        if report.step >= 4 || report.state.is_terminal() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint after 120 s (step {})",
+            report.step
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Restart on the same spool: the job must resume and finish.
+    let (mut child2, addr2) = spawn_server(&spool, 4, &[]);
+    let mut client2 = Client::connect_with_retry(&addr2, Duration::from_secs(10)).unwrap();
+    let report = client2.wait("kr", Duration::from_secs(120)).unwrap();
+    assert_eq!(report.state, JobState::Done, "detail: {:?}", report.detail);
+    assert_eq!(report.step, 14);
+    client2.shutdown().unwrap();
+    child2.wait().unwrap();
+
+    // The stitched stream must equal the uninterrupted run bit for bit.
+    let trace = std::fs::read_to_string(spool.join("kr.trace.jsonl")).unwrap();
+    let events = step_events_deduped(&trace);
+    let reference = reference_records(&spec);
+    assert_eq!(events.len(), 14, "one event per step after dedup");
+    for (event, r) in events.iter().zip(&reference) {
+        assert_eq!(event.step, r.step);
+        for (key, want) in [
+            ("total_ev", r.total),
+            ("temperature_k", r.temperature),
+            ("potential_ev", r.potential),
+            ("kinetic_ev", r.kinetic),
+        ] {
+            let got = *event
+                .observables
+                .get(key)
+                .unwrap_or_else(|| panic!("step {} missing {key}", r.step));
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "step {} {key}: resumed {got} != uninterrupted {want}",
+                r.step
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after_and_drops_nothing_admitted() {
+    let spool = temp_spool("backpressure");
+    // boards = 0: jobs are admitted but never scheduled, so the queue
+    // stays exactly as full as we make it.
+    let mut cfg = ServerConfig::new(&spool);
+    cfg.boards = 0;
+    cfg.queue_capacity = 2;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    for name in ["a", "b"] {
+        let spec = JobSpec {
+            name: name.into(),
+            steps: 5,
+            ..JobSpec::default()
+        };
+        assert!(matches!(
+            client.submit(&spec).unwrap(),
+            SubmitOutcome::Accepted { .. }
+        ));
+    }
+    let spec = JobSpec {
+        name: "c".into(),
+        steps: 5,
+        ..JobSpec::default()
+    };
+    match client.submit(&spec).unwrap() {
+        SubmitOutcome::Rejected {
+            error,
+            retry_after_ms,
+        } => {
+            assert!(error.contains("queue full"), "{error}");
+            assert!(retry_after_ms >= 50, "retry_after_ms = {retry_after_ms}");
+        }
+        other => panic!("expected a back-pressure reject, got {other:?}"),
+    }
+    // Duplicate names are a hard error, not a retryable one.
+    let dup = JobSpec {
+        name: "a".into(),
+        steps: 5,
+        ..JobSpec::default()
+    };
+    match client.submit(&dup).unwrap() {
+        SubmitOutcome::Rejected { retry_after_ms, .. } => assert_eq!(retry_after_ms, 0),
+        other => panic!("duplicate submit should reject, got {other:?}"),
+    }
+    // Both admitted jobs are still known and durable.
+    assert_eq!(client.list().unwrap().len(), 2);
+    assert!(spool.join("a.job").exists() && spool.join("b.job").exists());
+    server.stop();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn watch_streams_manifest_steps_and_done_trailer() {
+    let spool = temp_spool("watch");
+    let mut cfg = ServerConfig::new(&spool);
+    cfg.slice_steps = 3;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let spec = JobSpec {
+        name: "watched".into(),
+        steps: 6,
+        seed: 3,
+        ..JobSpec::default()
+    };
+    client.submit(&spec).unwrap();
+    let watcher = Client::connect(&addr).unwrap();
+    let lines: Vec<String> = watcher
+        .watch("watched")
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let manifests = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"manifest\""))
+        .count();
+    let steps = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"step\""))
+        .count();
+    assert!(manifests >= 1, "no manifest line in {lines:?}");
+    assert!(steps >= 1, "no step events in {lines:?}");
+    let last = lines.last().expect("stream not empty");
+    assert!(
+        last.contains("\"type\":\"done\"") && last.contains("\"state\":\"done\""),
+        "missing done trailer: {last}"
+    );
+    assert_eq!(
+        client.wait("watched", Duration::from_secs(60)).unwrap().state,
+        JobState::Done
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn mini_soak_mixed_priorities_all_jobs_finish_clean() {
+    let spool = temp_spool("soak");
+    let ledger = spool.join("ledger.jsonl");
+    let mut cfg = ServerConfig::new(&spool);
+    cfg.slice_steps = 3;
+    cfg.queue_capacity = 4; // half the jobs — back-pressure must engage
+    cfg.ledger = Some(ledger.clone());
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let jobs: Vec<String> = (0..8).map(|i| format!("soak-{i}")).collect();
+    let mut client = Client::connect(&addr).unwrap();
+    for (i, name) in jobs.iter().enumerate() {
+        let spec = JobSpec {
+            name: name.clone(),
+            steps: 6,
+            seed: i as u64,
+            priority: (i % 3) as i64,
+            ..JobSpec::default()
+        };
+        client
+            .submit_with_retry(&spec, Duration::from_secs(300))
+            .unwrap();
+    }
+    for name in &jobs {
+        let report = client.wait(name, Duration::from_secs(300)).unwrap();
+        assert_eq!(report.state, JobState::Done, "{name}: {:?}", report.detail);
+        assert_eq!(report.step, 6, "{name}");
+        assert_eq!(report.violations, 0, "{name} tripped a watchdog");
+        assert!(report.upload_bytes > 0, "{name}: j-store meter never moved");
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("done").and_then(Value::as_u64), Some(8));
+    assert_eq!(stats.get("failed").and_then(Value::as_u64), Some(0));
+
+    // One ledger row per completed job.
+    let (records, bad) =
+        mdm_profile::ledger::read_ledger(&ledger).expect("ledger written");
+    assert_eq!(bad, 0);
+    assert_eq!(records.len(), 8);
+    assert!(records.iter().all(|r| r.tool == "mdm-serve" && r.violations == 0));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -48,6 +48,11 @@ pub struct WineForceResult {
     /// Reciprocal-space energy (eV), computed host-side from the
     /// hardware structure factors.
     pub energy: f64,
+    /// Reciprocal-space virial (eV), computed host-side from the same
+    /// structure factors: `Σₖ E_k·(1 − 2π²n²/α²)`. The boards only
+    /// produce `(Sₙ, Cₙ)` — energy and virial are both host
+    /// reductions over them, so the virial costs nothing extra.
+    pub virial: f64,
     /// The structure factors `(Sₙ, Cₙ)` as resolved by the host.
     pub structure_factors: Vec<(f64, f64)>,
     /// Hardware counters for this evaluation.
@@ -174,11 +179,15 @@ impl Wine2System {
         let l = simbox.l();
         let pi = std::f64::consts::PI;
         let mut energy = 0.0;
+        let mut virial = 0.0;
         let mut coeffs: Vec<(f64, f64, [i32; 3])> = Vec::with_capacity(waves.len());
         let mut c_scale = 0.0f64;
         for (k, &(s, c)) in waves.iter().zip(&structure_factors) {
-            let a = spectral_coefficient(alpha, k.n_sq as f64);
-            energy += COULOMB_EV_A / (pi * l) * a * (c * c + s * s);
+            let n_sq = k.n_sq as f64;
+            let a = spectral_coefficient(alpha, n_sq);
+            let e_k = COULOMB_EV_A / (pi * l) * a * (c * c + s * s);
+            energy += e_k;
+            virial += e_k * (1.0 - 2.0 * pi * pi * n_sq / (alpha * alpha));
             let (u, v) = (a * s, a * c);
             c_scale = c_scale.max(u.abs()).max(v.abs());
             coeffs.push((u, v, k.n));
@@ -246,6 +255,7 @@ impl Wine2System {
         Ok(WineForceResult {
             forces,
             energy,
+            virial,
             structure_factors,
             counters,
         })
@@ -293,6 +303,15 @@ mod tests {
             "energy {} vs {}",
             hw.energy,
             sw.energy
+        );
+        // The host-side virial reduction shares the structure factors
+        // with the energy, so it lands at the same fixed-point accuracy.
+        assert!(hw.virial.is_finite(), "virial must be finite");
+        assert!(
+            (hw.virial - sw.virial).abs() / sw.virial.abs().max(sw.energy.abs()) < 1e-3,
+            "virial {} vs {}",
+            hw.virial,
+            sw.virial
         );
     }
 
